@@ -1,0 +1,171 @@
+// Command hidap places the macros of a structural Verilog netlist with the
+// HiDaP flow and writes the placement plus an SVG floorplan.
+//
+// Usage:
+//
+//	hidap -in design.v -top chip -out placement.txt -svg floorplan.svg
+//	hidap -in design.v -top chip -lambda 0.2 -effort high -seed 7
+//
+// Macro cell types are declared inline with -macro name=WxHxBITS (repeat
+// as needed); the DFF/gate library is built in.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/hidap"
+)
+
+type macroFlags []string
+
+func (m *macroFlags) String() string     { return strings.Join(*m, ",") }
+func (m *macroFlags) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input structural Verilog file (required)")
+		top    = flag.String("top", "top", "top module name")
+		out    = flag.String("out", "", "placement output file (default stdout)")
+		svg    = flag.String("svg", "", "optional SVG floorplan output")
+		def_   = flag.String("def", "", "optional DEF placement output")
+		lef    = flag.String("lef", "", "optional LEF file defining the macro library")
+		lambda = flag.Float64("lambda", 0.5, "block-flow vs macro-flow blend λ")
+		k      = flag.Float64("k", 2, "latency decay exponent")
+		effort = flag.String("effort", "medium", "annealing effort: low|medium|high")
+		seed   = flag.Int64("seed", 1, "random seed")
+		cells  = flag.Bool("cells", false, "also run standard-cell placement and report metrics")
+	)
+	var macros macroFlags
+	flag.Var(&macros, "macro", "macro declaration name=WxHxBITS (DBU), repeatable")
+	flag.Parse()
+
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+
+	lib := hidap.DefaultLibrary()
+	if *lef != "" {
+		f, err := os.Open(*lef)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := hidap.ReadLEF(f, lib); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+	for _, m := range macros {
+		name, w, h, bits, err := parseMacro(m)
+		if err != nil {
+			fatal(err)
+		}
+		lib.AddMacro(name, w, h, bits)
+	}
+
+	var d *hidap.Design
+	if strings.HasSuffix(*in, ".json") {
+		d, err = hidap.ReadJSON(strings.NewReader(string(src)))
+	} else {
+		d, err = hidap.ParseVerilog(string(src), *top, lib)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := hidap.DefaultOptions()
+	opt.Lambda = *lambda
+	opt.K = *k
+	opt.Seed = *seed
+	switch *effort {
+	case "low":
+		opt.Effort = hidap.EffortLow
+	case "high":
+		opt.Effort = hidap.EffortHigh
+	}
+	res, err := hidap.Place(d, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintf(w, "# design %s: die %dx%d DBU, %d macros, %d levels\n",
+		d.Name, d.Die.W, d.Die.H, len(d.Macros()), res.Levels)
+	for _, m := range d.Macros() {
+		r := res.Placement.Rect(m)
+		fmt.Fprintf(w, "macro %s %d %d %s\n", d.Cell(m).Name, r.X, r.Y, res.Placement.Orient[m])
+	}
+
+	if *cells {
+		if err := hidap.PlaceCells(res.Placement); err != nil {
+			fatal(err)
+		}
+		wns, tns := hidap.Timing(d, res.Placement)
+		fmt.Fprintf(w, "# WL %.6f m, GRC %.2f%%, WNS %.1f%%, TNS %.1f ns\n",
+			hidap.Wirelength(res.Placement), hidap.Congestion(res.Placement), wns, tns)
+	}
+
+	if *svg != "" {
+		f, err := os.Create(*svg)
+		if err != nil {
+			fatal(err)
+		}
+		hidap.WriteFloorplanSVG(f, res.Placement)
+		f.Close()
+	}
+
+	if *def_ != "" {
+		f, err := os.Create(*def_)
+		if err != nil {
+			fatal(err)
+		}
+		if err := hidap.WriteDEF(f, res.Placement); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+}
+
+func parseMacro(s string) (name string, w, h int64, bits int, err error) {
+	eq := strings.IndexByte(s, '=')
+	if eq < 1 {
+		return "", 0, 0, 0, fmt.Errorf("bad -macro %q: want name=WxHxBITS", s)
+	}
+	name = s[:eq]
+	parts := strings.Split(s[eq+1:], "x")
+	if len(parts) != 3 {
+		return "", 0, 0, 0, fmt.Errorf("bad -macro %q: want name=WxHxBITS", s)
+	}
+	w, err = strconv.ParseInt(parts[0], 10, 64)
+	if err == nil {
+		h, err = strconv.ParseInt(parts[1], 10, 64)
+	}
+	if err == nil {
+		bits, err = strconv.Atoi(parts[2])
+	}
+	if err != nil {
+		return "", 0, 0, 0, fmt.Errorf("bad -macro %q: %v", s, err)
+	}
+	return name, w, h, bits, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hidap:", err)
+	os.Exit(1)
+}

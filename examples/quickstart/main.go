@@ -1,0 +1,85 @@
+// Quickstart: the paper's running example (Fig. 1) end to end.
+//
+// A sixteen-macro design is floorplanned with HiDaP; the program prints the
+// multi-level evolution of the block floorplan (first partition, recursive
+// partitions, final macro coordinates) and writes one SVG per level plus
+// the final floorplan.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/circuits"
+	"repro/hidap"
+)
+
+func main() {
+	g := circuits.Fig1Design()
+	d := g.Design
+	fmt.Printf("design %s: %d macros, %d cells, die %.1f x %.1f mm\n",
+		d.Name, len(d.Macros()), d.NumCells(),
+		float64(d.Die.W)/1e6, float64(d.Die.H)/1e6)
+
+	// Step 1 of the flow: what does the first partition see? (Fig. 1a)
+	names, counts := hidap.TopBlocks(d)
+	fmt.Println("\nfirst partition (hierarchical declustering):")
+	for i := range names {
+		kind := "standard cells"
+		if counts[i] > 0 {
+			kind = fmt.Sprintf("%d macros", counts[i])
+		}
+		fmt.Printf("  block %-8s %s\n", names[i], kind)
+	}
+
+	// Run the full flow with per-level tracing.
+	opt := hidap.DefaultOptions()
+	opt.Trace = true
+	opt.Seed = 1
+	res, err := hidap.Place(d, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nHiDaP placed %d macros across %d levels (%d flips)\n",
+		len(d.Macros()), res.Levels, res.Flips)
+
+	// The Fig. 1 evolution: one SVG per recursion level.
+	for i, lv := range res.Trace {
+		path := fmt.Sprintf("quickstart_level%d.svg", i)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hidap.WriteTraceSVG(f, d.Die, lv)
+		f.Close()
+		fmt.Printf("  level %d (depth %d, %q): %d blocks -> %s\n",
+			i, lv.Depth, lv.Path, len(lv.Blocks), path)
+	}
+
+	// Final coordinates (Fig. 1d).
+	fmt.Println("\nfinal macro placement:")
+	for _, m := range d.Macros() {
+		r := res.Placement.Rect(m)
+		fmt.Printf("  %-22s at (%7d,%7d) %s\n",
+			d.Cell(m).Name, r.X, r.Y, res.Placement.Orient[m])
+	}
+
+	f, err := os.Create("quickstart_floorplan.svg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hidap.WriteFloorplanSVG(f, res.Placement)
+	f.Close()
+
+	// Metrics after standard-cell placement.
+	if err := hidap.PlaceCells(res.Placement); err != nil {
+		log.Fatal(err)
+	}
+	wns, tns := hidap.Timing(d, res.Placement)
+	fmt.Printf("\nafter cell placement: WL %.4f m, GRC %.2f%%, WNS %.1f%%, TNS %.1f ns\n",
+		hidap.Wirelength(res.Placement), hidap.Congestion(res.Placement), wns, tns)
+	fmt.Println("wrote quickstart_floorplan.svg")
+}

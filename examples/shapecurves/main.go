@@ -1,0 +1,87 @@
+// Shapecurves: the block area model of the paper's Fig. 4.
+//
+// For the Fig. 1 sixteen-macro design, this program prints the shape curve
+// Γ of one 4-macro group, one 8-macro side, and the whole design — the
+// Pareto-minimal bounding boxes that can hold a slicing placement of the
+// macros — and draws each curve as ASCII art.
+//
+//	go run ./examples/shapecurves
+package main
+
+import (
+	"fmt"
+
+	"repro/circuits"
+	"repro/hidap"
+)
+
+func main() {
+	g := circuits.Fig1Design()
+	d := g.Design
+
+	for _, path := range []string{"left/grp0", "left", ""} {
+		pts := hidap.ShapeCurveFor(d, path)
+		name := path
+		if name == "" {
+			name = "(whole design)"
+		}
+		fmt.Printf("shape curve Γ for %s — %d Pareto corners:\n", name, len(pts))
+		for _, p := range pts {
+			ar := float64(p.W) / float64(p.H)
+			fmt.Printf("  %7.2f x %7.2f mm  (aspect %.2f, area %.3f mm²)\n",
+				float64(p.W)/1e6, float64(p.H)/1e6, ar,
+				float64(p.W)*float64(p.H)/1e12)
+		}
+		plot(pts)
+		fmt.Println()
+	}
+}
+
+// plot draws the staircase: feasible region above-right of the corners.
+func plot(pts []hidap.ShapePoint) {
+	if len(pts) == 0 {
+		return
+	}
+	const cols, rows = 48, 16
+	maxW, maxH := int64(0), int64(0)
+	for _, p := range pts {
+		if p.W > maxW {
+			maxW = p.W
+		}
+		if p.H > maxH {
+			maxH = p.H
+		}
+	}
+	maxW = maxW * 11 / 10
+	maxH = maxH * 11 / 10
+	fits := func(w, h int64) bool {
+		for _, p := range pts {
+			if p.W <= w && p.H <= h {
+				return true
+			}
+		}
+		return false
+	}
+	for r := rows - 1; r >= 0; r-- {
+		h := maxH * int64(r+1) / rows
+		line := make([]byte, cols)
+		for c := 0; c < cols; c++ {
+			w := maxW * int64(c+1) / cols
+			if fits(w, h) {
+				line[c] = '#'
+			} else {
+				line[c] = '.'
+			}
+		}
+		fmt.Printf("  |%s\n", line)
+	}
+	fmt.Printf("  +%s-> width\n", dashes(cols))
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}

@@ -1,0 +1,77 @@
+// Socfloorplan: the three flows compared on a mid-size SoC.
+//
+// A c5-class synthetic SoC (133 macros) is floorplanned with the
+// industrial-style baseline, HiDaP and the handcrafted oracle; standard
+// cells are placed with the shared quadratic placer and the paper's
+// Table III metrics are reported, along with SVG floorplans and ASCII
+// density maps (Fig. 9).
+//
+//	go run ./examples/socfloorplan
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/circuits"
+	"repro/hidap"
+)
+
+func main() {
+	spec, err := circuits.SuiteSpec("c5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.Scale = 100 // keep the example snappy
+	g := circuits.Generate(spec)
+	d := g.Design
+	st := d.Stats()
+	fmt.Printf("SoC %s: %d cells, %d macros, die %.2f x %.2f mm\n\n",
+		spec.Name, st.Cells, st.MacroCells,
+		float64(d.Die.W)/1e6, float64(d.Die.H)/1e6)
+
+	type flowFn func() (*hidap.Placement, error)
+	flowsToRun := []struct {
+		name string
+		run  flowFn
+	}{
+		{"IndEDA", func() (*hidap.Placement, error) { return hidap.PlaceIndEDA(d, 1) }},
+		{"HiDaP", func() (*hidap.Placement, error) {
+			opt := hidap.DefaultOptions()
+			opt.Seed = 1
+			res, err := hidap.Place(d, opt)
+			if err != nil {
+				return nil, err
+			}
+			return res.Placement, nil
+		}},
+		{"handFP", func() (*hidap.Placement, error) { return hidap.PlaceHandFP(d, g.Intent, 1) }},
+	}
+
+	fmt.Printf("%-8s %10s %8s %9s %10s\n", "flow", "WL(m)", "GRC%", "WNS%", "TNS(ns)")
+	for _, fl := range flowsToRun {
+		pl, err := fl.run()
+		if err != nil {
+			log.Fatalf("%s: %v", fl.name, err)
+		}
+		if err := hidap.PlaceCells(pl); err != nil {
+			log.Fatalf("%s: cells: %v", fl.name, err)
+		}
+		wns, tns := hidap.Timing(d, pl)
+		fmt.Printf("%-8s %10.4f %8.2f %9.1f %10.1f\n",
+			fl.name, hidap.Wirelength(pl), hidap.Congestion(pl), wns, tns)
+
+		svg := fmt.Sprintf("soc_%s.svg", fl.name)
+		f, err := os.Create(svg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hidap.WriteFloorplanSVG(f, pl)
+		f.Close()
+
+		fmt.Printf("\n%s standard-cell density (M = macro):\n%s\n",
+			fl.name, hidap.DensityASCII(pl, 20))
+	}
+	fmt.Println("wrote soc_IndEDA.svg, soc_HiDaP.svg, soc_handFP.svg")
+}

@@ -1,0 +1,207 @@
+// Package hidap is the public API of the HiDaP reproduction: RTL-aware,
+// dataflow-driven macro placement after Vidal-Obiols et al. (DATE 2019).
+//
+// The typical flow:
+//
+//	b := hidap.NewDesign("soc")
+//	... build the hierarchical netlist (or hidap.ParseVerilog) ...
+//	d := b.MustBuild()
+//	res, err := hidap.Place(d, hidap.DefaultOptions())
+//	hidap.PlaceCells(res.Placement)            // standard cells
+//	wl := hidap.Wirelength(res.Placement)      // meters
+//
+// The package re-exports the stable subset of the internal machinery:
+// netlist construction, the Verilog front end, the HiDaP placer, the
+// comparison flows (IndEDA-style baseline and handcrafted oracle), metric
+// models and SVG rendering. Every entry point is deterministic for a fixed
+// seed.
+package hidap
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/deffmt"
+	"repro/internal/geom"
+	"repro/internal/handfp"
+	"repro/internal/indeda"
+	"repro/internal/layout"
+	"repro/internal/leffmt"
+	"repro/internal/metrics"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/placement"
+	"repro/internal/render"
+	"repro/internal/route"
+	"repro/internal/seqgraph"
+	"repro/internal/sta"
+	"repro/internal/verilog"
+)
+
+// Geometry aliases.
+type (
+	// Point is a die location in DBU (1 DBU = 1 nm).
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle in DBU.
+	Rect = geom.Rect
+	// Orient is a placement orientation (R0, MX, MY, ...).
+	Orient = geom.Orient
+)
+
+// Pt builds a Point.
+func Pt(x, y int64) Point { return geom.Pt(x, y) }
+
+// RectXYWH builds a Rect from origin and extents.
+func RectXYWH(x, y, w, h int64) Rect { return geom.RectXYWH(x, y, w, h) }
+
+// Netlist aliases.
+type (
+	// Design is a frozen hierarchical netlist.
+	Design = netlist.Design
+	// Builder constructs designs programmatically.
+	Builder = netlist.Builder
+	// CellID identifies a cell in a Design.
+	CellID = netlist.CellID
+)
+
+// NewDesign returns a Builder for a new hierarchical netlist.
+func NewDesign(name string) *Builder { return netlist.NewBuilder(name) }
+
+// Verilog front end aliases.
+type (
+	// Library is the primitive cell library for Verilog elaboration.
+	Library = verilog.Library
+)
+
+// DefaultLibrary returns the synthetic standard-cell library (DFF, gates).
+// Register design-specific macros with Library.AddMacro.
+func DefaultLibrary() *Library { return verilog.DefaultLibrary() }
+
+// ParseVerilog parses a structural Verilog source and elaborates the named
+// top module into a Design.
+func ParseVerilog(src, top string, lib *Library) (*Design, error) {
+	f, err := verilog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return verilog.Elaborate(f, top, lib)
+}
+
+// WriteVerilog emits a flat design as structural Verilog.
+func WriteVerilog(w io.Writer, d *Design, lib *Library) error {
+	return verilog.Write(w, d, lib)
+}
+
+// Placer aliases.
+type (
+	// Options configures the HiDaP flow (λ, k, declustering fractions,
+	// annealing effort, seed).
+	Options = core.Options
+	// Result is a finished macro placement with the per-level trace.
+	Result = core.Result
+	// LevelTrace is one recursion level of the multi-level floorplan.
+	LevelTrace = core.LevelTrace
+	// Placement is the physical state: positions and orientations.
+	Placement = placement.Placement
+	// Effort selects the annealing budget.
+	Effort = layout.Effort
+)
+
+// Annealing efforts.
+const (
+	EffortLow    = layout.EffortLow
+	EffortMedium = layout.EffortMedium
+	EffortHigh   = layout.EffortHigh
+)
+
+// DefaultOptions mirrors the paper's parameter choices (λ=0.5, k=2,
+// open_area=1%, min_area=40%).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Place runs the HiDaP flow: hierarchy tree, shape curves, recursive
+// dataflow-driven block floorplanning, and macro flipping.
+func Place(d *Design, opt Options) (*Result, error) { return core.Place(d, opt) }
+
+// PlaceIndEDA runs the industrial-baseline macro placer (hierarchy- and
+// dataflow-blind; wall-packing plus netlist annealing).
+func PlaceIndEDA(d *Design, seed int64) (*Placement, error) {
+	return indeda.Place(d, indeda.Options{Seed: seed, HighEffort: true, WallWeight: 0.4})
+}
+
+// Intent maps macro cell names to intended placed outlines; it feeds the
+// handcrafted-floorplan oracle.
+type Intent = handfp.Intent
+
+// PlaceHandFP realizes a handcrafted floorplan from a designer intent and
+// refines it locally.
+func PlaceHandFP(d *Design, intent Intent, seed int64) (*Placement, error) {
+	return handfp.Place(d, intent, handfp.Options{Seed: seed})
+}
+
+// PlaceCells runs the standard-cell global placer over a design whose
+// macros are already placed.
+func PlaceCells(pl *Placement) error { return place.Run(pl, place.DefaultOptions()) }
+
+// Wirelength returns the total half-perimeter wirelength in meters.
+func Wirelength(pl *Placement) float64 { return metrics.WirelengthMeters(pl) }
+
+// Congestion returns GRC%: the percentage of routing gcells whose estimated
+// demand exceeds capacity.
+func Congestion(pl *Placement) float64 {
+	return route.Estimate(pl, route.DefaultOptions()).OverflowPct
+}
+
+// Timing returns (WNS as % of the clock period, TNS in ns) under the
+// synthetic timing model, with the wire delay calibrated to the die (a
+// stage crossing ~70% of the die half-perimeter consumes the wire budget,
+// matching the benchmark harness calibration).
+func Timing(d *Design, pl *Placement) (wnsPct, tnsNs float64) {
+	sg := seqgraph.Build(d, seqgraph.DefaultParams())
+	opt := sta.DefaultOptions()
+	span := float64(d.Die.W + d.Die.H)
+	opt.WirePsPerDBU = (opt.ClockPs - opt.IntrinsicPs) / (0.7 * span / 2)
+	res := sta.Analyze(sg, pl, opt)
+	return res.WNSPct, res.TNSns
+}
+
+// WriteFloorplanSVG renders macros and ports of a placement.
+func WriteFloorplanSVG(w io.Writer, pl *Placement) { render.Floorplan(w, pl, 800) }
+
+// WriteTraceSVG renders one recursion level of the multi-level floorplan
+// (the evolution of the paper's Fig. 1).
+func WriteTraceSVG(w io.Writer, die Rect, level LevelTrace) {
+	render.BlockTrace(w, die, level, 800)
+}
+
+// DensityASCII renders the standard-cell density map as text (Fig. 9).
+func DensityASCII(pl *Placement, bins int) string {
+	return render.DensityASCII(metrics.Density(pl, bins))
+}
+
+// WriteJSON serializes a design to the JSON interchange format.
+func WriteJSON(w io.Writer, d *Design) error { return netlist.WriteJSON(w, d) }
+
+// ReadJSON parses the JSON interchange format into a validated design.
+func ReadJSON(r io.Reader) (*Design, error) { return netlist.ReadJSON(r) }
+
+// WriteDEF emits the macro placement as a DEF COMPONENTS/PINS subset for
+// hand-off to downstream place-and-route tools.
+func WriteDEF(w io.Writer, pl *Placement) error { return deffmt.Write(w, pl) }
+
+// ApplyDEF reads fixed component placements from a DEF stream and applies
+// them onto a placement (matching macros by name).
+func ApplyDEF(pl *Placement, r io.Reader) error {
+	comps, err := deffmt.ReadComponents(r)
+	if err != nil {
+		return err
+	}
+	return deffmt.Apply(pl, comps)
+}
+
+// WriteLEF emits the macro cells of a library as LEF (Library Exchange
+// Format) MACRO blocks.
+func WriteLEF(w io.Writer, lib *Library) error { return leffmt.Write(w, lib) }
+
+// ReadLEF parses LEF macros into lib (or a new library when lib is nil),
+// ready for Verilog elaboration.
+func ReadLEF(r io.Reader, lib *Library) (*Library, error) { return leffmt.Read(r, lib) }

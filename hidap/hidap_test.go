@@ -1,0 +1,161 @@
+package hidap_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/circuits"
+	"repro/hidap"
+)
+
+const tinyVerilog = `
+module top (din, dout);
+  input [3:0] din;
+  output [3:0] dout;
+  wire [3:0] s;
+  DFF r0 (.D(din[0]), .Q(s[0]));
+  DFF r1 (.D(din[1]), .Q(s[1]));
+  DFF r2 (.D(din[2]), .Q(s[2]));
+  DFF r3 (.D(din[3]), .Q(s[3]));
+  RAM4 u_mem (.D(s), .Q(dout));
+endmodule
+`
+
+func TestParseVerilogAndPlace(t *testing.T) {
+	lib := hidap.DefaultLibrary()
+	lib.AddMacro("RAM4", 20_000, 12_000, 4)
+	d, err := hidap.ParseVerilog(tinyVerilog, "top", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hidap.Place(d, hidap.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Placement.AllMacrosPlaced() {
+		t.Fatal("macro unplaced")
+	}
+	if err := hidap.PlaceCells(res.Placement); err != nil {
+		t.Fatal(err)
+	}
+	if wl := hidap.Wirelength(res.Placement); wl <= 0 {
+		t.Errorf("wirelength = %v", wl)
+	}
+}
+
+func TestFullPublicFlow(t *testing.T) {
+	g := circuits.Generate(circuits.Spec{
+		Name: "pub", Cells: 200_000, Macros: 6, Subsystems: 2,
+		BusWidth: 32, Scale: 400, Seed: 3,
+	})
+	opt := hidap.DefaultOptions()
+	opt.Effort = hidap.EffortLow
+	opt.Trace = true
+	res, err := hidap.Place(g.Design, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hidap.PlaceCells(res.Placement); err != nil {
+		t.Fatal(err)
+	}
+	if hidap.Congestion(res.Placement) < 0 {
+		t.Error("congestion negative")
+	}
+	wns, tns := hidap.Timing(g.Design, res.Placement)
+	if wns > 0 || tns > 0 {
+		t.Errorf("timing sign convention broken: wns=%v tns=%v", wns, tns)
+	}
+
+	var sb strings.Builder
+	hidap.WriteFloorplanSVG(&sb, res.Placement)
+	if !strings.Contains(sb.String(), "</svg>") {
+		t.Error("floorplan SVG incomplete")
+	}
+	if len(res.Trace) > 0 {
+		sb.Reset()
+		hidap.WriteTraceSVG(&sb, g.Design.Die, res.Trace[0])
+		if !strings.Contains(sb.String(), "</svg>") {
+			t.Error("trace SVG incomplete")
+		}
+	}
+	if txt := hidap.DensityASCII(res.Placement, 12); len(txt) == 0 {
+		t.Error("density ASCII empty")
+	}
+}
+
+func TestBaselinesPublicAPI(t *testing.T) {
+	g := circuits.ABCDX()
+	ind, err := hidap.PlaceIndEDA(g.Design, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ind.AllMacrosPlaced() {
+		t.Error("IndEDA left macros unplaced")
+	}
+	hfp, err := hidap.PlaceHandFP(g.Design, g.Intent, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hfp.AllMacrosPlaced() {
+		t.Error("handFP left macros unplaced")
+	}
+}
+
+func TestBuilderPublicAPI(t *testing.T) {
+	b := hidap.NewDesign("mini")
+	b.SetDie(hidap.RectXYWH(0, 0, 50_000, 50_000))
+	m := b.AddMacro("grp/mem", 9_000, 6_000, "grp")
+	r := b.AddFlop("grp/d[0]", "grp")
+	b.Wire("n0", r, m)
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hidap.Place(d, hidap.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Die.ContainsRect(res.Placement.Rect(m)) {
+		t.Error("macro escaped die")
+	}
+}
+
+func TestWriteVerilogRoundTrip(t *testing.T) {
+	lib := hidap.DefaultLibrary()
+	lib.AddMacro("RAM4", 20_000, 12_000, 4)
+	d, err := hidap.ParseVerilog(tinyVerilog, "top", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := hidap.WriteVerilog(&sb, d, lib); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := hidap.ParseVerilog(sb.String(), "top", lib)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, sb.String())
+	}
+	if d2.Stats().MacroCells != 1 {
+		t.Error("macro lost in round trip")
+	}
+}
+
+func TestLEFLibraryFlow(t *testing.T) {
+	lib := hidap.DefaultLibrary()
+	lib.AddMacro("RAM4", 20_000, 12_000, 4)
+	var sb strings.Builder
+	if err := hidap.WriteLEF(&sb, lib); err != nil {
+		t.Fatal(err)
+	}
+	lib2, err := hidap.ReadLEF(strings.NewReader(sb.String()), hidap.DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := hidap.ParseVerilog(tinyVerilog, "top", lib2)
+	if err != nil {
+		t.Fatalf("elaborate with LEF-read library: %v", err)
+	}
+	if len(d.Macros()) != 1 {
+		t.Error("macro lost through LEF round trip")
+	}
+}

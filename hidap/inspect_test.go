@@ -1,0 +1,85 @@
+package hidap_test
+
+import (
+	"testing"
+
+	"repro/circuits"
+	"repro/hidap"
+)
+
+func TestDataflowEdgesABCDX(t *testing.T) {
+	g := circuits.ABCDX()
+	blockFlow, macroFlow := hidap.DataflowEdges(g.Design, 2)
+
+	// Fig. 2a: four bidirectional block-flow pairs with X.
+	bf := map[[2]string]bool{}
+	for _, e := range blockFlow {
+		bf[[2]string{e.From, e.To}] = true
+		if e.Bits <= 0 || e.MinLatency < 1 || e.Score <= 0 {
+			t.Errorf("degenerate edge %+v", e)
+		}
+	}
+	for _, blk := range []string{"A", "B", "C", "D"} {
+		if !bf[[2]string{blk, "x"}] || !bf[[2]string{"x", blk}] {
+			t.Errorf("block flow %s <-> x missing", blk)
+		}
+	}
+	// Fig. 2b: the macro chain.
+	mf := map[[2]string]bool{}
+	for _, e := range macroFlow {
+		mf[[2]string{e.From, e.To}] = true
+	}
+	for _, pair := range [][2]string{{"A", "B"}, {"B", "C"}, {"C", "D"}} {
+		if !mf[pair] {
+			t.Errorf("macro flow %s -> %s missing", pair[0], pair[1])
+		}
+	}
+	// Deterministic ordering (sorted by From, To).
+	for i := 1; i < len(blockFlow); i++ {
+		a, b := blockFlow[i-1], blockFlow[i]
+		if a.From > b.From || (a.From == b.From && a.To > b.To) {
+			t.Fatal("block flow edges not sorted")
+		}
+	}
+}
+
+func TestShapeCurveForPaths(t *testing.T) {
+	g := circuits.Fig1Design()
+	pts := hidap.ShapeCurveFor(g.Design, "left/grp0")
+	if len(pts) == 0 {
+		t.Fatal("no curve for a macro group")
+	}
+	// Corners must be Pareto: increasing W, decreasing H.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].W <= pts[i-1].W || pts[i].H >= pts[i-1].H {
+			t.Fatalf("corners not Pareto-ordered: %+v", pts)
+		}
+	}
+	// Any corner must hold the four 36000x24000 macros.
+	for _, p := range pts {
+		if p.W*p.H < 4*36_000*24_000 {
+			t.Errorf("corner %+v below macro area", p)
+		}
+	}
+	if hidap.ShapeCurveFor(g.Design, "x") != nil {
+		t.Error("macro-free node should have no curve")
+	}
+	if hidap.ShapeCurveFor(g.Design, "nope") != nil {
+		t.Error("unknown path should return nil")
+	}
+}
+
+func TestTopBlocksFig1(t *testing.T) {
+	g := circuits.Fig1Design()
+	names, counts := hidap.TopBlocks(g.Design)
+	if len(names) != 3 || len(counts) != 3 {
+		t.Fatalf("blocks = %v %v", names, counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 16 {
+		t.Errorf("macro total = %d, want 16", total)
+	}
+}

@@ -1,0 +1,224 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/circuits"
+	"repro/hidap"
+	"repro/internal/flows"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+)
+
+// TestEndToEndSuiteCircuit runs all three flows on a small suite circuit
+// and checks the cross-flow invariants the tables rely on.
+func TestEndToEndSuiteCircuit(t *testing.T) {
+	spec, err := circuits.SuiteSpec("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Scale = 1000
+	g := circuits.Generate(spec)
+
+	opt := flows.DefaultOptions()
+	opt.Effort = layout.EffortLow
+	opt.Lambdas = []float64{0.5}
+
+	var rows []*flows.Metrics
+	for _, f := range []flows.Flow{flows.FlowIndEDA, flows.FlowHiDaP, flows.FlowHandFP} {
+		m, pl, err := flows.Run(g, f, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if ov := pl.MacroOverlapArea(); ov != 0 {
+			t.Errorf("%s: overlapping macros (%d)", f, ov)
+		}
+		if err := pl.MacrosInsideDie(); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+		// Every movable cell must be placed for the metrics to mean anything.
+		for i := range g.Design.Cells {
+			if g.Design.Cells[i].Kind != netlist.KindPort && !pl.Placed[i] {
+				t.Fatalf("%s: cell %s unplaced", f, g.Design.Cells[i].Name)
+			}
+		}
+		rows = append(rows, m)
+	}
+	flows.Normalize(rows)
+	sums := flows.Summarize(rows)
+	if len(sums) != 3 {
+		t.Fatalf("summaries: %d", len(sums))
+	}
+}
+
+// TestVerilogExportImport writes a generated circuit as flat Verilog and
+// elaborates it back, checking the structural counts survive.
+func TestVerilogExportImport(t *testing.T) {
+	g := circuits.Generate(circuits.Spec{
+		Name: "vx", Cells: 100_000, Macros: 4, Subsystems: 2,
+		BusWidth: 16, Scale: 1000, Seed: 7,
+	})
+	d := g.Design
+
+	// Build a library covering the design's macro outlines.
+	lib := hidap.DefaultLibrary()
+	type outline struct{ w, h int64 }
+	seen := map[outline]bool{}
+	for _, m := range d.Macros() {
+		c := d.Cell(m)
+		o := outline{c.Width, c.Height}
+		if seen[o] {
+			continue
+		}
+		seen[o] = true
+		ins := 0
+		for _, pid := range c.Pins {
+			if d.Pin(pid).Dir == netlist.DirIn {
+				ins++
+			}
+		}
+		lib.AddMacro(fmt.Sprintf("MACRO_%dX%d", c.Width, c.Height), c.Width, c.Height, ins)
+	}
+
+	var sb strings.Builder
+	if err := hidap.WriteVerilog(&sb, d, lib); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := hidap.ParseVerilog(sb.String(), "vx", lib)
+	if err != nil {
+		t.Fatalf("re-elaborate: %v", err)
+	}
+	s1, s2 := d.Stats(), d2.Stats()
+	if s1.MacroCells != s2.MacroCells || s1.Flops != s2.Flops || s1.Comb != s2.Comb {
+		t.Errorf("structure changed: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestPlaceOverfullDie injects an infeasible instance: macros whose total
+// area exceeds the die. The flow must not panic and must keep macros
+// inside the die (overlaps allowed only if physically unavoidable — here
+// they are, so we only check containment and termination).
+func TestPlaceOverfullDie(t *testing.T) {
+	b := hidap.NewDesign("overfull")
+	b.SetDie(hidap.RectXYWH(0, 0, 50_000, 50_000))
+	for i := 0; i < 4; i++ {
+		path := fmt.Sprintf("u%d", i)
+		m := b.AddMacro(path+"/mem", 30_000, 30_000, path) // 4x900M > 2500M die
+		r := b.AddFlop(path+"/d[0]", path)
+		b.Wire(fmt.Sprintf("n%d", i), r, m)
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hidap.Place(d, hidap.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Place should degrade gracefully: %v", err)
+	}
+	if err := res.Placement.MacrosInsideDie(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlaceMacroLargerThanDie: a single macro that cannot fit is clamped
+// to the die origin-side without crashing.
+func TestPlaceMacroLargerThanDie(t *testing.T) {
+	b := hidap.NewDesign("giant")
+	b.SetDie(hidap.RectXYWH(0, 0, 10_000, 10_000))
+	b.AddMacro("m", 20_000, 5_000, "u")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hidap.Place(d, hidap.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	m := d.Macros()[0]
+	r := res.Placement.Rect(m)
+	if r.X != 0 && r.X2() != d.Die.X2() {
+		t.Errorf("oversized macro not anchored to die: %v", r)
+	}
+}
+
+// TestPlaceMacroOnlyDesign: no standard cells at all.
+func TestPlaceMacroOnlyDesign(t *testing.T) {
+	b := hidap.NewDesign("macroonly")
+	b.SetDie(hidap.RectXYWH(0, 0, 100_000, 100_000))
+	var prev hidap.CellID = -1
+	for i := 0; i < 6; i++ {
+		path := fmt.Sprintf("u%d", i)
+		m := b.AddMacro(path+"/mem", 20_000, 15_000, path)
+		if prev >= 0 {
+			b.Wire(fmt.Sprintf("n%d", i), prev, m)
+		}
+		prev = m
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hidap.Place(d, hidap.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov := res.Placement.MacroOverlapArea(); ov != 0 {
+		t.Errorf("overlap = %d", ov)
+	}
+	// Cell placement over a macro-only design is a no-op but must succeed.
+	if err := hidap.PlaceCells(res.Placement); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestartsImproveOrKeep: more restarts never yield a worse WL (the
+// best is kept across all attempts).
+func TestRestartsImproveOrKeep(t *testing.T) {
+	spec, _ := circuits.SuiteSpec("c1")
+	spec.Scale = 2000
+	g := circuits.Generate(spec)
+	base := flows.DefaultOptions()
+	base.Effort = layout.EffortLow
+	base.Lambdas = []float64{0.5}
+
+	one, _, err := flows.Run(g, flows.FlowHiDaP, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := base
+	multi.Restarts = 3
+	three, _, err := flows.Run(g, flows.FlowHiDaP, multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.WLm > one.WLm+1e-12 {
+		t.Errorf("3 restarts WL %v worse than 1 restart %v", three.WLm, one.WLm)
+	}
+}
+
+// TestDEFHandoff: place, export DEF, re-import onto a fresh placement.
+func TestDEFHandoff(t *testing.T) {
+	g := circuits.ABCDX()
+	res, err := hidap.Place(g.Design, hidap.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := hidap.WriteDEF(&sb, res.Placement); err != nil {
+		t.Fatal(err)
+	}
+	fresh := res.Placement.Clone()
+	for _, m := range g.Design.Macros() {
+		fresh.Placed[m] = false
+	}
+	if err := hidap.ApplyDEF(fresh, strings.NewReader(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range g.Design.Macros() {
+		if fresh.Pos[m] != res.Placement.Pos[m] || fresh.Orient[m] != res.Placement.Orient[m] {
+			t.Fatalf("DEF handoff mismatch on %s", g.Design.Cell(m).Name)
+		}
+	}
+}

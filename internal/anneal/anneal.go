@@ -1,0 +1,157 @@
+// Package anneal provides the deterministic simulated-annealing engine
+// shared by shape-curve generation and layout generation. The engine is
+// callback-based: the caller owns the state, supplies a cost function and a
+// perturbation that returns an undo closure, and snapshots its best state
+// when notified. All randomness comes from a caller-seeded source, so every
+// run is reproducible.
+package anneal
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Options tunes the annealing schedule.
+type Options struct {
+	// Seed initializes the random source. Equal seeds give equal runs.
+	Seed int64
+	// InitialTemp is the starting temperature; if 0 it is calibrated from a
+	// short random walk so that InitialAcceptance of uphill moves pass.
+	InitialTemp float64
+	// InitialAcceptance is the target uphill acceptance used by
+	// calibration (default 0.85).
+	InitialAcceptance float64
+	// FinalTemp stops the schedule (default 1e-4 × initial).
+	FinalTemp float64
+	// Alpha is the geometric cooling factor per round (default 0.92).
+	Alpha float64
+	// MovesPerRound is the number of proposed moves per temperature step
+	// (default 64).
+	MovesPerRound int
+	// MaxRounds caps the schedule length (default 200).
+	MaxRounds int
+	// StallRounds stops early after this many rounds without a new best
+	// (default 0: disabled).
+	StallRounds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.InitialAcceptance <= 0 || o.InitialAcceptance >= 1 {
+		o.InitialAcceptance = 0.85
+	}
+	if o.Alpha <= 0 || o.Alpha >= 1 {
+		o.Alpha = 0.92
+	}
+	if o.MovesPerRound <= 0 {
+		o.MovesPerRound = 64
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 200
+	}
+	return o
+}
+
+// Result reports what the run did.
+type Result struct {
+	BestCost  float64
+	Accepted  int
+	Rejected  int
+	Rounds    int
+	InitTemp  float64
+	FinalTemp float64
+}
+
+// Run minimizes the caller's objective.
+//
+//   - cost returns the objective for the current state;
+//   - perturb applies one random move and returns a closure undoing it;
+//   - onBest (optional) is invoked whenever the current state improves on
+//     the best seen so far, so the caller can snapshot it. The engine never
+//     restores state itself: when the run ends the caller's state is
+//     whatever the walk last accepted, and the snapshot holds the best.
+func Run(opt Options, cost func() float64, perturb func(rng *rand.Rand) func(), onBest func()) Result {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	cur := cost()
+	best := cur
+	if onBest != nil {
+		onBest()
+	}
+
+	temp := opt.InitialTemp
+	if temp <= 0 {
+		temp = calibrate(rng, opt, cost, perturb)
+		cur = cost() // calibration leaves the state perturbed; re-read
+		if cur < best {
+			best = cur
+			if onBest != nil {
+				onBest()
+			}
+		}
+	}
+	finalTemp := opt.FinalTemp
+	if finalTemp <= 0 {
+		finalTemp = temp * 1e-4
+	}
+
+	res := Result{InitTemp: temp}
+	stall := 0
+	for round := 0; round < opt.MaxRounds && temp > finalTemp; round++ {
+		res.Rounds++
+		improvedThisRound := false
+		for m := 0; m < opt.MovesPerRound; m++ {
+			undo := perturb(rng)
+			next := cost()
+			delta := next - cur
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				cur = next
+				res.Accepted++
+				if cur < best {
+					best = cur
+					improvedThisRound = true
+					if onBest != nil {
+						onBest()
+					}
+				}
+			} else {
+				undo()
+				res.Rejected++
+			}
+		}
+		if improvedThisRound {
+			stall = 0
+		} else if stall++; opt.StallRounds > 0 && stall >= opt.StallRounds {
+			break
+		}
+		temp *= opt.Alpha
+	}
+	res.BestCost = best
+	res.FinalTemp = temp
+	return res
+}
+
+// calibrate estimates an initial temperature from the uphill deltas of a
+// short random walk: T0 = mean(Δ⁺) / ln(1/p0).
+func calibrate(rng *rand.Rand, opt Options, cost func() float64, perturb func(rng *rand.Rand) func()) float64 {
+	const samples = 32
+	cur := cost()
+	var upSum float64
+	upCount := 0
+	for i := 0; i < samples; i++ {
+		undo := perturb(rng)
+		next := cost()
+		if d := next - cur; d > 0 {
+			upSum += d
+			upCount++
+			undo()
+		} else {
+			cur = next // keep downhill moves; they cost nothing
+		}
+	}
+	if upCount == 0 {
+		// Flat or monotone landscape; any small positive temperature works.
+		return 1e-6
+	}
+	return (upSum / float64(upCount)) / math.Log(1/opt.InitialAcceptance)
+}

@@ -1,0 +1,156 @@
+package anneal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// permProblem is a toy quadratic-assignment-style problem: order the numbers
+// 0..n-1 so that cost = Σ |perm[i] - i| is minimized (optimum 0, identity).
+type permProblem struct {
+	perm []int
+}
+
+func newPermProblem(n int, seed int64) *permProblem {
+	p := &permProblem{perm: make([]int, n)}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range p.perm {
+		p.perm[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { p.perm[i], p.perm[j] = p.perm[j], p.perm[i] })
+	return p
+}
+
+func (p *permProblem) cost() float64 {
+	c := 0
+	for i, v := range p.perm {
+		d := v - i
+		if d < 0 {
+			d = -d
+		}
+		c += d
+	}
+	return float64(c)
+}
+
+func (p *permProblem) perturb(rng *rand.Rand) func() {
+	i := rng.Intn(len(p.perm))
+	j := rng.Intn(len(p.perm))
+	p.perm[i], p.perm[j] = p.perm[j], p.perm[i]
+	return func() { p.perm[i], p.perm[j] = p.perm[j], p.perm[i] }
+}
+
+func TestRunFindsOptimum(t *testing.T) {
+	p := newPermProblem(12, 99)
+	var bestPerm []int
+	res := Run(Options{Seed: 1, MovesPerRound: 200, MaxRounds: 300},
+		p.cost,
+		p.perturb,
+		func() { bestPerm = append(bestPerm[:0], p.perm...) },
+	)
+	if res.BestCost != 0 {
+		t.Errorf("BestCost = %v, want 0 (best perm %v)", res.BestCost, bestPerm)
+	}
+	for i, v := range bestPerm {
+		if v != i {
+			t.Fatalf("best perm not identity: %v", bestPerm)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (float64, []int) {
+		p := newPermProblem(10, 5)
+		var best []int
+		res := Run(Options{Seed: 42, MovesPerRound: 50, MaxRounds: 60},
+			p.cost, p.perturb,
+			func() { best = append(best[:0], p.perm...) })
+		return res.BestCost, best
+	}
+	c1, p1 := run()
+	c2, p2 := run()
+	if c1 != c2 {
+		t.Fatalf("cost nondeterministic: %v vs %v", c1, c2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("best state nondeterministic: %v vs %v", p1, p2)
+		}
+	}
+}
+
+func TestSeedChangesTrajectory(t *testing.T) {
+	accepted := func(seed int64) int {
+		p := newPermProblem(10, 5)
+		res := Run(Options{Seed: seed, MovesPerRound: 30, MaxRounds: 20}, p.cost, p.perturb, nil)
+		return res.Accepted
+	}
+	if accepted(1) == accepted(2) {
+		// Not impossible, but with 600 proposals it would be a remarkable
+		// coincidence; treat as a bug signal.
+		t.Error("different seeds produced identical acceptance counts")
+	}
+}
+
+func TestBestNeverWorseThanInitial(t *testing.T) {
+	p := newPermProblem(15, 3)
+	initial := p.cost()
+	res := Run(Options{Seed: 7, MovesPerRound: 10, MaxRounds: 10}, p.cost, p.perturb, nil)
+	if res.BestCost > initial {
+		t.Errorf("BestCost %v worse than initial %v", res.BestCost, initial)
+	}
+}
+
+func TestCalibration(t *testing.T) {
+	p := newPermProblem(12, 11)
+	res := Run(Options{Seed: 2, MovesPerRound: 20, MaxRounds: 5}, p.cost, p.perturb, nil)
+	if res.InitTemp <= 0 {
+		t.Errorf("calibrated InitTemp = %v, want > 0", res.InitTemp)
+	}
+}
+
+func TestExplicitTemperatureHonored(t *testing.T) {
+	p := newPermProblem(12, 11)
+	res := Run(Options{Seed: 2, InitialTemp: 123, MovesPerRound: 5, MaxRounds: 3},
+		p.cost, p.perturb, nil)
+	if res.InitTemp != 123 {
+		t.Errorf("InitTemp = %v, want 123", res.InitTemp)
+	}
+}
+
+func TestStallStopsEarly(t *testing.T) {
+	// A flat landscape never improves; StallRounds must cut the run short.
+	flatCost := func() float64 { return 1 }
+	perturb := func(rng *rand.Rand) func() { return func() {} }
+	res := Run(Options{Seed: 1, InitialTemp: 1, MovesPerRound: 2, MaxRounds: 1000, StallRounds: 3},
+		flatCost, perturb, nil)
+	if res.Rounds > 4 {
+		t.Errorf("Rounds = %d, want early stall stop", res.Rounds)
+	}
+}
+
+func TestZeroTempOnMonotoneLandscape(t *testing.T) {
+	// Monotone decreasing cost: calibration sees no uphill moves and must
+	// still produce a usable (tiny) temperature.
+	x := 1000.0
+	cost := func() float64 { return x }
+	perturb := func(rng *rand.Rand) func() {
+		old := x
+		x--
+		return func() { x = old }
+	}
+	res := Run(Options{Seed: 1, MovesPerRound: 5, MaxRounds: 5}, cost, perturb, nil)
+	if res.BestCost >= 1000 {
+		t.Errorf("BestCost = %v, want < 1000", res.BestCost)
+	}
+}
+
+func TestOnBestCalledOnImprovement(t *testing.T) {
+	p := newPermProblem(8, 17)
+	calls := 0
+	Run(Options{Seed: 3, MovesPerRound: 50, MaxRounds: 50}, p.cost, p.perturb,
+		func() { calls++ })
+	if calls < 2 {
+		t.Errorf("onBest calls = %d, want >= 2 (initial + improvements)", calls)
+	}
+}

@@ -1,0 +1,461 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/hier"
+	"repro/internal/layout"
+	"repro/internal/legalize"
+	"repro/internal/netlist"
+	"repro/internal/placement"
+	"repro/internal/seqgraph"
+	"repro/internal/slicing"
+)
+
+// Options configures the HiDaP flow.
+type Options struct {
+	// Lambda blends block flow (λ) against macro flow (1−λ); the paper
+	// evaluates λ ∈ {0.2, 0.5, 0.8} and keeps the best wirelength.
+	Lambda float64
+	// K is the latency decay exponent of the affinity score (default 2).
+	K float64
+	// Decluster sets the open/min area fractions (paper: 1% / 40%).
+	Decluster hier.Params
+	// Seq sets Gseq construction parameters.
+	Seq seqgraph.Params
+	// Effort selects the annealing budget per level.
+	Effort layout.Effort
+	// Eval sets the slicing evaluation penalties.
+	Eval slicing.EvalParams
+	// Seed drives all stochastic steps; equal seeds give equal floorplans.
+	Seed int64
+	// Trace records the per-level block floorplans (Fig. 1 evolution).
+	Trace bool
+	// Flat disables the multi-level recursion: every macro becomes its own
+	// block in a single floorplanning instance. This is the ablation for
+	// the paper's first contribution (multi-level placement with
+	// hierarchy-aware declustering); dataflow affinity is still used.
+	Flat bool
+}
+
+// DefaultOptions mirrors the paper's defaults.
+func DefaultOptions() Options {
+	return Options{
+		Lambda:    0.5,
+		K:         2,
+		Decluster: hier.DefaultParams(),
+		Seq:       seqgraph.DefaultParams(),
+		Effort:    layout.EffortMedium,
+		Eval:      slicing.DefaultEvalParams(),
+	}
+}
+
+// TraceBlock is one block of a traced level.
+type TraceBlock struct {
+	Name       string
+	Rect       geom.Rect
+	MacroCount int
+}
+
+// LevelTrace captures one recursion level for visualization (Fig. 1).
+type LevelTrace struct {
+	Path   string
+	Depth  int
+	Region geom.Rect
+	Blocks []TraceBlock
+}
+
+// Result is a finished HiDaP macro placement.
+type Result struct {
+	// Placement holds macro and port positions/orientations.
+	Placement *placement.Placement
+	// Trace lists the per-level block floorplans when Options.Trace is set.
+	Trace []LevelTrace
+	// Levels counts floorplanned recursion levels.
+	Levels int
+	// SeqStats reports the Gseq size (Table I).
+	SeqStats seqgraph.Stats
+	// Flips counts orientation changes made by the flipping post-process.
+	Flips int
+}
+
+// flowState carries the per-run context through the recursion.
+type flowState struct {
+	d      *netlist.Design
+	tree   *hier.Tree
+	sg     *seqgraph.Graph
+	sc     *ShapeCurves
+	bp     *graph.Bipartite
+	pl     *placement.Placement
+	opt    Options
+	res    *Result
+	approx []geom.Point // per-cell position estimate (block centers)
+	hasApx []bool
+}
+
+// Place runs the complete HiDaP flow (Algorithm 1) on a design: hierarchy
+// tree, shape curves, recursive block floorplan, and macro flipping.
+func Place(d *netlist.Design, opt Options) (*Result, error) {
+	if len(d.Macros()) == 0 {
+		return nil, fmt.Errorf("core: design %q has no macros to place", d.Name)
+	}
+	if opt.K == 0 {
+		opt.K = 2
+	}
+	if opt.Decluster.MinAreaFrac == 0 {
+		opt.Decluster = hier.DefaultParams()
+	}
+	if opt.Eval.CompactPoints == 0 {
+		opt.Eval = slicing.DefaultEvalParams()
+	}
+
+	st := &flowState{
+		d:      d,
+		tree:   hier.New(d),
+		sg:     seqgraph.Build(d, opt.Seq),
+		bp:     graph.BipartiteFromDesign(d),
+		pl:     placement.New(d),
+		opt:    opt,
+		res:    &Result{},
+		approx: make([]geom.Point, len(d.Cells)),
+		hasApx: make([]bool, len(d.Cells)),
+	}
+	st.sc = GenerateShapeCurves(st.tree, opt.Seed)
+	st.res.SeqStats = st.sg.Stats()
+
+	if opt.Flat {
+		st.flatPlace(d.Die)
+	} else {
+		st.recurse(d.Root(), d.Die, 0)
+	}
+
+	if !st.pl.AllMacrosPlaced() {
+		return nil, fmt.Errorf("core: flow left macros unplaced")
+	}
+	legalize.Macros(st.pl, d.Die)
+	st.res.Flips = flipMacros(st.pl, st.approx, st.hasApx)
+	st.res.Placement = st.pl
+	return st.res, nil
+}
+
+// recurse is Algorithm 2: floorplan the blocks of one hierarchy level
+// inside region, then recurse into multi-macro blocks.
+func (st *flowState) recurse(nh netlist.HierID, region geom.Rect, depth int) {
+	d := st.d
+	decl := st.tree.Decluster(nh, st.opt.Decluster)
+	if len(decl.Blocks) == 0 {
+		return
+	}
+	st.res.Levels++
+
+	if len(decl.Blocks) == 1 {
+		// A level that cannot be partitioned further: place its macros
+		// directly (wrapper collapse already tried to open it).
+		b := &decl.Blocks[0]
+		for _, m := range b.MacroCells {
+			st.fixSingleMacro(m, region, nil, nil, 0, nil)
+		}
+		return
+	}
+
+	at := st.targetAreas(decl)
+	gdf := dataflow.Build(st.sg, decl)
+	aff := gdf.Affinity(dataflow.Params{Lambda: st.opt.Lambda, K: st.opt.K})
+
+	prob := &layout.Problem{Region: region, Affinity: aff}
+	for i := range decl.Blocks {
+		b := &decl.Blocks[i]
+		prob.Blocks = append(prob.Blocks, layout.BlockSpec{
+			Name: b.Name,
+			Block: slicing.Block{
+				Curve:      st.sc.Curve(b),
+				MinArea:    b.Area,
+				TargetArea: at[i],
+			},
+		})
+	}
+	for i := len(decl.Blocks); i < len(gdf.Nodes); i++ {
+		prob.Terminals = append(prob.Terminals, layout.Terminal{
+			Name: gdf.Nodes[i].Name,
+			Pos:  st.terminalPos(gdf, i),
+		})
+	}
+
+	opt := layout.Options{Seed: st.opt.Seed + int64(nh)*7919, Effort: st.opt.Effort, Eval: st.opt.Eval}
+	sol := layout.Solve(prob, opt)
+
+	// Refresh position estimates: every cell of block i now lives at the
+	// center of the block's rectangle; glue cells at the region center.
+	for i := range decl.Blocks {
+		c := sol.Rects[i].Center()
+		for _, cid := range decl.Blocks[i].Cells {
+			st.approx[cid] = c
+			st.hasApx[cid] = true
+		}
+	}
+	for ci := range decl.CellBlock {
+		if decl.CellBlock[ci] == hier.Glue && !st.hasApx[ci] {
+			st.approx[ci] = region.Center()
+			st.hasApx[ci] = true
+		}
+	}
+
+	if st.opt.Trace {
+		tl := LevelTrace{Path: d.Node(nh).Path, Depth: depth, Region: region}
+		for i := range decl.Blocks {
+			tl.Blocks = append(tl.Blocks, TraceBlock{
+				Name:       decl.Blocks[i].Name,
+				Rect:       sol.Rects[i],
+				MacroCount: decl.Blocks[i].MacroCount(),
+			})
+		}
+		st.res.Trace = append(st.res.Trace, tl)
+	}
+
+	// Descend (Algorithm 2, lines 7-11).
+	for i := range decl.Blocks {
+		b := &decl.Blocks[i]
+		r := sol.Rects[i]
+		switch {
+		case b.MacroCount() == 0:
+			// Soft block: standard cells only, placed later by the cell
+			// placer; nothing to fix here.
+		case b.MacroCount() == 1:
+			st.fixSingleMacro(b.MacroCells[0], r, gdf, aff, int32(i), sol)
+		default:
+			st.recurse(b.Node, r, depth+1)
+		}
+	}
+}
+
+// flatPlace is the single-level ablation: one layout instance whose blocks
+// are the individual macros; all standard cells are glue.
+func (st *flowState) flatPlace(region geom.Rect) {
+	d := st.d
+	decl := &hier.Result{CellBlock: make([]int32, len(d.Cells))}
+	for i := range decl.CellBlock {
+		decl.CellBlock[i] = hier.Glue
+	}
+	for _, m := range d.Macros() {
+		c := d.Cell(m)
+		decl.CellBlock[m] = int32(len(decl.Blocks))
+		decl.Blocks = append(decl.Blocks, hier.Block{
+			Name:       c.Name,
+			Node:       netlist.None,
+			Macro:      m,
+			Cells:      []netlist.CellID{m},
+			MacroCells: []netlist.CellID{m},
+			Area:       c.Area(),
+		})
+	}
+	for i := range d.Cells {
+		if d.Cells[i].Kind == netlist.KindPort {
+			decl.CellBlock[i] = hier.Outside
+		} else if decl.CellBlock[i] == hier.Glue {
+			decl.GlueArea += d.Cells[i].Area()
+		}
+	}
+	st.res.Levels = 1
+
+	at := st.targetAreas(decl)
+	gdf := dataflow.Build(st.sg, decl)
+	aff := gdf.Affinity(dataflow.Params{Lambda: st.opt.Lambda, K: st.opt.K})
+
+	prob := &layout.Problem{Region: region, Affinity: aff}
+	for i := range decl.Blocks {
+		b := &decl.Blocks[i]
+		prob.Blocks = append(prob.Blocks, layout.BlockSpec{
+			Name: b.Name,
+			Block: slicing.Block{
+				Curve:      st.sc.Curve(b),
+				MinArea:    b.Area,
+				TargetArea: at[i],
+			},
+		})
+	}
+	for i := len(decl.Blocks); i < len(gdf.Nodes); i++ {
+		prob.Terminals = append(prob.Terminals, layout.Terminal{
+			Name: gdf.Nodes[i].Name,
+			Pos:  st.terminalPos(gdf, i),
+		})
+	}
+	sol := layout.Solve(prob, layout.Options{Seed: st.opt.Seed, Effort: st.opt.Effort, Eval: st.opt.Eval})
+	for i := range decl.Blocks {
+		st.fixSingleMacro(decl.Blocks[i].MacroCells[0], sol.Rects[i], gdf, aff, int32(i), sol)
+	}
+	if st.opt.Trace {
+		tl := LevelTrace{Path: "(flat)", Depth: 0, Region: region}
+		for i := range decl.Blocks {
+			tl.Blocks = append(tl.Blocks, TraceBlock{Name: decl.Blocks[i].Name, Rect: sol.Rects[i], MacroCount: 1})
+		}
+		st.res.Trace = append(st.res.Trace, tl)
+	}
+}
+
+// targetAreas implements §IV-C: glue cells adopt their BFS-nearest block,
+// and each block's target area is its own area plus the adopted glue.
+func (st *flowState) targetAreas(decl *hier.Result) []int64 {
+	d := st.d
+	var seeds, seedLabels []int32
+	for i := range decl.Blocks {
+		for _, cid := range decl.Blocks[i].Cells {
+			seeds = append(seeds, int32(cid))
+			seedLabels = append(seedLabels, int32(i))
+		}
+	}
+	labels, _ := st.bp.MultiSourceLabel(seeds, seedLabels)
+
+	at := make([]int64, len(decl.Blocks))
+	var blockArea int64
+	for i := range decl.Blocks {
+		at[i] = decl.Blocks[i].Area
+		blockArea += decl.Blocks[i].Area
+	}
+	var orphan int64
+	for ci, m := range decl.CellBlock {
+		if m != hier.Glue {
+			continue
+		}
+		area := d.Cell(netlist.CellID(ci)).Area()
+		if l := labels[ci]; l >= 0 {
+			at[l] += area
+		} else {
+			orphan += area
+		}
+	}
+	// Unreachable glue: spread proportionally to block area.
+	if orphan > 0 && blockArea > 0 {
+		for i := range at {
+			at[i] += orphan * decl.Blocks[i].Area / blockArea
+		}
+	}
+	return at
+}
+
+// terminalPos estimates the fixed position of a Gdf terminal node.
+func (st *flowState) terminalPos(gdf *dataflow.Graph, node int) geom.Point {
+	n := &gdf.Nodes[node]
+	var sx, sy, cnt int64
+	for _, si := range n.Seq {
+		for _, cid := range st.sg.Nodes[si].Cells {
+			var p geom.Point
+			switch {
+			case st.d.Cell(cid).Kind == netlist.KindPort:
+				p = st.d.PortPos(cid)
+			case st.pl.Placed[cid]:
+				p = st.pl.Center(cid)
+			case st.hasApx[cid]:
+				p = st.approx[cid]
+			default:
+				p = st.d.Die.Center()
+			}
+			sx += p.X
+			sy += p.Y
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return st.d.Die.Center()
+	}
+	return geom.Pt(sx/cnt, sy/cnt)
+}
+
+// fixSingleMacro places one macro inside its block rectangle, in the corner
+// that minimizes the affinity-weighted distance to its Gdf counterparts
+// (Algorithm 2, line 11). gdf/sol may be nil for degenerate levels, in
+// which case the macro centers in the region.
+func (st *flowState) fixSingleMacro(m netlist.CellID, r geom.Rect, gdf *dataflow.Graph, aff [][]float64, blockIdx int32, sol *layout.Result) {
+	c := st.d.Cell(m)
+	// Choose the orientation whose outline fits the rectangle best.
+	orients := []geom.Orient{geom.R0, geom.R90}
+	bestOrient := geom.R0
+	bestFit := int64(-1)
+	for _, o := range orients {
+		w, h := o.Dims(c.Width, c.Height)
+		overW := max64(0, w-r.W)
+		overH := max64(0, h-r.H)
+		fit := overW + overH
+		if bestFit < 0 || fit < bestFit {
+			bestFit = fit
+			bestOrient = o
+		}
+	}
+	w, h := bestOrient.Dims(c.Width, c.Height)
+
+	// Candidate anchor points: four corners and the center.
+	candidates := []geom.Rect{
+		geom.RectXYWH(r.X, r.Y, w, h),
+		geom.RectXYWH(r.X2()-w, r.Y, w, h),
+		geom.RectXYWH(r.X, r.Y2()-h, w, h),
+		geom.RectXYWH(r.X2()-w, r.Y2()-h, w, h),
+		geom.RectXYWH(r.X+(r.W-w)/2, r.Y+(r.H-h)/2, w, h),
+	}
+	best := candidates[0]
+	bestCost := float64(-1)
+	for _, cand := range candidates {
+		cand = cand.ClampInside(st.d.Die)
+		cost := st.macroAttraction(cand.Center(), gdf, aff, blockIdx, sol)
+		if bestCost < 0 || cost < bestCost {
+			bestCost = cost
+			best = cand
+		}
+	}
+	st.pl.PlaceOriented(m, geom.Pt(best.X, best.Y), bestOrient)
+	st.approx[m] = best.Center()
+	st.hasApx[m] = true
+}
+
+// macroAttraction scores a candidate macro position against the affinity
+// row of its block.
+func (st *flowState) macroAttraction(p geom.Point, gdf *dataflow.Graph, aff [][]float64, blockIdx int32, sol *layout.Result) float64 {
+	if gdf == nil || sol == nil {
+		// No dataflow context: all candidates tie at zero and the first
+		// (lower-left corner) wins.
+		return 0
+	}
+	var cost float64
+	for j := range gdf.Nodes {
+		w := aff[blockIdx][j]
+		if w == 0 || int32(j) == blockIdx {
+			continue
+		}
+		cost += w * float64(p.ManhattanDist(st.counterpartPos(gdf, j, sol)))
+	}
+	return cost
+}
+
+// counterpartPos locates a Gdf node for corner scoring: already-fixed
+// macros (earlier siblings or deeper levels) count with their real
+// positions, others with their block rectangle centers.
+func (st *flowState) counterpartPos(gdf *dataflow.Graph, j int, sol *layout.Result) geom.Point {
+	if j >= len(sol.Rects) {
+		return st.terminalPos(gdf, j)
+	}
+	var sx, sy, cnt int64
+	for _, si := range gdf.Nodes[j].Seq {
+		if st.sg.Nodes[si].Kind != seqgraph.KindMacro {
+			continue
+		}
+		cid := st.sg.Nodes[si].Cells[0]
+		if st.pl.Placed[cid] {
+			p := st.pl.Center(cid)
+			sx += p.X
+			sy += p.Y
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		return geom.Pt(sx/cnt, sy/cnt)
+	}
+	return sol.Rects[j].Center()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

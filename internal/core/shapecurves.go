@@ -1,0 +1,147 @@
+// Package core implements the HiDaP flow of the paper: shape-curve
+// generation over the hierarchy tree (§IV-A), the recursive block
+// floorplan (Algorithm 2) with hierarchical declustering, target-area
+// assignment and dataflow-driven layout generation, and the macro-flipping
+// post-process (Algorithm 1).
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/anneal"
+	"repro/internal/hier"
+	"repro/internal/netlist"
+	"repro/internal/shape"
+	"repro/internal/slicing"
+)
+
+// ShapeCurves is SΓ: for every hierarchy node with macros beneath it, the
+// shape curve of the minimal bounding boxes that can hold a slicing
+// placement of those macros.
+type ShapeCurves struct {
+	// ByNode maps hierarchy nodes (with macros) to their curves.
+	ByNode map[netlist.HierID]shape.Curve
+	// ByMacro maps each macro cell to its (rotatable) leaf curve.
+	ByMacro map[netlist.CellID]shape.Curve
+}
+
+// GenerateShapeCurves computes SΓ bottom-up over the hierarchy tree, once
+// per design (Algorithm 1, line 4). Leaf macros contribute their two
+// orientations; interior nodes compose their parts with a short
+// area-minimizing anneal over slicing structures, and the union of every
+// composition visited forms the node's Pareto set.
+func GenerateShapeCurves(tree *hier.Tree, seed int64) *ShapeCurves {
+	d := tree.D
+	sc := &ShapeCurves{
+		ByNode:  make(map[netlist.HierID]shape.Curve),
+		ByMacro: make(map[netlist.CellID]shape.Curve),
+	}
+	// Builder invariant: parent IDs precede child IDs, so a reverse sweep
+	// is bottom-up.
+	for id := len(d.Hier) - 1; id >= 0; id-- {
+		hid := netlist.HierID(id)
+		if tree.SubMacros[hid] == 0 {
+			continue
+		}
+		node := d.Node(hid)
+		var parts []shape.Curve
+		for _, cid := range node.Cells {
+			c := d.Cell(cid)
+			if c.Kind != netlist.KindMacro {
+				continue
+			}
+			curve := shape.FromBoxRotatable(c.Width, c.Height)
+			sc.ByMacro[cid] = curve
+			parts = append(parts, curve)
+		}
+		for _, ch := range node.Children {
+			if tree.SubMacros[ch] > 0 {
+				parts = append(parts, sc.ByNode[ch])
+			}
+		}
+		sc.ByNode[hid] = composeParts(parts, seed+int64(id))
+	}
+	return sc
+}
+
+// Curve returns the shape curve of a declustered block.
+func (sc *ShapeCurves) Curve(b *hier.Block) shape.Curve {
+	if b.Macro != netlist.None {
+		return sc.ByMacro[b.Macro]
+	}
+	if b.Node != netlist.None {
+		if c, ok := sc.ByNode[b.Node]; ok {
+			return c
+		}
+	}
+	return shape.Curve{} // soft block
+}
+
+// composeCompact bounds the corner count of curves fed to composition.
+const composeCompact = 16
+
+// composeParts builds the shape curve of a set of sub-curves under slicing
+// composition. Two parts are enumerated exactly; more parts run a short
+// area-optimization anneal (paper §IV-A), accumulating the Pareto union of
+// every slicing structure visited.
+func composeParts(parts []shape.Curve, seed int64) shape.Curve {
+	switch len(parts) {
+	case 0:
+		return shape.Curve{}
+	case 1:
+		return parts[0]
+	case 2:
+		return shape.Union(
+			shape.CombineH(parts[0], parts[1]),
+			shape.CombineV(parts[0], parts[1]),
+		)
+	}
+	compact := make([]shape.Curve, len(parts))
+	for i := range parts {
+		compact[i] = parts[i].Thin(composeCompact)
+	}
+
+	expr := slicing.NewBalanced(len(parts))
+	acc := shape.Curve{}
+	compose := func() shape.Curve {
+		return composeExpr(&expr, compact)
+	}
+	cost := func() float64 {
+		c := compose()
+		acc = shape.Union(acc, c)
+		return float64(c.MinArea())
+	}
+	anneal.Run(
+		anneal.Options{Seed: seed, MovesPerRound: 24, MaxRounds: 30, Alpha: 0.88, StallRounds: 8},
+		cost,
+		func(rng *rand.Rand) func() {
+			undo, _ := expr.Perturb(rng)
+			return undo
+		},
+		nil,
+	)
+	return acc
+}
+
+// composeExpr evaluates the composed shape curve of an expression.
+func composeExpr(e *slicing.Expr, parts []shape.Curve) shape.Curve {
+	elems := e.Elems()
+	stack := make([]shape.Curve, 0, len(parts))
+	for _, v := range elems {
+		if v >= 0 {
+			stack = append(stack, parts[v])
+			continue
+		}
+		b := stack[len(stack)-1]
+		a := stack[len(stack)-2]
+		stack = stack[:len(stack)-2]
+		var c shape.Curve
+		if v == slicing.OpV {
+			c = shape.CombineH(a, b)
+		} else {
+			c = shape.CombineV(a, b)
+		}
+		stack = append(stack, c.Thin(composeCompact))
+	}
+	return stack[0]
+}

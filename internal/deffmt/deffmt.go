@@ -1,0 +1,135 @@
+// Package deffmt writes and reads the placement exchange subset of DEF
+// (Design Exchange Format): DESIGN/DIEAREA headers, a COMPONENTS section
+// with FIXED macro placements, and a PINS section for ports. It is the
+// hand-off format between this floorplanner and downstream P&R tools; only
+// the subset those tools read back for macro placement is implemented.
+package deffmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/placement"
+)
+
+// Write emits the macro placement (and port pins) of a design as DEF.
+// Standard cells are omitted: the consumer places them.
+func Write(w io.Writer, pl *placement.Placement) error {
+	d := pl.D
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "VERSION 5.8 ;\nDIVIDERCHAR \"/\" ;\nBUSBITCHARS \"[]\" ;\n")
+	fmt.Fprintf(bw, "DESIGN %s ;\nUNITS DISTANCE MICRONS 1000 ;\n", escape(d.Name))
+	fmt.Fprintf(bw, "DIEAREA ( %d %d ) ( %d %d ) ;\n", d.Die.X, d.Die.Y, d.Die.X2(), d.Die.Y2())
+
+	macros := d.Macros()
+	placed := 0
+	for _, m := range macros {
+		if pl.Placed[m] {
+			placed++
+		}
+	}
+	fmt.Fprintf(bw, "COMPONENTS %d ;\n", placed)
+	for _, m := range macros {
+		if !pl.Placed[m] {
+			continue
+		}
+		c := d.Cell(m)
+		fmt.Fprintf(bw, "  - %s MACRO_%dX%d + FIXED ( %d %d ) %s ;\n",
+			escape(c.Name), c.Width, c.Height,
+			pl.Pos[m].X, pl.Pos[m].Y, defOrient(pl.Orient[m]))
+	}
+	fmt.Fprintf(bw, "END COMPONENTS\n")
+
+	ports := d.Ports()
+	fmt.Fprintf(bw, "PINS %d ;\n", len(ports))
+	for _, p := range ports {
+		pos := d.PortPos(p)
+		fmt.Fprintf(bw, "  - %s + NET %s + FIXED ( %d %d ) N ;\n",
+			escape(d.Cell(p).Name), escape(d.Cell(p).Name), pos.X, pos.Y)
+	}
+	fmt.Fprintf(bw, "END PINS\nEND DESIGN\n")
+	return bw.Flush()
+}
+
+// escape maps hierarchical names into DEF-safe identifiers.
+func escape(s string) string {
+	s = strings.ReplaceAll(s, " ", "_")
+	return s
+}
+
+// defOrient maps orientations to DEF names (same convention).
+func defOrient(o geom.Orient) string { return o.String() }
+
+// Component is one FIXED placement read back from a DEF file.
+type Component struct {
+	Name   string
+	Pos    geom.Point
+	Orient geom.Orient
+}
+
+// ReadComponents parses the COMPONENTS section of a DEF stream produced by
+// Write (or a compatible tool) and returns the fixed placements.
+func ReadComponents(r io.Reader) ([]Component, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var out []Component
+	in := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "COMPONENTS "):
+			in = true
+		case line == "END COMPONENTS":
+			in = false
+		case in && strings.HasPrefix(line, "- "):
+			comp, err := parseComponent(line)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, comp)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseComponent parses "- name type + FIXED ( x y ) ORIENT ;".
+func parseComponent(line string) (Component, error) {
+	f := strings.Fields(strings.TrimSuffix(strings.TrimSpace(line), ";"))
+	// f: ["-", name, type, "+", "FIXED", "(", x, y, ")", orient]
+	if len(f) < 10 || f[0] != "-" || f[4] != "FIXED" || f[5] != "(" || f[8] != ")" {
+		return Component{}, fmt.Errorf("deffmt: malformed component line %q", line)
+	}
+	var x, y int64
+	if _, err := fmt.Sscanf(f[6]+" "+f[7], "%d %d", &x, &y); err != nil {
+		return Component{}, fmt.Errorf("deffmt: bad coordinates in %q: %v", line, err)
+	}
+	o, err := geom.ParseOrient(f[9])
+	if err != nil {
+		return Component{}, fmt.Errorf("deffmt: %v in %q", err, line)
+	}
+	return Component{Name: f[1], Pos: geom.Pt(x, y), Orient: o}, nil
+}
+
+// Apply places the named components onto a placement (matching by cell
+// name). Unknown names are reported as an error.
+func Apply(pl *placement.Placement, comps []Component) error {
+	byName := map[string]netlist.CellID{}
+	for _, m := range pl.D.Macros() {
+		byName[pl.D.Cell(m).Name] = m
+	}
+	for _, c := range comps {
+		id, ok := byName[c.Name]
+		if !ok {
+			return fmt.Errorf("deffmt: component %q is not a macro of design %s", c.Name, pl.D.Name)
+		}
+		pl.PlaceOriented(id, c.Pos, c.Orient)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package deffmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/placement"
+)
+
+func placedDesign(t *testing.T) *placement.Placement {
+	t.Helper()
+	b := netlist.NewBuilder("defd")
+	b.SetDie(geom.RectXYWH(0, 0, 100_000, 80_000))
+	m1 := b.AddMacro("u/mem0", 20_000, 10_000, "u")
+	m2 := b.AddMacro("u/mem1", 15_000, 15_000, "u")
+	p := b.AddPort("clk")
+	b.SetPortPos(p, geom.Pt(0, 40_000))
+	d := b.MustBuild()
+	pl := placement.New(d)
+	pl.PlaceOriented(m1, geom.Pt(1_000, 2_000), geom.MY)
+	pl.PlaceOriented(m2, geom.Pt(50_000, 60_000), geom.R90)
+	return pl
+}
+
+func TestWriteStructure(t *testing.T) {
+	pl := placedDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, pl); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"DESIGN defd ;",
+		"DIEAREA ( 0 0 ) ( 100000 80000 ) ;",
+		"COMPONENTS 2 ;",
+		"- u/mem0 MACRO_20000X10000 + FIXED ( 1000 2000 ) MY ;",
+		"- u/mem1 MACRO_15000X15000 + FIXED ( 50000 60000 ) R90 ;",
+		"PINS 1 ;",
+		"END DESIGN",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	pl := placedDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, pl); err != nil {
+		t.Fatal(err)
+	}
+	comps, err := ReadComponents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("components = %d", len(comps))
+	}
+
+	// Apply onto a fresh placement and compare.
+	fresh := placement.New(pl.D)
+	if err := Apply(fresh, comps); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range pl.D.Macros() {
+		if fresh.Pos[m] != pl.Pos[m] || fresh.Orient[m] != pl.Orient[m] {
+			t.Errorf("macro %s: %v/%v vs %v/%v", pl.D.Cell(m).Name,
+				fresh.Pos[m], fresh.Orient[m], pl.Pos[m], pl.Orient[m])
+		}
+	}
+}
+
+func TestReadComponentsErrors(t *testing.T) {
+	bad := "COMPONENTS 1 ;\n- broken line ;\nEND COMPONENTS\n"
+	if _, err := ReadComponents(strings.NewReader(bad)); err == nil {
+		t.Error("expected parse error")
+	}
+	badOrient := "COMPONENTS 1 ;\n- m T + FIXED ( 1 2 ) Q9 ;\nEND COMPONENTS\n"
+	if _, err := ReadComponents(strings.NewReader(badOrient)); err == nil {
+		t.Error("expected orientation error")
+	}
+}
+
+func TestApplyUnknownComponent(t *testing.T) {
+	pl := placedDesign(t)
+	err := Apply(pl, []Component{{Name: "nope", Pos: geom.Pt(0, 0)}})
+	if err == nil {
+		t.Error("expected unknown-component error")
+	}
+}
+
+func TestSkipsUnplacedMacros(t *testing.T) {
+	b := netlist.NewBuilder("u")
+	b.SetDie(geom.RectXYWH(0, 0, 10_000, 10_000))
+	b.AddMacro("m", 1_000, 1_000, "")
+	d := b.MustBuild()
+	pl := placement.New(d)
+	var buf bytes.Buffer
+	if err := Write(&buf, pl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "COMPONENTS 0 ;") {
+		t.Errorf("unplaced macro emitted:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,368 @@
+// Package flows runs the three macro-placement flows of the paper's
+// evaluation end to end — macro placement, standard-cell placement,
+// wirelength / congestion / timing measurement — and assembles the rows of
+// Tables II and III. All flows share the same cell placer and metric
+// models, mirroring §V ("Metrics are taken after placement of standard
+// cells using the same tool as IndEDA").
+package flows
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/circuits"
+	"repro/internal/core"
+	"repro/internal/handfp"
+	"repro/internal/indeda"
+	"repro/internal/layout"
+	"repro/internal/metrics"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/placement"
+	"repro/internal/route"
+	"repro/internal/seqgraph"
+	"repro/internal/sta"
+)
+
+// Flow names a macro-placement flow.
+type Flow string
+
+const (
+	// FlowIndEDA is the industrial-floorplanner baseline.
+	FlowIndEDA Flow = "IndEDA"
+	// FlowHiDaP is the paper's flow (best wirelength of three λ).
+	FlowHiDaP Flow = "HiDaP"
+	// FlowHandFP is the handcrafted-floorplan oracle.
+	FlowHandFP Flow = "handFP"
+)
+
+// Options configures a flow run.
+type Options struct {
+	// Seed drives every stochastic stage.
+	Seed int64
+	// Effort selects the HiDaP annealing budget.
+	Effort layout.Effort
+	// Lambdas are the HiDaP blend values to try (paper: 0.2, 0.5, 0.8;
+	// the best post-placement wirelength wins).
+	Lambdas []float64
+	// Restarts runs HiDaP with this many seeds per λ, keeping the best
+	// wirelength (default 1). A cheap robustness extension beyond the
+	// paper's best-of-three-λ policy.
+	Restarts int
+	// SelectBy chooses among HiDaP candidates: "wl" (paper default) keeps
+	// the best wirelength; "timing" keeps the best WNS, breaking ties by
+	// wirelength — the timing-driven selection the paper's conclusions
+	// motivate.
+	SelectBy string
+	// Sequential disables the parallel evaluation of HiDaP candidates
+	// (λ × restarts). Selection is deterministic either way; parallel just
+	// uses the machine's cores.
+	Sequential bool
+	// Place configures the shared standard-cell placer.
+	Place place.Options
+	// Route configures the congestion model.
+	Route route.Options
+	// STA configures timing; a zero WirePsPerDBU is auto-calibrated to the
+	// die (see CalibrateSTA).
+	STA sta.Options
+}
+
+// DefaultOptions mirrors the paper's setup.
+func DefaultOptions() Options {
+	return Options{
+		Effort:  layout.EffortMedium,
+		Lambdas: []float64{0.2, 0.5, 0.8},
+		Place:   place.DefaultOptions(),
+		Route:   route.DefaultOptions(),
+		// STA left zero: CalibrateSTA fits the wire delay to each die.
+	}
+}
+
+// Metrics is one row of Table III.
+type Metrics struct {
+	Circuit string
+	Flow    Flow
+	// WLm is the post-placement wirelength in meters.
+	WLm float64
+	// WLnorm is WLm normalized to the circuit's handFP flow (set by
+	// Normalize).
+	WLnorm float64
+	// GRCPct is the global routing overflow percentage.
+	GRCPct float64
+	// WNSPct is the worst negative slack in percent of the clock period.
+	WNSPct float64
+	// TNSns is the total negative slack in nanoseconds.
+	TNSns float64
+	// MacroSeconds is the macro-placement wall time ("effort").
+	MacroSeconds float64
+	// Lambda is the winning λ for HiDaP rows (0 otherwise).
+	Lambda float64
+}
+
+// CalibrateSTA scales the wire-delay coefficient to the die so that a stage
+// crossing ~70% of the die half-perimeter consumes the full wire budget.
+// The suite scales cell counts (and with them die sizes) down from the
+// paper's multi-million-cell designs; scaling electrical reach with the die
+// keeps the timing picture equivalent.
+func CalibrateSTA(d *netlist.Design, base sta.Options) sta.Options {
+	def := sta.DefaultOptions()
+	if base.ClockPs <= 0 {
+		base.ClockPs = def.ClockPs
+	}
+	if base.IntrinsicPs <= 0 {
+		base.IntrinsicPs = def.IntrinsicPs
+	}
+	if base.WirePsPerDBU == 0 {
+		span := float64(d.Die.W + d.Die.H)
+		wireBudget := base.ClockPs - base.IntrinsicPs
+		base.WirePsPerDBU = wireBudget / (0.7 * span / 2)
+	}
+	return base
+}
+
+// Run executes one flow on a generated circuit and measures it.
+func Run(g *circuits.Generated, flow Flow, opt Options) (*Metrics, *placement.Placement, error) {
+	d := g.Design
+	if len(opt.Lambdas) == 0 {
+		opt.Lambdas = []float64{0.2, 0.5, 0.8}
+	}
+
+	start := time.Now()
+	var pl *placement.Placement
+	var bestLambda float64
+	var err error
+	switch flow {
+	case FlowIndEDA:
+		pl, err = indeda.Place(d, indeda.Options{Seed: opt.Seed, HighEffort: true, WallWeight: 0.4})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := cellPlace(pl, opt); err != nil {
+			return nil, nil, err
+		}
+	case FlowHandFP:
+		pl, err = handfp.Place(d, g.Intent, handfp.Options{Seed: opt.Seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := cellPlace(pl, opt); err != nil {
+			return nil, nil, err
+		}
+	case FlowHiDaP:
+		restarts := opt.Restarts
+		if restarts < 1 {
+			restarts = 1
+		}
+		// Evaluate every (restart, λ) candidate; independent, so they run
+		// in parallel unless opt.Sequential. Selection scans candidates in
+		// a fixed order, so the result is identical either way.
+		type candidate struct {
+			lambda float64
+			pl     *placement.Placement
+			wl     float64
+			wns    float64
+			err    error
+		}
+		cands := make([]candidate, 0, restarts*len(opt.Lambdas))
+		for r := 0; r < restarts; r++ {
+			for _, lambda := range opt.Lambdas {
+				cands = append(cands, candidate{lambda: lambda})
+			}
+		}
+		evalOne := func(i int) {
+			c := &cands[i]
+			coreOpt := core.DefaultOptions()
+			coreOpt.Lambda = c.lambda
+			coreOpt.Seed = opt.Seed + int64(i/len(opt.Lambdas))*1_000_003
+			coreOpt.Effort = opt.Effort
+			res, err := core.Place(d, coreOpt)
+			if err != nil {
+				c.err = err
+				return
+			}
+			c.pl = res.Placement
+			if err := cellPlace(c.pl, opt); err != nil {
+				c.err = err
+				return
+			}
+			c.wl = metrics.WirelengthMeters(c.pl)
+			if opt.SelectBy == "timing" {
+				c.wns = sta.Analyze(seqOf(g), c.pl, CalibrateSTA(d, opt.STA)).WNSPct
+			}
+		}
+		if opt.Sequential || len(cands) == 1 {
+			for i := range cands {
+				evalOne(i)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for i := range cands {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					evalOne(i)
+				}(i)
+			}
+			wg.Wait()
+		}
+		best := -1
+		for i := range cands {
+			if cands[i].err != nil {
+				return nil, nil, cands[i].err
+			}
+			switch {
+			case best < 0:
+				best = i
+			case opt.SelectBy == "timing":
+				if cands[i].wns > cands[best].wns ||
+					(cands[i].wns == cands[best].wns && cands[i].wl < cands[best].wl) {
+					best = i
+				}
+			case cands[i].wl < cands[best].wl:
+				best = i
+			}
+		}
+		pl = cands[best].pl
+		bestLambda = cands[best].lambda
+	default:
+		return nil, nil, fmt.Errorf("flows: unknown flow %q", flow)
+	}
+	elapsed := time.Since(start).Seconds()
+
+	m := measure(g, flow, pl, opt)
+	m.MacroSeconds = elapsed
+	m.Lambda = bestLambda
+	return m, pl, nil
+}
+
+func cellPlace(pl *placement.Placement, opt Options) error {
+	p := opt.Place
+	if p.GridBins == 0 {
+		p = place.DefaultOptions()
+	}
+	return place.Run(pl, p)
+}
+
+// measure computes the Table III metric columns for a fully placed design.
+func measure(g *circuits.Generated, flow Flow, pl *placement.Placement, opt Options) *Metrics {
+	staOpt := CalibrateSTA(g.Design, opt.STA)
+	cong := route.Estimate(pl, opt.Route)
+	timing := sta.Analyze(seqOf(g), pl, staOpt)
+	return &Metrics{
+		Circuit: g.Spec.Name,
+		Flow:    flow,
+		WLm:     metrics.WirelengthMeters(pl),
+		GRCPct:  cong.OverflowPct,
+		WNSPct:  timing.WNSPct,
+		TNSns:   timing.TNSns,
+	}
+}
+
+// Normalize fills WLnorm on a result set: each circuit's rows are divided
+// by its handFP wirelength (handFP rows get exactly 1.000).
+func Normalize(rows []*Metrics) {
+	ref := map[string]float64{}
+	for _, r := range rows {
+		if r.Flow == FlowHandFP {
+			ref[r.Circuit] = r.WLm
+		}
+	}
+	for _, r := range rows {
+		if base := ref[r.Circuit]; base > 0 {
+			r.WLnorm = r.WLm / base
+		}
+	}
+}
+
+// Summary is one row of Table II.
+type Summary struct {
+	Flow Flow
+	// WLGeoMean is the geometric mean of WLnorm over the suite.
+	WLGeoMean float64
+	// WNSMean is the arithmetic mean of WNS% over the suite.
+	WNSMean float64
+	// Effort describes the solution cost (paper wording plus measured CPU).
+	Effort string
+}
+
+// Summarize aggregates per-circuit rows into Table II.
+func Summarize(rows []*Metrics) []Summary {
+	effortNote := map[Flow]string{
+		FlowIndEDA: "tool run (paper: 10-30 mins CPU)",
+		FlowHiDaP:  "tool run (paper: 0.5-2 hours CPU)",
+		FlowHandFP: "planted intent + refine (paper: 2-4 weeks engineers)",
+	}
+	var out []Summary
+	for _, f := range []Flow{FlowIndEDA, FlowHiDaP, FlowHandFP} {
+		var norms []float64
+		var wnsSum, secs float64
+		n := 0
+		for _, r := range rows {
+			if r.Flow != f {
+				continue
+			}
+			norms = append(norms, r.WLnorm)
+			wnsSum += r.WNSPct
+			secs += r.MacroSeconds
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		out = append(out, Summary{
+			Flow:      f,
+			WLGeoMean: metrics.GeoMean(norms),
+			WNSMean:   wnsSum / float64(n),
+			Effort:    fmt.Sprintf("%.1fs CPU here; %s", secs, effortNote[f]),
+		})
+	}
+	return out
+}
+
+// seqCache avoids rebuilding Gseq for every flow of the same circuit.
+var (
+	seqCacheMu sync.Mutex
+	seqCache   = map[*netlist.Design]*seqgraph.Graph{}
+)
+
+func seqOf(g *circuits.Generated) *seqgraph.Graph {
+	seqCacheMu.Lock()
+	defer seqCacheMu.Unlock()
+	sg, ok := seqCache[g.Design]
+	if !ok {
+		sg = seqgraph.Build(g.Design, seqgraph.DefaultParams())
+		seqCache[g.Design] = sg
+	}
+	return sg
+}
+
+// WriteCSV emits the result rows as CSV (one line per circuit × flow),
+// suitable for spreadsheet import or plotting.
+func WriteCSV(w io.Writer, rows []*Metrics) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"circuit", "flow", "wl_m", "wl_norm", "grc_pct", "wns_pct", "tns_ns", "macro_seconds", "lambda",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Circuit, string(r.Flow),
+			fmt.Sprintf("%.6f", r.WLm),
+			fmt.Sprintf("%.4f", r.WLnorm),
+			fmt.Sprintf("%.3f", r.GRCPct),
+			fmt.Sprintf("%.2f", r.WNSPct),
+			fmt.Sprintf("%.2f", r.TNSns),
+			fmt.Sprintf("%.2f", r.MacroSeconds),
+			fmt.Sprintf("%.1f", r.Lambda),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,218 @@
+package flows
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/circuits"
+	"repro/internal/layout"
+	"repro/internal/sta"
+)
+
+func tinyCircuit() *circuits.Generated {
+	return circuits.Generate(circuits.Spec{
+		Name: "t", Cells: 300_000, Macros: 8, Subsystems: 2,
+		BusWidth: 32, PipelineDepth: 2, Scale: 300, Seed: 5,
+	})
+}
+
+func fastOpts() Options {
+	o := DefaultOptions()
+	o.Effort = layout.EffortLow
+	o.Lambdas = []float64{0.5}
+	o.Place.Iterations = 3
+	return o
+}
+
+func TestRunAllFlows(t *testing.T) {
+	g := tinyCircuit()
+	var rows []*Metrics
+	for _, f := range []Flow{FlowIndEDA, FlowHiDaP, FlowHandFP} {
+		m, pl, err := Run(g, f, fastOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if m.WLm <= 0 {
+			t.Errorf("%s: WL = %v", f, m.WLm)
+		}
+		if m.GRCPct < 0 || m.GRCPct > 100 {
+			t.Errorf("%s: GRC%% = %v", f, m.GRCPct)
+		}
+		if m.WNSPct > 0 {
+			t.Errorf("%s: WNS%% = %v, must be <= 0", f, m.WNSPct)
+		}
+		if m.TNSns > 0 {
+			t.Errorf("%s: TNS = %v, must be <= 0", f, m.TNSns)
+		}
+		if ov := pl.MacroOverlapArea(); ov != 0 {
+			t.Errorf("%s: macro overlap %d", f, ov)
+		}
+		if err := pl.MacrosInsideDie(); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+		rows = append(rows, m)
+	}
+
+	Normalize(rows)
+	for _, r := range rows {
+		if r.Flow == FlowHandFP && math.Abs(r.WLnorm-1) > 1e-12 {
+			t.Errorf("handFP norm = %v, want 1", r.WLnorm)
+		}
+		if r.WLnorm <= 0 {
+			t.Errorf("%s norm = %v", r.Flow, r.WLnorm)
+		}
+	}
+
+	sums := Summarize(rows)
+	if len(sums) != 3 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	for _, s := range sums {
+		if s.WLGeoMean <= 0 {
+			t.Errorf("%s geomean = %v", s.Flow, s.WLGeoMean)
+		}
+		if s.Effort == "" {
+			t.Errorf("%s effort empty", s.Flow)
+		}
+	}
+}
+
+func TestHiDaPPicksBestLambda(t *testing.T) {
+	g := tinyCircuit()
+	opt := fastOpts()
+	opt.Lambdas = []float64{0.2, 0.8}
+	m, _, err := Run(g, FlowHiDaP, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Lambda != 0.2 && m.Lambda != 0.8 {
+		t.Errorf("winning lambda = %v, want one of the candidates", m.Lambda)
+	}
+}
+
+func TestRunUnknownFlow(t *testing.T) {
+	g := tinyCircuit()
+	if _, _, err := Run(g, Flow("nope"), fastOpts()); err == nil {
+		t.Error("expected error for unknown flow")
+	}
+}
+
+func TestCalibrateSTA(t *testing.T) {
+	g := tinyCircuit()
+	opt := CalibrateSTA(g.Design, sta.Options{})
+	if opt.WirePsPerDBU <= 0 {
+		t.Fatalf("calibrated wire delay = %v", opt.WirePsPerDBU)
+	}
+	// A full die crossing must consume several clock periods' worth of
+	// wire budget: delay(span) > clock.
+	span := float64(g.Design.Die.W + g.Design.Die.H)
+	if opt.IntrinsicPs+opt.WirePsPerDBU*span/2 <= opt.ClockPs {
+		t.Error("calibration too lax: a half-span wire should violate")
+	}
+	// Explicit values pass through untouched.
+	fixed := CalibrateSTA(g.Design, sta.Options{ClockPs: 1000, IntrinsicPs: 1, WirePsPerDBU: 42})
+	if fixed.WirePsPerDBU != 42 {
+		t.Error("explicit wire delay overridden")
+	}
+}
+
+func TestDeterministicMetrics(t *testing.T) {
+	g := tinyCircuit()
+	a, _, err := Run(g, FlowHiDaP, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Run(g, FlowHiDaP, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WLm != b.WLm || a.GRCPct != b.GRCPct || a.WNSPct != b.WNSPct || a.TNSns != b.TNSns {
+		t.Errorf("metrics nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestNormalizeWithoutHandFP(t *testing.T) {
+	rows := []*Metrics{{Circuit: "x", Flow: FlowHiDaP, WLm: 2}}
+	Normalize(rows) // no handFP reference: norms stay zero, no panic
+	if rows[0].WLnorm != 0 {
+		t.Errorf("norm = %v, want 0 without a reference", rows[0].WLnorm)
+	}
+}
+
+func TestSummarizeSkipsMissingFlows(t *testing.T) {
+	rows := []*Metrics{
+		{Circuit: "x", Flow: FlowHiDaP, WLnorm: 1.1, WNSPct: -10},
+	}
+	sums := Summarize(rows)
+	if len(sums) != 1 || sums[0].Flow != FlowHiDaP {
+		t.Errorf("sums = %+v", sums)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rows := []*Metrics{
+		{Circuit: "c1", Flow: FlowIndEDA, WLm: 1.5, WLnorm: 1.2, GRCPct: 3, WNSPct: -10, TNSns: -5},
+		{Circuit: "c1", Flow: FlowHiDaP, WLm: 1.2, WLnorm: 0.96, Lambda: 0.5},
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "c1,IndEDA,1.500000,") {
+		t.Errorf("row = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], ",0.5") {
+		t.Errorf("lambda missing: %q", lines[2])
+	}
+}
+
+func TestSelectByTiming(t *testing.T) {
+	g := tinyCircuit()
+	opt := fastOpts()
+	opt.Lambdas = []float64{0.2, 0.8}
+	opt.SelectBy = "timing"
+	m, pl, err := Run(g, FlowHiDaP, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl == nil || m.WLm <= 0 {
+		t.Fatal("timing selection produced no placement")
+	}
+	// Timing-selected WNS must be at least as good as WL-selected WNS.
+	optWL := fastOpts()
+	optWL.Lambdas = []float64{0.2, 0.8}
+	mWL, _, err := Run(g, FlowHiDaP, optWL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WNSPct < mWL.WNSPct-1e-9 {
+		t.Errorf("timing selection WNS %v worse than WL selection %v", m.WNSPct, mWL.WNSPct)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	g := tinyCircuit()
+	par := fastOpts()
+	par.Lambdas = []float64{0.2, 0.5, 0.8}
+	seq := par
+	seq.Sequential = true
+
+	mp, _, err := Run(g, FlowHiDaP, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err := Run(g, FlowHiDaP, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.WLm != ms.WLm || mp.Lambda != ms.Lambda {
+		t.Errorf("parallel (%v, λ=%v) != sequential (%v, λ=%v)",
+			mp.WLm, mp.Lambda, ms.WLm, ms.Lambda)
+	}
+}

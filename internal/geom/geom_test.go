@@ -1,0 +1,313 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(3, 4)
+	q := Pt(-1, 2)
+	if got := p.Add(q); got != Pt(2, 6) {
+		t.Errorf("Add = %v, want (2,6)", got)
+	}
+	if got := p.Sub(q); got != Pt(4, 2) {
+		t.Errorf("Sub = %v, want (4,2)", got)
+	}
+	if got := p.ManhattanDist(q); got != 6 {
+		t.Errorf("ManhattanDist = %d, want 6", got)
+	}
+	if got := p.ManhattanDist(p); got != 0 {
+		t.Errorf("self distance = %d, want 0", got)
+	}
+}
+
+func TestManhattanDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by int32) bool {
+		a := Pt(int64(ax), int64(ay))
+		b := Pt(int64(bx), int64(by))
+		return a.ManhattanDist(b) == b.ManhattanDist(a) && a.ManhattanDist(b) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := RectXYWH(10, 20, 30, 40)
+	if r.Area() != 1200 {
+		t.Errorf("Area = %d, want 1200", r.Area())
+	}
+	if r.X2() != 40 || r.Y2() != 60 {
+		t.Errorf("X2/Y2 = %d/%d, want 40/60", r.X2(), r.Y2())
+	}
+	if r.Center() != Pt(25, 40) {
+		t.Errorf("Center = %v, want (25,40)", r.Center())
+	}
+	if r.Empty() {
+		t.Error("non-degenerate rect reported empty")
+	}
+	if !(Rect{}).Empty() {
+		t.Error("zero rect not empty")
+	}
+	if (Rect{0, 0, -5, 10}).Area() != 0 {
+		t.Error("negative-width rect should have zero area")
+	}
+}
+
+func TestRectCorners(t *testing.T) {
+	r := RectCorners(Pt(5, 9), Pt(1, 2))
+	if r != RectXYWH(1, 2, 4, 7) {
+		t.Errorf("RectCorners = %v", r)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := RectXYWH(0, 0, 10, 10)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(0, 0), true},
+		{Pt(9, 9), true},
+		{Pt(10, 10), false}, // half-open
+		{Pt(-1, 5), false},
+		{Pt(5, 10), false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectContainsRect(t *testing.T) {
+	outer := RectXYWH(0, 0, 100, 100)
+	if !outer.ContainsRect(RectXYWH(0, 0, 100, 100)) {
+		t.Error("rect should contain itself (closed comparison)")
+	}
+	if !outer.ContainsRect(RectXYWH(10, 10, 20, 20)) {
+		t.Error("strictly inner rect not contained")
+	}
+	if outer.ContainsRect(RectXYWH(90, 90, 20, 20)) {
+		t.Error("overhanging rect reported contained")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := RectXYWH(0, 0, 10, 10)
+	b := RectXYWH(5, 5, 10, 10)
+	want := RectXYWH(5, 5, 5, 5)
+	if got := a.Intersect(b); got != want {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects = false for overlapping rects")
+	}
+	c := RectXYWH(10, 0, 5, 5) // touching edge: no positive-area overlap
+	if a.Intersects(c) {
+		t.Error("edge-touching rects reported overlapping")
+	}
+	if got := a.Intersect(c); !got.Empty() {
+		t.Errorf("Intersect of touching rects = %v, want empty", got)
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := RectXYWH(0, 0, 10, 10)
+	b := RectXYWH(20, 20, 5, 5)
+	want := RectXYWH(0, 0, 25, 25)
+	if got := a.Union(b); got != want {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	if got := a.Union(Rect{}); got != a {
+		t.Errorf("Union with empty = %v, want %v", got, a)
+	}
+	if got := (Rect{}).Union(b); got != b {
+		t.Errorf("empty Union b = %v, want %v", got, b)
+	}
+}
+
+func TestRectIntersectionProperties(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh uint16) bool {
+		a := RectXYWH(int64(ax), int64(ay), int64(aw)%200+1, int64(ah)%200+1)
+		b := RectXYWH(int64(bx), int64(by), int64(bw)%200+1, int64(bh)%200+1)
+		in := a.Intersect(b)
+		if !in.Empty() {
+			// Intersection must be inside both and symmetric.
+			if !a.ContainsRect(in) || !b.ContainsRect(in) {
+				return false
+			}
+			if in != b.Intersect(a) {
+				return false
+			}
+		}
+		// Union contains both.
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampInside(t *testing.T) {
+	outer := RectXYWH(0, 0, 100, 100)
+	cases := []struct {
+		in, want Rect
+	}{
+		{RectXYWH(10, 10, 20, 20), RectXYWH(10, 10, 20, 20)},
+		{RectXYWH(-5, 50, 20, 20), RectXYWH(0, 50, 20, 20)},
+		{RectXYWH(95, 95, 20, 20), RectXYWH(80, 80, 20, 20)},
+		{RectXYWH(50, -30, 20, 20), RectXYWH(50, 0, 20, 20)},
+	}
+	for _, c := range cases {
+		if got := c.in.ClampInside(outer); got != c.want {
+			t.Errorf("ClampInside(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBoundingBoxAndHPWL(t *testing.T) {
+	pts := []Point{Pt(1, 2), Pt(5, 9), Pt(-3, 4)}
+	bb := BoundingBox(pts)
+	if bb != RectXYWH(-3, 2, 8, 7) {
+		t.Errorf("BoundingBox = %v", bb)
+	}
+	if got := HPWL(pts); got != 15 {
+		t.Errorf("HPWL = %d, want 15", got)
+	}
+	if HPWL(nil) != 0 || HPWL([]Point{Pt(3, 3)}) != 0 {
+		t.Error("HPWL of <2 pins must be 0")
+	}
+	if BoundingBox(nil) != (Rect{}) {
+		t.Error("BoundingBox(nil) should be empty")
+	}
+}
+
+func TestHPWLInvariantUnderPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(10)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(int64(rng.Intn(1000)), int64(rng.Intn(1000)))
+		}
+		want := HPWL(pts)
+		rng.Shuffle(n, func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+		if got := HPWL(pts); got != want {
+			t.Fatalf("HPWL changed under permutation: %d vs %d", got, want)
+		}
+	}
+}
+
+func TestOrientNames(t *testing.T) {
+	for o := R0; o <= MY90; o++ {
+		back, err := ParseOrient(o.String())
+		if err != nil {
+			t.Fatalf("ParseOrient(%s): %v", o, err)
+		}
+		if back != o {
+			t.Errorf("round trip %s -> %s", o, back)
+		}
+	}
+	if _, err := ParseOrient("bogus"); err == nil {
+		t.Error("ParseOrient should reject unknown names")
+	}
+}
+
+func TestOrientDims(t *testing.T) {
+	for o := R0; o <= MY90; o++ {
+		w, h := o.Dims(30, 10)
+		if o.Swapped() {
+			if w != 10 || h != 30 {
+				t.Errorf("%s: Dims = %dx%d, want 10x30", o, w, h)
+			}
+		} else if w != 30 || h != 10 {
+			t.Errorf("%s: Dims = %dx%d, want 30x10", o, w, h)
+		}
+	}
+}
+
+// TestOrientApplyMapsOutline checks that every orientation maps the corners
+// of the library outline onto the corners of the placed outline.
+func TestOrientApplyMapsOutline(t *testing.T) {
+	const w, h = 30, 10
+	corners := []Point{Pt(0, 0), Pt(w, 0), Pt(0, h), Pt(w, h)}
+	for o := R0; o <= MY90; o++ {
+		ow, oh := o.Dims(w, h)
+		seen := map[Point]bool{}
+		for _, c := range corners {
+			p := o.Apply(c, w, h)
+			if p.X < 0 || p.Y < 0 || p.X > ow || p.Y > oh {
+				t.Errorf("%s: corner %v maps outside placed outline: %v", o, c, p)
+			}
+			seen[p] = true
+		}
+		if len(seen) != 4 {
+			t.Errorf("%s: corners collapsed: %v", o, seen)
+		}
+		wantCorners := []Point{Pt(0, 0), Pt(ow, 0), Pt(0, oh), Pt(ow, oh)}
+		for _, wc := range wantCorners {
+			if !seen[wc] {
+				t.Errorf("%s: placed corner %v not covered", o, wc)
+			}
+		}
+	}
+}
+
+// TestOrientComposeMatchesApply verifies algebraically that applying a then b
+// equals applying Compose(a, b), for all 64 pairs, on a grid of points.
+func TestOrientComposeMatchesApply(t *testing.T) {
+	const w, h = 12, 5
+	for a := R0; a <= MY90; a++ {
+		for b := R0; b <= MY90; b++ {
+			c := Compose(a, b)
+			aw, ah := a.Dims(w, h)
+			for x := int64(0); x <= w; x += 3 {
+				for y := int64(0); y <= h; y++ {
+					p := Pt(x, y)
+					step := b.Apply(a.Apply(p, w, h), aw, ah)
+					direct := c.Apply(p, w, h)
+					if step != direct {
+						t.Fatalf("Compose(%s,%s)=%s mismatch at %v: stepwise %v, direct %v",
+							a, b, c, p, step, direct)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOrientFlips(t *testing.T) {
+	if R0.FlipX() != MX {
+		t.Errorf("R0.FlipX = %s, want MX", R0.FlipX())
+	}
+	if R0.FlipY() != MY {
+		t.Errorf("R0.FlipY = %s, want MY", R0.FlipY())
+	}
+	if MX.FlipX() != R0 {
+		t.Errorf("MX.FlipX = %s, want R0 (involution)", MX.FlipX())
+	}
+	if MY.FlipY() != R0 {
+		t.Errorf("MY.FlipY = %s, want R0 (involution)", MY.FlipY())
+	}
+	if R0.FlipX().FlipY() != R180 {
+		t.Errorf("FlipX+FlipY = %s, want R180", R0.FlipX().FlipY())
+	}
+	// Flips preserve outline.
+	for o := R0; o <= MY90; o++ {
+		if o.FlipX().Swapped() != o.Swapped() || o.FlipY().Swapped() != o.Swapped() {
+			t.Errorf("%s: flip changed outline orientation", o)
+		}
+	}
+}
+
+func TestComposeIdentity(t *testing.T) {
+	for o := R0; o <= MY90; o++ {
+		if Compose(o, R0) != o || Compose(R0, o) != o {
+			t.Errorf("%s: identity law violated", o)
+		}
+	}
+}

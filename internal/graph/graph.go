@@ -1,0 +1,184 @@
+// Package graph provides the compact connectivity structures used to
+// traverse Gnet: directed cell-level fanout/fanin adjacency and a bipartite
+// cell–net incidence, both in CSR (compressed sparse row) form, plus the
+// multi-source BFS used for glue-logic area assignment (paper §IV-C, which
+// cites Then et al., "The more the merrier", for the traversal pattern).
+//
+// High-fanout nets make a materialized cell-to-cell clique quadratic; the
+// bipartite form keeps every traversal linear in the number of pins.
+package graph
+
+import "repro/internal/netlist"
+
+// CSR is a compressed adjacency: the neighbors of vertex v are
+// Targets[Offsets[v]:Offsets[v+1]].
+type CSR struct {
+	Offsets []int32
+	Targets []int32
+}
+
+// Row returns the adjacency list of vertex v.
+func (c *CSR) Row(v int32) []int32 {
+	return c.Targets[c.Offsets[v]:c.Offsets[v+1]]
+}
+
+// NumVertices returns the number of rows.
+func (c *CSR) NumVertices() int { return len(c.Offsets) - 1 }
+
+// buildCSR packs (src, dst) pairs, provided via a counting pass and a fill
+// pass, into CSR form. count[v] must hold the out-degree of v.
+func buildCSR(count []int32, fill func(place func(src, dst int32))) CSR {
+	n := len(count)
+	offsets := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		offsets[i+1] = offsets[i] + count[i]
+	}
+	targets := make([]int32, offsets[n])
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	fill(func(src, dst int32) {
+		targets[cursor[src]] = dst
+		cursor[src]++
+	})
+	return CSR{Offsets: offsets, Targets: targets}
+}
+
+// Directed is the cell-level directed view of Gnet. Fanout lists, for each
+// cell, every sink cell of every net the cell drives; Fanin is the reverse.
+// Both are linear in the pin count because every net has at most one driver.
+type Directed struct {
+	Fanout CSR
+	Fanin  CSR
+}
+
+// DirectedFromDesign builds the directed adjacency of a design.
+func DirectedFromDesign(d *netlist.Design) *Directed {
+	n := len(d.Cells)
+	outCount := make([]int32, n)
+	inCount := make([]int32, n)
+	for i := range d.Nets {
+		net := &d.Nets[i]
+		driver := netlist.CellID(netlist.None)
+		sinks := 0
+		for _, pid := range net.Pins {
+			p := d.Pin(pid)
+			if p.Dir == netlist.DirOut {
+				driver = p.Cell
+			} else {
+				sinks++
+			}
+		}
+		if driver == netlist.None || sinks == 0 {
+			continue
+		}
+		outCount[driver] += int32(sinks)
+		for _, pid := range net.Pins {
+			p := d.Pin(pid)
+			if p.Dir == netlist.DirIn {
+				inCount[p.Cell]++
+			}
+		}
+	}
+	fillBoth := func(place func(src, dst int32), reverse bool) {
+		for i := range d.Nets {
+			net := &d.Nets[i]
+			driver := netlist.CellID(netlist.None)
+			for _, pid := range net.Pins {
+				if p := d.Pin(pid); p.Dir == netlist.DirOut {
+					driver = p.Cell
+				}
+			}
+			if driver == netlist.None {
+				continue
+			}
+			for _, pid := range net.Pins {
+				p := d.Pin(pid)
+				if p.Dir == netlist.DirIn {
+					if reverse {
+						place(int32(p.Cell), int32(driver))
+					} else {
+						place(int32(driver), int32(p.Cell))
+					}
+				}
+			}
+		}
+	}
+	return &Directed{
+		Fanout: buildCSR(outCount, func(place func(src, dst int32)) { fillBoth(place, false) }),
+		Fanin:  buildCSR(inCount, func(place func(src, dst int32)) { fillBoth(place, true) }),
+	}
+}
+
+// Bipartite is the cell–net incidence of Gnet, direction-blind.
+type Bipartite struct {
+	CellNets CSR // cell -> nets it touches
+	NetCells CSR // net -> cells on it
+}
+
+// BipartiteFromDesign builds the bipartite incidence of a design.
+func BipartiteFromDesign(d *netlist.Design) *Bipartite {
+	cellCount := make([]int32, len(d.Cells))
+	netCount := make([]int32, len(d.Nets))
+	for i := range d.Pins {
+		cellCount[d.Pins[i].Cell]++
+		netCount[d.Pins[i].Net]++
+	}
+	return &Bipartite{
+		CellNets: buildCSR(cellCount, func(place func(src, dst int32)) {
+			for i := range d.Pins {
+				place(int32(d.Pins[i].Cell), int32(d.Pins[i].Net))
+			}
+		}),
+		NetCells: buildCSR(netCount, func(place func(src, dst int32)) {
+			for i := range d.Pins {
+				place(int32(d.Pins[i].Net), int32(d.Pins[i].Cell))
+			}
+		}),
+	}
+}
+
+// Unlabeled marks vertices not reached by MultiSourceLabel.
+const Unlabeled int32 = -1
+
+// MultiSourceLabel runs a multi-source BFS over cells (stepping cell → net
+// → cell) from the given seed cells. Every reachable cell receives the
+// label of its nearest seed; ties resolve to the seed dequeued first, which
+// is deterministic given the seed order. It returns the per-cell labels and
+// BFS distances (in cell hops; Unlabeled / -1 where unreached).
+func (bp *Bipartite) MultiSourceLabel(seeds []int32, seedLabels []int32) (labels, dist []int32) {
+	nCells := bp.CellNets.NumVertices()
+	labels = make([]int32, nCells)
+	dist = make([]int32, nCells)
+	for i := range labels {
+		labels[i] = Unlabeled
+		dist[i] = -1
+	}
+	netSeen := make([]bool, bp.NetCells.NumVertices())
+	queue := make([]int32, 0, len(seeds))
+	for i, s := range seeds {
+		if labels[s] != Unlabeled {
+			continue
+		}
+		labels[s] = seedLabels[i]
+		dist[s] = 0
+		queue = append(queue, s)
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, nid := range bp.CellNets.Row(v) {
+			if netSeen[nid] {
+				continue
+			}
+			netSeen[nid] = true
+			for _, c := range bp.NetCells.Row(nid) {
+				if labels[c] != Unlabeled {
+					continue
+				}
+				labels[c] = labels[v]
+				dist[c] = dist[v] + 1
+				queue = append(queue, c)
+			}
+		}
+	}
+	return labels, dist
+}

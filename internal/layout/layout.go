@@ -1,0 +1,192 @@
+// Package layout implements the layout-generation step of paper §IV-E: one
+// floorplanning level is solved by simulated annealing over slicing
+// structures, minimizing
+//
+//	penalty · Σ distance(n_i, n_j) · Maff[i][j]
+//
+// where the sum ranges over Gdf node pairs, blocks move with the slicing
+// layout, and ports / external macros are fixed points. The penalty
+// multiplier comes from the top-down area-budgeting evaluation and forbids
+// macro overlaps while letting the search pass through mildly illegal
+// solutions.
+package layout
+
+import (
+	"math/rand"
+
+	"repro/internal/anneal"
+	"repro/internal/geom"
+	"repro/internal/slicing"
+)
+
+// BlockSpec is one movable block of the level.
+type BlockSpec struct {
+	Name  string
+	Block slicing.Block // ⟨Γ, am, at⟩
+}
+
+// Terminal is a fixed attraction point: a port or a macro outside the
+// subtree being floorplanned.
+type Terminal struct {
+	Name string
+	Pos  geom.Point
+}
+
+// Problem is one level floorplanning instance. Affinity is indexed with
+// blocks first (0..B-1) and terminals after (B..B+T-1), matching the Gdf
+// node order produced by the dataflow package.
+type Problem struct {
+	Region    geom.Rect
+	Blocks    []BlockSpec
+	Terminals []Terminal
+	Affinity  [][]float64
+}
+
+// Effort selects the annealing budget.
+type Effort int
+
+const (
+	// EffortLow is for smoke tests and tiny levels.
+	EffortLow Effort = iota
+	// EffortMedium is the default.
+	EffortMedium
+	// EffortHigh spends extra moves for final-quality runs.
+	EffortHigh
+)
+
+func (e Effort) schedule(seed int64) anneal.Options {
+	switch e {
+	case EffortLow:
+		return anneal.Options{Seed: seed, MovesPerRound: 16, MaxRounds: 40, Alpha: 0.85, StallRounds: 12}
+	case EffortHigh:
+		return anneal.Options{Seed: seed, MovesPerRound: 64, MaxRounds: 160, Alpha: 0.95, StallRounds: 40}
+	default:
+		return anneal.Options{Seed: seed, MovesPerRound: 32, MaxRounds: 80, Alpha: 0.92, StallRounds: 20}
+	}
+}
+
+// Options tunes Solve.
+type Options struct {
+	Seed   int64
+	Effort Effort
+	Eval   slicing.EvalParams
+}
+
+// DefaultOptions returns medium effort with the standard penalties.
+func DefaultOptions() Options {
+	return Options{Effort: EffortMedium, Eval: slicing.DefaultEvalParams()}
+}
+
+// Result is a solved level.
+type Result struct {
+	// Rects assigns a rectangle inside Region to every block.
+	Rects []geom.Rect
+	// Expr is the winning slicing expression.
+	Expr slicing.Expr
+	// Cost is penalty · Σ dist·affinity of the returned layout.
+	Cost float64
+	// Penalty is the violation multiplier of the returned layout (1 = legal).
+	Penalty float64
+	// Legal mirrors slicing.Eval.Legal for the returned layout.
+	Legal bool
+}
+
+// Solve floorplans one level.
+func Solve(p *Problem, opt Options) *Result {
+	nb := len(p.Blocks)
+	if nb == 0 {
+		return &Result{Penalty: 1, Legal: true}
+	}
+	if opt.Eval.CompactPoints == 0 {
+		opt.Eval = slicing.DefaultEvalParams()
+	}
+	blocks := make([]slicing.Block, nb)
+	for i := range p.Blocks {
+		blocks[i] = p.Blocks[i].Block
+	}
+	pairs := affinityPairs(p)
+
+	if nb == 1 {
+		e := slicing.NewBalanced(1)
+		ev := slicing.Evaluate(&e, blocks, p.Region, opt.Eval)
+		return &Result{
+			Rects:   ev.Rects,
+			Expr:    e,
+			Cost:    wirecost(ev, p, pairs),
+			Penalty: ev.Penalty,
+			Legal:   ev.Legal(),
+		}
+	}
+
+	expr := slicing.NewBalanced(nb)
+	cost := func() float64 {
+		ev := slicing.Evaluate(&expr, blocks, p.Region, opt.Eval)
+		return wirecost(ev, p, pairs)
+	}
+	best := expr.Clone()
+	anneal.Run(opt.Effort.schedule(opt.Seed),
+		cost,
+		func(rng *rand.Rand) func() {
+			undo, _ := expr.Perturb(rng)
+			return undo
+		},
+		func() { best.CopyFrom(&expr) },
+	)
+
+	ev := slicing.Evaluate(&best, blocks, p.Region, opt.Eval)
+	return &Result{
+		Rects:   ev.Rects,
+		Expr:    best,
+		Cost:    wirecost(ev, p, pairs),
+		Penalty: ev.Penalty,
+		Legal:   ev.Legal(),
+	}
+}
+
+// pair is one nonzero affinity entry with at least one movable endpoint.
+type pair struct {
+	i, j int // node indices (blocks first, then terminals)
+	w    float64
+}
+
+// affinityPairs extracts the nonzero upper-triangle affinity entries,
+// dropping terminal–terminal pairs (they contribute a layout-independent
+// constant that would only dilute the penalty gradient).
+func affinityPairs(p *Problem) []pair {
+	nb := len(p.Blocks)
+	n := nb + len(p.Terminals)
+	var out []pair
+	for i := 0; i < n && i < len(p.Affinity); i++ {
+		row := p.Affinity[i]
+		for j := i + 1; j < n && j < len(row); j++ {
+			if i >= nb && j >= nb {
+				continue
+			}
+			if row[j] != 0 {
+				out = append(out, pair{i, j, row[j]})
+			}
+		}
+	}
+	return out
+}
+
+// wirecost evaluates penalty · Σ dist · affinity for a placed level.
+func wirecost(ev *slicing.Eval, p *Problem, pairs []pair) float64 {
+	nb := len(p.Blocks)
+	pos := func(i int) geom.Point {
+		if i < nb {
+			return ev.Rects[i].Center()
+		}
+		return p.Terminals[i-nb].Pos
+	}
+	var sum float64
+	for _, pr := range pairs {
+		d := pos(pr.i).ManhattanDist(pos(pr.j))
+		sum += float64(d) * pr.w
+	}
+	if len(pairs) == 0 {
+		// Pure packing instance: optimize legality alone.
+		return ev.Penalty
+	}
+	return ev.Penalty * sum
+}

@@ -1,0 +1,185 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/shape"
+	"repro/internal/slicing"
+)
+
+func soft(at int64) BlockSpec {
+	return BlockSpec{Block: slicing.Block{TargetArea: at, MinArea: at / 2}}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	r := Solve(&Problem{Region: geom.RectXYWH(0, 0, 100, 100)}, DefaultOptions())
+	if len(r.Rects) != 0 || !r.Legal {
+		t.Errorf("empty problem: %+v", r)
+	}
+}
+
+func TestSolveSingleBlock(t *testing.T) {
+	p := &Problem{
+		Region: geom.RectXYWH(0, 0, 100, 100),
+		Blocks: []BlockSpec{soft(5000)},
+	}
+	r := Solve(p, DefaultOptions())
+	if r.Rects[0] != p.Region {
+		t.Errorf("single block should take whole region, got %v", r.Rects[0])
+	}
+}
+
+func TestSolveTerminalPull(t *testing.T) {
+	// Block 0 is bound to a west terminal, block 1 to an east terminal.
+	// After annealing, block 0 must sit west of block 1.
+	aff := make([][]float64, 4)
+	for i := range aff {
+		aff[i] = make([]float64, 4)
+	}
+	aff[0][2], aff[2][0] = 100, 100 // block0 <-> west terminal
+	aff[1][3], aff[3][1] = 100, 100 // block1 <-> east terminal
+	p := &Problem{
+		Region: geom.RectXYWH(0, 0, 1000, 500),
+		Blocks: []BlockSpec{soft(200_000), soft(200_000)},
+		Terminals: []Terminal{
+			{Name: "west", Pos: geom.Pt(0, 250)},
+			{Name: "east", Pos: geom.Pt(1000, 250)},
+		},
+		Affinity: aff,
+	}
+	opt := DefaultOptions()
+	opt.Seed = 5
+	r := Solve(p, opt)
+	if r.Rects[0].Center().X >= r.Rects[1].Center().X {
+		t.Errorf("block0 at %v should be west of block1 at %v", r.Rects[0].Center(), r.Rects[1].Center())
+	}
+	if !r.Legal {
+		t.Error("soft blocks must produce a legal layout")
+	}
+}
+
+func TestSolveAffinityAdjacency(t *testing.T) {
+	// Four equal blocks; 0 and 3 have overwhelming affinity: they must end
+	// adjacent (distance below the region half-diagonal).
+	n := 4
+	aff := make([][]float64, n)
+	for i := range aff {
+		aff[i] = make([]float64, n)
+	}
+	aff[0][3], aff[3][0] = 1000, 1000
+	aff[1][2], aff[2][1] = 1, 1
+	p := &Problem{
+		Region:   geom.RectXYWH(0, 0, 800, 800),
+		Blocks:   []BlockSpec{soft(160_000), soft(160_000), soft(160_000), soft(160_000)},
+		Affinity: aff,
+	}
+	opt := DefaultOptions()
+	opt.Seed = 11
+	r := Solve(p, opt)
+	d := r.Rects[0].Center().ManhattanDist(r.Rects[3].Center())
+	if d > 800 {
+		t.Errorf("high-affinity blocks %d apart; rects %v %v", d, r.Rects[0], r.Rects[3])
+	}
+}
+
+func TestSolveMacroLegality(t *testing.T) {
+	// Three blocks carrying macros that only fit in specific orientations.
+	mk := func(w, h int64) BlockSpec {
+		return BlockSpec{Block: slicing.Block{
+			Curve:      shape.FromBoxRotatable(w, h),
+			MinArea:    w * h,
+			TargetArea: w * h * 3 / 2,
+		}}
+	}
+	p := &Problem{
+		Region: geom.RectXYWH(0, 0, 1000, 1000),
+		Blocks: []BlockSpec{mk(600, 200), mk(500, 250), mk(300, 300)},
+	}
+	opt := DefaultOptions()
+	opt.Seed = 3
+	opt.Effort = EffortHigh
+	r := Solve(p, opt)
+	if !r.Legal {
+		t.Fatalf("expected legal layout, penalty=%v expr=%s rects=%v", r.Penalty, r.Expr.String(), r.Rects)
+	}
+	for i, rect := range r.Rects {
+		if !p.Blocks[i].Block.Curve.Fits(rect.W, rect.H) {
+			t.Errorf("block %d rect %v does not fit curve %v", i, rect, p.Blocks[i].Block.Curve)
+		}
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	aff := [][]float64{{0, 5}, {5, 0}}
+	p := &Problem{
+		Region:   geom.RectXYWH(0, 0, 400, 400),
+		Blocks:   []BlockSpec{soft(40_000), soft(40_000)},
+		Affinity: aff,
+	}
+	opt := DefaultOptions()
+	opt.Seed = 77
+	a := Solve(p, opt)
+	b := Solve(p, opt)
+	if a.Cost != b.Cost || a.Expr.String() != b.Expr.String() {
+		t.Errorf("nondeterministic: %v/%s vs %v/%s", a.Cost, a.Expr.String(), b.Cost, b.Expr.String())
+	}
+	for i := range a.Rects {
+		if a.Rects[i] != b.Rects[i] {
+			t.Fatal("rects nondeterministic")
+		}
+	}
+}
+
+func TestSolveBeatsBadReference(t *testing.T) {
+	// The annealed cost must not exceed the cost of the initial balanced
+	// expression (sanity: SA keeps the best ever seen).
+	n := 6
+	aff := make([][]float64, n)
+	for i := range aff {
+		aff[i] = make([]float64, n)
+	}
+	aff[0][5], aff[5][0] = 50, 50
+	aff[1][4], aff[4][1] = 30, 30
+	aff[2][3], aff[3][2] = 10, 10
+	blocks := make([]BlockSpec, n)
+	for i := range blocks {
+		blocks[i] = soft(100_000)
+	}
+	p := &Problem{Region: geom.RectXYWH(0, 0, 900, 700), Blocks: blocks, Affinity: aff}
+
+	// Reference: evaluate the untouched balanced expression.
+	sl := make([]slicing.Block, n)
+	for i := range blocks {
+		sl[i] = blocks[i].Block
+	}
+	e0 := slicing.NewBalanced(n)
+	ev0 := slicing.Evaluate(&e0, sl, p.Region, slicing.DefaultEvalParams())
+	ref := wirecost(ev0, p, affinityPairs(p))
+
+	opt := DefaultOptions()
+	opt.Seed = 13
+	r := Solve(p, opt)
+	if r.Cost > ref {
+		t.Errorf("annealed cost %v worse than initial %v", r.Cost, ref)
+	}
+}
+
+func TestAffinityPairsSkipTerminalTerminal(t *testing.T) {
+	aff := make([][]float64, 3)
+	for i := range aff {
+		aff[i] = make([]float64, 3)
+	}
+	aff[1][2], aff[2][1] = 9, 9 // terminal-terminal
+	aff[0][1], aff[1][0] = 2, 2 // block-terminal
+	p := &Problem{
+		Region:    geom.RectXYWH(0, 0, 10, 10),
+		Blocks:    []BlockSpec{soft(10)},
+		Terminals: []Terminal{{Pos: geom.Pt(0, 0)}, {Pos: geom.Pt(9, 9)}},
+		Affinity:  aff,
+	}
+	pairs := affinityPairs(p)
+	if len(pairs) != 1 || pairs[0].i != 0 || pairs[0].j != 1 {
+		t.Errorf("pairs = %+v, want only block-terminal", pairs)
+	}
+}

@@ -1,0 +1,216 @@
+// Package leffmt reads and writes the macro subset of LEF (Library
+// Exchange Format): MACRO blocks with CLASS, SIZE and PIN records. It is
+// how macro libraries arrive from memory compilers in practice, and it
+// pairs with the Verilog front end (which needs macro outlines and pin
+// geometry) and the DEF writer.
+//
+// Supported subset per MACRO: CLASS BLOCK, SIZE <w> BY <h> (microns),
+// ORIGIN (ignored), and PIN blocks with DIRECTION INPUT|OUTPUT and an
+// optional PORT/RECT whose center becomes the pin offset. Bus pins may be
+// written per bit (D[0], D[1], ...) and are re-clustered on read.
+package leffmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/verilog"
+)
+
+// dbuPerMicron converts the synthetic 1 nm DBU to LEF microns.
+const dbuPerMicron = 1000
+
+// Write emits every macro of a library as LEF.
+func Write(w io.Writer, lib *verilog.Library) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "VERSION 5.8 ;\nBUSBITCHARS \"[]\" ;\nDIVIDERCHAR \"/\" ;\n\n")
+
+	var names []string
+	for name, c := range lib.Cells {
+		if c.Kind == netlist.KindMacro {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		c := lib.Cell(name)
+		fmt.Fprintf(bw, "MACRO %s\n", name)
+		fmt.Fprintf(bw, "  CLASS BLOCK ;\n")
+		fmt.Fprintf(bw, "  ORIGIN 0 0 ;\n")
+		fmt.Fprintf(bw, "  SIZE %s BY %s ;\n", microns(c.Width), microns(c.Height))
+		for _, p := range c.Pins {
+			dir := "INPUT"
+			if p.Dir == netlist.DirOut {
+				dir = "OUTPUT"
+			}
+			for bit := 0; bit < p.Width; bit++ {
+				pin := p.Name
+				if p.Width > 1 {
+					pin = fmt.Sprintf("%s[%d]", p.Name, bit)
+				}
+				off := geom.Pt(p.Offset.X, p.Offset.Y+int64(bit)*p.Pitch)
+				fmt.Fprintf(bw, "  PIN %s\n    DIRECTION %s ;\n", pin, dir)
+				fmt.Fprintf(bw, "    PORT\n      LAYER M4 ;\n      RECT %s %s %s %s ;\n    END\n",
+					microns(off.X-50), microns(off.Y-50), microns(off.X+50), microns(off.Y+50))
+				fmt.Fprintf(bw, "  END %s\n", pin)
+			}
+		}
+		fmt.Fprintf(bw, "END %s\n\n", name)
+	}
+	fmt.Fprintf(bw, "END LIBRARY\n")
+	return bw.Flush()
+}
+
+func microns(dbu int64) string {
+	return strconv.FormatFloat(float64(dbu)/dbuPerMicron, 'f', -1, 64)
+}
+
+// Read parses LEF macros into (or onto) a library. When base is nil a new
+// library containing only the macros is returned; otherwise the macros are
+// added to base and base is returned.
+func Read(r io.Reader, base *verilog.Library) (*verilog.Library, error) {
+	lib := base
+	if lib == nil {
+		lib = &verilog.Library{Cells: map[string]*verilog.LibCell{}}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	var cur *lefMacro
+	var curPin *lefPin
+	line := 0
+	for sc.Scan() {
+		line++
+		f := strings.Fields(strings.TrimSuffix(strings.TrimSpace(sc.Text()), ";"))
+		f = trimTrailing(f)
+		if len(f) == 0 {
+			continue
+		}
+		switch {
+		case f[0] == "MACRO" && len(f) >= 2:
+			cur = &lefMacro{name: f[1]}
+		case f[0] == "SIZE" && cur != nil && len(f) >= 4 && f[2] == "BY":
+			w, err1 := parseMicrons(f[1])
+			h, err2 := parseMicrons(f[3])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("leffmt: line %d: bad SIZE", line)
+			}
+			cur.w, cur.h = w, h
+		case f[0] == "PIN" && cur != nil && len(f) >= 2:
+			curPin = &lefPin{name: f[1], dir: netlist.DirIn}
+			cur.pins = append(cur.pins, curPin)
+		case f[0] == "DIRECTION" && curPin != nil && len(f) >= 2:
+			if strings.EqualFold(f[1], "OUTPUT") {
+				curPin.dir = netlist.DirOut
+			}
+		case f[0] == "RECT" && curPin != nil && len(f) >= 5:
+			x1, e1 := parseMicrons(f[1])
+			y1, e2 := parseMicrons(f[2])
+			x2, e3 := parseMicrons(f[3])
+			y2, e4 := parseMicrons(f[4])
+			if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
+				return nil, fmt.Errorf("leffmt: line %d: bad RECT", line)
+			}
+			curPin.off = geom.Pt((x1+x2)/2, (y1+y2)/2)
+			curPin.hasOff = true
+		case f[0] == "END" && cur != nil && len(f) >= 2 && f[1] == cur.name:
+			lib.Add(cur.toLibCell())
+			cur = nil
+			curPin = nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("leffmt: unterminated MACRO %s", cur.name)
+	}
+	return lib, nil
+}
+
+func trimTrailing(f []string) []string {
+	for len(f) > 0 && f[len(f)-1] == ";" {
+		f = f[:len(f)-1]
+	}
+	return f
+}
+
+func parseMicrons(s string) (int64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	return int64(v * dbuPerMicron), nil
+}
+
+type lefPin struct {
+	name   string
+	dir    netlist.PinDir
+	off    geom.Point
+	hasOff bool
+}
+
+type lefMacro struct {
+	name string
+	w, h int64
+	pins []*lefPin
+}
+
+// toLibCell re-clusters per-bit pins (D[0], D[1], ...) into bus PinSpecs.
+func (m *lefMacro) toLibCell() *verilog.LibCell {
+	c := &verilog.LibCell{Name: m.name, Kind: netlist.KindMacro, Width: m.w, Height: m.h}
+	type bus struct {
+		dir  netlist.PinDir
+		bits []*lefPin
+		idx  []int
+	}
+	buses := map[string]*bus{}
+	var order []string
+	for _, p := range m.pins {
+		base, bit, ok := netlist.ArrayBase(p.name)
+		if !ok {
+			base, bit = p.name, 0
+		}
+		b := buses[base]
+		if b == nil {
+			b = &bus{dir: p.dir}
+			buses[base] = b
+			order = append(order, base)
+		}
+		b.bits = append(b.bits, p)
+		b.idx = append(b.idx, bit)
+	}
+	for _, base := range order {
+		b := buses[base]
+		// Sort bits by declared index.
+		sort.Sort(&pinSorter{b.bits, b.idx})
+		spec := verilog.PinSpec{Name: base, Dir: b.dir, Width: len(b.bits)}
+		if b.bits[0].hasOff {
+			spec.Offset = b.bits[0].off
+			if len(b.bits) > 1 && b.bits[1].hasOff {
+				spec.Pitch = b.bits[1].off.Y - b.bits[0].off.Y
+			}
+		}
+		c.Pins = append(c.Pins, spec)
+	}
+	return c
+}
+
+type pinSorter struct {
+	pins []*lefPin
+	idx  []int
+}
+
+func (s *pinSorter) Len() int           { return len(s.pins) }
+func (s *pinSorter) Less(i, j int) bool { return s.idx[i] < s.idx[j] }
+func (s *pinSorter) Swap(i, j int) {
+	s.pins[i], s.pins[j] = s.pins[j], s.pins[i]
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+}

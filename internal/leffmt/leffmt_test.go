@@ -1,0 +1,149 @@
+package leffmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/verilog"
+)
+
+func sampleLib() *verilog.Library {
+	lib := &verilog.Library{Cells: map[string]*verilog.LibCell{}}
+	lib.AddMacro("RAM512x64", 48_000, 30_000, 64)
+	lib.AddMacro("ROM2K", 36_000, 24_000, 32)
+	return lib
+}
+
+func TestWriteStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleLib()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"MACRO RAM512x64",
+		"CLASS BLOCK ;",
+		"SIZE 48 BY 30 ;",
+		"PIN D[0]",
+		"DIRECTION INPUT ;",
+		"PIN Q[63]",
+		"DIRECTION OUTPUT ;",
+		"END RAM512x64",
+		"MACRO ROM2K",
+		"END LIBRARY",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// ROM2K precedes RAM512x64? Names sorted: RAM512x64 < ROM2K.
+	if strings.Index(out, "MACRO RAM512x64") > strings.Index(out, "MACRO ROM2K") {
+		t.Error("macros not sorted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := sampleLib()
+	var buf bytes.Buffer
+	if err := Write(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"RAM512x64", "ROM2K"} {
+		want := src.Cell(name)
+		c := got.Cell(name)
+		if c == nil {
+			t.Fatalf("macro %s lost", name)
+		}
+		if c.Width != want.Width || c.Height != want.Height {
+			t.Errorf("%s size = %dx%d, want %dx%d", name, c.Width, c.Height, want.Width, want.Height)
+		}
+		if c.Kind != netlist.KindMacro {
+			t.Errorf("%s kind = %v", name, c.Kind)
+		}
+		// Bus pins re-clustered with widths and direction.
+		for _, pin := range []string{"D", "Q"} {
+			ps := c.Pin(pin)
+			ws := want.Pin(pin)
+			if ps == nil {
+				t.Fatalf("%s pin %s lost", name, pin)
+			}
+			if ps.Width != ws.Width {
+				t.Errorf("%s.%s width = %d, want %d", name, pin, ps.Width, ws.Width)
+			}
+			if ps.Dir != ws.Dir {
+				t.Errorf("%s.%s dir = %v, want %v", name, pin, ps.Dir, ws.Dir)
+			}
+			if ps.Pitch != ws.Pitch {
+				t.Errorf("%s.%s pitch = %d, want %d", name, pin, ps.Pitch, ws.Pitch)
+			}
+		}
+		if c.Pin("CE") == nil || c.Pin("CE").Width != 1 {
+			t.Errorf("%s CE pin lost", name)
+		}
+	}
+}
+
+func TestReadIntoBase(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleLib()); err != nil {
+		t.Fatal(err)
+	}
+	base := verilog.DefaultLibrary()
+	got, err := Read(&buf, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != base {
+		t.Error("Read should return the base library")
+	}
+	if got.Cell("DFF") == nil || got.Cell("RAM512x64") == nil {
+		t.Error("base cells or macros missing after merge")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("MACRO m\n SIZE x BY 3 ;\nEND m\n"), nil); err == nil {
+		t.Error("bad SIZE should fail")
+	}
+	if _, err := Read(strings.NewReader("MACRO m\n SIZE 1 BY 1 ;\n"), nil); err == nil {
+		t.Error("unterminated macro should fail")
+	}
+	if _, err := Read(strings.NewReader("MACRO m\nPIN p\nPORT\nRECT a b c d ;\nEND\nEND p\nEND m\n"), nil); err == nil {
+		t.Error("bad RECT should fail")
+	}
+}
+
+func TestLEFIntoVerilogElaboration(t *testing.T) {
+	// The LEF-read library must drive Verilog elaboration end to end.
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleLib()); err != nil {
+		t.Fatal(err)
+	}
+	lib, err := Read(&buf, verilog.DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+module top (d, q);
+  input [31:0] d;
+  output [31:0] q;
+  ROM2K u_rom (.D(d), .Q(q));
+endmodule`
+	f, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := verilog.Elaborate(f, "top", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().MacroCells != 1 {
+		t.Error("macro not instantiated from LEF library")
+	}
+}

@@ -1,0 +1,145 @@
+// Package legalize removes residual overlaps from macro placements. All
+// three flows (HiDaP, IndEDA, handFP) run it as a final safety net so that
+// metric comparisons never see overlapping macros.
+package legalize
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/placement"
+)
+
+// Macros removes residual macro overlaps after the recursive
+// floorplan. The slicing penalties keep HiDaP layouts essentially legal;
+// this pass only mops up slivers introduced by corner-fixing macros whose
+// block rectangles were slightly undersized. Strategy: process macros in
+// decreasing area (big macros anchor); an overlapping macro is pushed off
+// its anchor in the direction that minimizes displacement plus the overlap
+// it would create against every other macro, clamped to the die.
+func Macros(pl *placement.Placement, die geom.Rect) {
+	d := pl.D
+	var order []netlist.CellID
+	for _, m := range d.Macros() {
+		if pl.Placed[m] {
+			order = append(order, m)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		ai := d.Cell(order[i]).Area()
+		aj := d.Cell(order[j]).Area()
+		if ai != aj {
+			return ai > aj
+		}
+		return order[i] < order[j]
+	})
+
+	// First, pull every macro inside the die; overlap resolution assumes
+	// in-die rectangles.
+	for _, m := range order {
+		r := pl.Rect(m).ClampInside(die)
+		if geom.Pt(r.X, r.Y) != pl.Pos[m] {
+			pl.PlaceOriented(m, geom.Pt(r.X, r.Y), pl.Orient[m])
+		}
+	}
+
+	overlapAgainst := func(r geom.Rect, skip netlist.CellID) int64 {
+		var sum int64
+		for _, o := range order {
+			if o == skip {
+				continue
+			}
+			sum += r.Intersect(pl.Rect(o)).Area()
+		}
+		return sum
+	}
+
+	const maxPasses = 60
+	for pass := 0; pass < maxPasses; pass++ {
+		moved := false
+		for i, m := range order {
+			rm := pl.Rect(m)
+			var anchor geom.Rect
+			found := false
+			for _, a := range order[:i] {
+				if ra := pl.Rect(a); rm.Intersects(ra) {
+					anchor = ra
+					found = true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+			// Candidate displacements: flush left/right/below/above anchor.
+			cands := [4][2]int64{
+				{anchor.X - rm.X2(), 0},
+				{anchor.X2() - rm.X, 0},
+				{0, anchor.Y - rm.Y2()},
+				{0, anchor.Y2() - rm.Y},
+			}
+			best := rm
+			bestScore := int64(-1)
+			for _, c := range cands {
+				cand := rm.Translate(c[0], c[1]).ClampInside(die)
+				score := abs64(c[0]) + abs64(c[1]) + overlapAgainst(cand, m)*16
+				if bestScore < 0 || score < bestScore {
+					bestScore = score
+					best = cand
+				}
+			}
+			if best != rm {
+				pl.PlaceOriented(m, geom.Pt(best.X, best.Y), pl.Orient[m])
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	if pl.MacroOverlapArea() > 0 {
+		shelfCompact(pl, order, die)
+	}
+}
+
+// shelfCompact is the guaranteed-legal fallback for dies so tight the
+// local pushes deadlock: macros are re-packed into shelves in row-major
+// order of their current positions, preserving neighborhoods while
+// removing every overlap that physically can be removed.
+func shelfCompact(pl *placement.Placement, order []netlist.CellID, die geom.Rect) {
+	sorted := append([]netlist.CellID(nil), order...)
+	sort.Slice(sorted, func(i, j int) bool {
+		pi, pj := pl.Pos[sorted[i]], pl.Pos[sorted[j]]
+		if pi.Y != pj.Y {
+			return pi.Y < pj.Y
+		}
+		if pi.X != pj.X {
+			return pi.X < pj.X
+		}
+		return sorted[i] < sorted[j]
+	})
+	x, y := die.X, die.Y
+	var shelfH int64
+	for _, m := range sorted {
+		r := pl.Rect(m)
+		if x+r.W > die.X2() && x > die.X {
+			x = die.X
+			y += shelfH
+			shelfH = 0
+		}
+		nr := geom.RectXYWH(x, y, r.W, r.H).ClampInside(die)
+		pl.PlaceOriented(m, geom.Pt(nr.X, nr.Y), pl.Orient[m])
+		x += r.W
+		if r.H > shelfH {
+			shelfH = r.H
+		}
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,110 @@
+package legalize
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/placement"
+)
+
+func macroDesign(t testing.TB, n int, w, h int64) (*netlist.Design, []netlist.CellID) {
+	t.Helper()
+	b := netlist.NewBuilder("lg")
+	b.SetDie(geom.RectXYWH(0, 0, 100_000, 100_000))
+	var ids []netlist.CellID
+	for i := 0; i < n; i++ {
+		ids = append(ids, b.AddMacro(fmt.Sprintf("m%d", i), w, h, ""))
+	}
+	return b.MustBuild(), ids
+}
+
+func TestMacrosSeparatesStack(t *testing.T) {
+	d, ids := macroDesign(t, 6, 20_000, 20_000)
+	pl := placement.New(d)
+	for _, id := range ids {
+		pl.Place(id, geom.Pt(40_000, 40_000))
+	}
+	Macros(pl, d.Die)
+	if ov := pl.MacroOverlapArea(); ov != 0 {
+		t.Errorf("overlap = %d", ov)
+	}
+	if err := pl.MacrosInsideDie(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMacrosClampsEscapees(t *testing.T) {
+	d, ids := macroDesign(t, 2, 10_000, 10_000)
+	pl := placement.New(d)
+	pl.Place(ids[0], geom.Pt(95_000, 95_000)) // hangs off the die
+	pl.Place(ids[1], geom.Pt(-5_000, 50_000))
+	Macros(pl, d.Die)
+	if err := pl.MacrosInsideDie(); err != nil {
+		t.Error(err)
+	}
+	if ov := pl.MacroOverlapArea(); ov != 0 {
+		t.Errorf("overlap = %d", ov)
+	}
+}
+
+func TestMacrosPreservesLegalPlacement(t *testing.T) {
+	d, ids := macroDesign(t, 3, 10_000, 10_000)
+	pl := placement.New(d)
+	want := []geom.Point{{X: 0, Y: 0}, {X: 20_000, Y: 0}, {X: 40_000, Y: 0}}
+	for i, id := range ids {
+		pl.Place(id, want[i])
+	}
+	Macros(pl, d.Die)
+	for i, id := range ids {
+		if pl.Pos[id] != want[i] {
+			t.Errorf("macro %d moved from %v to %v despite legality", i, want[i], pl.Pos[id])
+		}
+	}
+}
+
+func TestMacrosRandomClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(10)
+		d, ids := macroDesign(t, n, 8_000+rng.Int63n(8_000), 8_000+rng.Int63n(8_000))
+		pl := placement.New(d)
+		for _, id := range ids {
+			pl.Place(id, geom.Pt(rng.Int63n(90_000), rng.Int63n(90_000)))
+		}
+		Macros(pl, d.Die)
+		if ov := pl.MacroOverlapArea(); ov != 0 {
+			t.Fatalf("trial %d: overlap %d after legalization", trial, ov)
+		}
+		if err := pl.MacrosInsideDie(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestMacrosKeepsOrientation(t *testing.T) {
+	d, ids := macroDesign(t, 2, 20_000, 10_000)
+	pl := placement.New(d)
+	pl.PlaceOriented(ids[0], geom.Pt(0, 0), geom.R90)
+	pl.PlaceOriented(ids[1], geom.Pt(0, 0), geom.MX)
+	Macros(pl, d.Die)
+	if pl.Orient[ids[0]] != geom.R90 || pl.Orient[ids[1]] != geom.MX {
+		t.Error("legalization changed orientations")
+	}
+	if ov := pl.MacroOverlapArea(); ov != 0 {
+		t.Errorf("overlap = %d", ov)
+	}
+}
+
+func TestMacrosSkipsUnplaced(t *testing.T) {
+	d, ids := macroDesign(t, 2, 10_000, 10_000)
+	pl := placement.New(d)
+	pl.Place(ids[0], geom.Pt(0, 0))
+	// ids[1] unplaced: must not panic or get a position.
+	Macros(pl, d.Die)
+	if pl.Placed[ids[1]] {
+		t.Error("legalization placed an unplaced macro")
+	}
+}

@@ -1,0 +1,156 @@
+// Package metrics computes the evaluation quantities the paper reports:
+// wirelength in meters, geometric means for table aggregation, and the
+// standard-cell density maps of Fig. 9.
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/placement"
+)
+
+// DBUPerMeter converts the synthetic library's 1 nm DBU to meters.
+const DBUPerMeter = 1e9
+
+// WirelengthMeters returns the total HPWL of a placement in meters.
+func WirelengthMeters(pl *placement.Placement) float64 {
+	return float64(pl.TotalHPWL()) / DBUPerMeter
+}
+
+// GeoMean returns the geometric mean of positive values; zero for empty
+// input. The paper uses geometric means "to reduce sensitivity to extreme
+// values".
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(vals)))
+}
+
+// DensityMap is a standard-cell area density grid (Fig. 9): Cells holds
+// per-bin standard-cell utilization (cell area / usable bin area), and
+// Macro marks bins majorly covered by macros.
+type DensityMap struct {
+	Bins  int
+	Cells []float64
+	Macro []bool
+}
+
+// At returns the utilization at a bin coordinate.
+func (m *DensityMap) At(bx, by int) float64 { return m.Cells[by*m.Bins+bx] }
+
+// IsMacro reports whether a bin is macro-covered.
+func (m *DensityMap) IsMacro(bx, by int) bool { return m.Macro[by*m.Bins+bx] }
+
+// Peak returns the maximum standard-cell utilization over non-macro bins.
+func (m *DensityMap) Peak() float64 {
+	peak := 0.0
+	for i, v := range m.Cells {
+		if !m.Macro[i] && v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// Density builds the standard-cell density map of a placed design.
+func Density(pl *placement.Placement, bins int) *DensityMap {
+	if bins <= 0 {
+		bins = 32
+	}
+	d := pl.D
+	m := &DensityMap{
+		Bins:  bins,
+		Cells: make([]float64, bins*bins),
+		Macro: make([]bool, bins*bins),
+	}
+	die := d.Die
+	binArea := make([]float64, bins*bins)
+	macroArea := make([]float64, bins*bins)
+	for by := 0; by < bins; by++ {
+		for bx := 0; bx < bins; bx++ {
+			binArea[by*bins+bx] = float64(binRect(die, bins, bx, by).Area())
+		}
+	}
+	for _, mc := range d.Macros() {
+		if !pl.Placed[mc] {
+			continue
+		}
+		mr := pl.Rect(mc)
+		x0, y0 := binIndex(die, bins, mr.X, mr.Y)
+		x1, y1 := binIndex(die, bins, mr.X2(), mr.Y2())
+		for by := y0; by <= y1; by++ {
+			for bx := x0; bx <= x1; bx++ {
+				macroArea[by*bins+bx] += float64(binRect(die, bins, bx, by).Intersect(mr).Area())
+			}
+		}
+	}
+	for i := range macroArea {
+		if binArea[i] > 0 && macroArea[i]/binArea[i] > 0.5 {
+			m.Macro[i] = true
+		}
+	}
+	for i := range d.Cells {
+		id := netlist.CellID(i)
+		c := d.Cell(id)
+		if c.Kind != netlist.KindComb && c.Kind != netlist.KindFlop {
+			continue
+		}
+		if !pl.Placed[id] {
+			continue
+		}
+		bx, by := binIndex(die, bins, pl.Center(id).X, pl.Center(id).Y)
+		m.Cells[by*bins+bx] += float64(c.Area())
+	}
+	for i := range m.Cells {
+		usable := binArea[i] - macroArea[i]
+		if usable > 1 {
+			m.Cells[i] /= usable
+		} else {
+			m.Cells[i] = 0
+		}
+	}
+	return m
+}
+
+func binRect(die geom.Rect, n, bx, by int) geom.Rect {
+	x0 := die.X + die.W*int64(bx)/int64(n)
+	x1 := die.X + die.W*int64(bx+1)/int64(n)
+	y0 := die.Y + die.H*int64(by)/int64(n)
+	y1 := die.Y + die.H*int64(by+1)/int64(n)
+	return geom.RectXYWH(x0, y0, x1-x0, y1-y0)
+}
+
+func binIndex(die geom.Rect, n int, x, y int64) (int, int) {
+	bx := int((x - die.X) * int64(n) / maxi64(die.W, 1))
+	by := int((y - die.Y) * int64(n) / maxi64(die.H, 1))
+	if bx < 0 {
+		bx = 0
+	}
+	if bx >= n {
+		bx = n - 1
+	}
+	if by < 0 {
+		by = 0
+	}
+	if by >= n {
+		by = n - 1
+	}
+	return bx, by
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

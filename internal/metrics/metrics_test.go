@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/placement"
+)
+
+func TestWirelengthMeters(t *testing.T) {
+	b := netlist.NewBuilder("wl")
+	b.SetDie(geom.RectXYWH(0, 0, 10_000_000, 10_000_000))
+	m1 := b.AddMacro("m1", 100, 100, "")
+	m2 := b.AddMacro("m2", 100, 100, "")
+	b.Wire("n", m1, m2)
+	d := b.MustBuild()
+	pl := placement.New(d)
+	pl.Place(m1, geom.Pt(0, 0))
+	pl.Place(m2, geom.Pt(1_000_000, 0)) // 1 mm apart (center to center)
+	got := WirelengthMeters(pl)
+	if math.Abs(got-0.001) > 1e-9 {
+		t.Errorf("WL = %v m, want 0.001", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{5}); got != 5 {
+		t.Errorf("GeoMean(5) = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+	if got := GeoMean([]float64{1, 0}); got != 0 {
+		t.Errorf("GeoMean with zero = %v", got)
+	}
+	// Less sensitive to outliers than the arithmetic mean.
+	gm := GeoMean([]float64{1, 1, 100})
+	if gm >= 34 {
+		t.Errorf("GeoMean(1,1,100) = %v, want << arithmetic mean 34", gm)
+	}
+}
+
+func TestDensityMap(t *testing.T) {
+	b := netlist.NewBuilder("dm")
+	b.SetDie(geom.RectXYWH(0, 0, 64_000, 64_000))
+	mac := b.AddMacro("mac", 16_000, 16_000, "")
+	var cells []netlist.CellID
+	for i := 0; i < 64; i++ {
+		cells = append(cells, b.AddComb(fmt.Sprintf("c%d", i), 1_000_000, ""))
+	}
+	d := b.MustBuild()
+	pl := placement.New(d)
+	pl.Place(mac, geom.Pt(0, 0)) // lower-left quadrant corner
+	// All cells in the upper-right corner bin region.
+	for _, c := range cells {
+		pl.Place(c, geom.Pt(60_000, 60_000))
+	}
+	m := Density(pl, 8)
+
+	if !m.IsMacro(0, 0) {
+		t.Error("macro bin not marked")
+	}
+	if m.IsMacro(7, 7) {
+		t.Error("cell bin wrongly marked as macro")
+	}
+	// Upper-right bin is hot.
+	if m.At(7, 7) <= m.At(4, 4) {
+		t.Errorf("hot bin %v <= empty bin %v", m.At(7, 7), m.At(4, 4))
+	}
+	if m.Peak() != m.At(7, 7) {
+		t.Errorf("Peak = %v, want %v", m.Peak(), m.At(7, 7))
+	}
+}
+
+func TestDensityIgnoresMacroAreaInCells(t *testing.T) {
+	b := netlist.NewBuilder("dm2")
+	b.SetDie(geom.RectXYWH(0, 0, 10_000, 10_000))
+	mac := b.AddMacro("mac", 9_000, 9_000, "")
+	d := b.MustBuild()
+	pl := placement.New(d)
+	pl.Place(mac, geom.Pt(500, 500))
+	m := Density(pl, 4)
+	for by := 0; by < 4; by++ {
+		for bx := 0; bx < 4; bx++ {
+			if m.At(bx, by) != 0 {
+				t.Errorf("bin %d,%d has cell density %v with no std cells", bx, by, m.At(bx, by))
+			}
+		}
+	}
+}

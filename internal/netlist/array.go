@@ -1,0 +1,49 @@
+package netlist
+
+import "strings"
+
+// ArrayBase recognizes array-structured component names, the RTL-stage
+// information the paper exploits to cluster flops and ports into multi-bit
+// registers (§IV-D step 2). Two spellings are recognized, matching common
+// synthesis-tool output:
+//
+//	name[17]   — bracketed bit index
+//	name_17    — synthesized underscore suffix
+//
+// The base name keeps the full hierarchical prefix, so two equally named
+// registers in different hierarchy levels never merge. ArrayBase returns
+// the base name, the bit index and true; or the input, 0 and false when the
+// name carries no recognizable index.
+func ArrayBase(name string) (base string, bit int, ok bool) {
+	if n := len(name); n >= 3 && name[n-1] == ']' {
+		open := strings.LastIndexByte(name, '[')
+		if open > 0 {
+			if idx, ok := parseUint(name[open+1 : n-1]); ok {
+				return name[:open], idx, true
+			}
+		}
+	}
+	if us := strings.LastIndexByte(name, '_'); us > 0 && us < len(name)-1 {
+		if idx, ok := parseUint(name[us+1:]); ok {
+			return name[:us], idx, true
+		}
+	}
+	return name, 0, false
+}
+
+// parseUint parses a small non-negative decimal integer without allocation.
+// It rejects empty strings, signs, and anything non-numeric.
+func parseUint(s string) (int, bool) {
+	if len(s) == 0 || len(s) > 7 {
+		return 0, false
+	}
+	v := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int(c-'0')
+	}
+	return v, true
+}

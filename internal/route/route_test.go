@@ -1,0 +1,114 @@
+package route
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/placement"
+)
+
+// hotspot builds a design whose nets all cross the die center.
+func hotspot(t testing.TB, nets int) *placement.Placement {
+	b := netlist.NewBuilder("hs")
+	b.SetDie(geom.RectXYWH(0, 0, 100_000, 100_000))
+	b.AddMacro("anchor", 1000, 1000, "")
+	var cells []netlist.CellID
+	for i := 0; i < nets*2; i++ {
+		cells = append(cells, b.AddComb(fmt.Sprintf("c%d", i), 1000, ""))
+	}
+	for i := 0; i < nets; i++ {
+		b.Wire(fmt.Sprintf("n%d", i), cells[2*i], cells[2*i+1])
+	}
+	d := b.MustBuild()
+	pl := placement.New(d)
+	pl.Place(d.CellByName("anchor"), geom.Pt(0, 0))
+	for i := 0; i < nets; i++ {
+		// Diagonal nets through the center.
+		pl.Place(cells[2*i], geom.Pt(10_000, 10_000))
+		pl.Place(cells[2*i+1], geom.Pt(90_000, 90_000))
+	}
+	return pl
+}
+
+func TestEstimateBasics(t *testing.T) {
+	pl := hotspot(t, 10)
+	res := Estimate(pl, DefaultOptions())
+	if res.Bins != DefaultOptions().GcellBins {
+		t.Errorf("Bins = %d", res.Bins)
+	}
+	if res.TotalDemand <= 0 {
+		t.Error("no demand accumulated")
+	}
+	if res.OverflowPct < 0 || res.OverflowPct > 100 {
+		t.Errorf("OverflowPct = %v", res.OverflowPct)
+	}
+}
+
+func TestMoreNetsMoreCongestion(t *testing.T) {
+	sparse := Estimate(hotspot(t, 5), DefaultOptions())
+	dense := Estimate(hotspot(t, 8000), DefaultOptions())
+	if dense.WorstRatio <= sparse.WorstRatio {
+		t.Errorf("dense WorstRatio %v <= sparse %v", dense.WorstRatio, sparse.WorstRatio)
+	}
+	if dense.OverflowPct <= sparse.OverflowPct {
+		t.Errorf("dense overflow %v <= sparse %v", dense.OverflowPct, sparse.OverflowPct)
+	}
+}
+
+func TestDemandCoversNetBBox(t *testing.T) {
+	pl := hotspot(t, 1)
+	res := Estimate(pl, DefaultOptions())
+	// Demand must appear in the central bins the diagonal bbox covers and
+	// stay ~zero in an untouched corner... the corner bins get only the
+	// smeared margin, so compare against the bbox center bin.
+	cx, cy := res.Bins/2, res.Bins/2
+	dC, _ := res.At(cx, cy)
+	dCorner, _ := res.At(0, res.Bins-1)
+	if dC <= dCorner {
+		t.Errorf("center demand %v <= corner %v", dC, dCorner)
+	}
+}
+
+func TestMacroDerate(t *testing.T) {
+	// A huge macro in the middle cuts capacity there.
+	b := netlist.NewBuilder("blk")
+	b.SetDie(geom.RectXYWH(0, 0, 100_000, 100_000))
+	m := b.AddMacro("big", 40_000, 40_000, "")
+	d := b.MustBuild()
+	pl := placement.New(d)
+	pl.Place(m, geom.Pt(30_000, 30_000))
+	res := Estimate(pl, DefaultOptions())
+	_, capCenter := res.At(res.Bins/2, res.Bins/2)
+	_, capCorner := res.At(0, 0)
+	if capCenter >= capCorner {
+		t.Errorf("capacity over macro %v >= open corner %v", capCenter, capCorner)
+	}
+	if capCenter <= 0 {
+		t.Error("macro derate should leave some capacity")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Estimate(hotspot(t, 50), DefaultOptions())
+	b := Estimate(hotspot(t, 50), DefaultOptions())
+	if a.OverflowPct != b.OverflowPct || a.TotalDemand != b.TotalDemand {
+		t.Error("estimate nondeterministic")
+	}
+}
+
+func TestSinglePinNetsIgnored(t *testing.T) {
+	b := netlist.NewBuilder("sp")
+	b.SetDie(geom.RectXYWH(0, 0, 10_000, 10_000))
+	m := b.AddMacro("m", 100, 100, "")
+	n := b.Net("n")
+	b.Connect(m, n, netlist.DirOut)
+	d := b.MustBuild()
+	pl := placement.New(d)
+	pl.Place(m, geom.Pt(0, 0))
+	res := Estimate(pl, DefaultOptions())
+	if res.TotalDemand != 0 {
+		t.Errorf("single-pin net contributed demand %v", res.TotalDemand)
+	}
+}

@@ -1,0 +1,312 @@
+// Package shape implements shape curves (Γ in the paper): staircase
+// functions describing the Pareto-minimal bounding boxes that can hold a
+// placement of a set of hard macros.
+//
+// A Curve stores the Pareto corner points sorted by increasing width and
+// strictly decreasing height. A box (w, h) "fits" the curve if some corner
+// (w', h') has w' <= w and h' <= h; equivalently the staircase evaluated at
+// w is at most h. Curves compose under slicing cuts in the Stockmeyer
+// fashion: a horizontal juxtaposition adds widths and maxes heights, a
+// vertical stack adds heights and maxes widths.
+package shape
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one Pareto corner of a shape curve: a minimal bounding box.
+type Point struct {
+	W, H int64
+}
+
+// Area returns the box area of the corner.
+func (p Point) Area() int64 { return p.W * p.H }
+
+// Curve is a shape curve: Pareto-minimal (W, H) corners, sorted by
+// increasing W (and therefore strictly decreasing H). The zero value is the
+// empty curve, which represents "nothing to place": everything fits it and
+// its MinHeightForWidth is 0.
+type Curve struct {
+	pts []Point
+}
+
+// MaxPoints bounds the number of corners kept per curve. Compositions can
+// grow quadratically; curves are thinned back to this budget while always
+// keeping the two extreme corners. 64 corners track the true staircase
+// closely for the block counts used at one floorplanning level.
+const MaxPoints = 64
+
+// FromBox returns the curve of a single fixed w×h box.
+func FromBox(w, h int64) Curve {
+	if w <= 0 || h <= 0 {
+		return Curve{}
+	}
+	return Curve{pts: []Point{{w, h}}}
+}
+
+// FromBoxRotatable returns the curve of a w×h box that may also be placed
+// rotated by 90 degrees.
+func FromBoxRotatable(w, h int64) Curve {
+	if w <= 0 || h <= 0 {
+		return Curve{}
+	}
+	if w == h {
+		return Curve{pts: []Point{{w, h}}}
+	}
+	return FromPoints([]Point{{w, h}, {h, w}})
+}
+
+// FromPoints builds a curve from arbitrary candidate boxes, pruning
+// dominated ones. The input slice is not modified.
+func FromPoints(pts []Point) Curve {
+	cp := make([]Point, 0, len(pts))
+	for _, p := range pts {
+		if p.W > 0 && p.H > 0 {
+			cp = append(cp, p)
+		}
+	}
+	return Curve{pts: prune(cp)}
+}
+
+// prune sorts candidates and removes Pareto-dominated points, returning the
+// canonical corner list.
+func prune(pts []Point) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].W != pts[j].W {
+			return pts[i].W < pts[j].W
+		}
+		return pts[i].H < pts[j].H
+	})
+	out := pts[:0]
+	for _, p := range pts {
+		// Drop p if the last kept point dominates it; drop kept points that
+		// p dominates (they have smaller-or-equal W, so only equal-W cases
+		// plus decreasing-H violations).
+		for len(out) > 0 {
+			last := out[len(out)-1]
+			if last.H <= p.H {
+				// last dominates p (last.W <= p.W by sort order).
+				goto next
+			}
+			if last.W == p.W {
+				// p has smaller H at same W: replace.
+				out = out[:len(out)-1]
+				continue
+			}
+			break
+		}
+		out = append(out, p)
+	next:
+	}
+	return thin(out)
+}
+
+// thin reduces the corner count to MaxPoints, always keeping both extremes
+// and preferring a uniform spread across the list. Thinning only removes
+// interior corners, which keeps the curve conservative: every kept corner is
+// still achievable; some achievable boxes may be reported as slightly larger.
+func thin(pts []Point) []Point { return thinTo(pts, MaxPoints) }
+
+func thinTo(pts []Point, limit int) []Point {
+	n := len(pts)
+	if n <= limit || limit < 2 {
+		return pts
+	}
+	out := make([]Point, 0, limit)
+	for i := 0; i < limit; i++ {
+		idx := i * (n - 1) / (limit - 1)
+		out = append(out, pts[idx])
+	}
+	// Uniform index sampling can duplicate; dedupe while preserving order.
+	ded := out[:1]
+	for _, p := range out[1:] {
+		if p != ded[len(ded)-1] {
+			ded = append(ded, p)
+		}
+	}
+	return ded
+}
+
+// Empty reports whether the curve has no corners (nothing to place).
+func (c Curve) Empty() bool { return len(c.pts) == 0 }
+
+// Len returns the number of Pareto corners.
+func (c Curve) Len() int { return len(c.pts) }
+
+// Points returns a copy of the Pareto corners in canonical order.
+func (c Curve) Points() []Point {
+	out := make([]Point, len(c.pts))
+	copy(out, c.pts)
+	return out
+}
+
+// MinWidth returns the smallest feasible width (0 for the empty curve).
+func (c Curve) MinWidth() int64 {
+	if c.Empty() {
+		return 0
+	}
+	return c.pts[0].W
+}
+
+// MinHeight returns the smallest feasible height (0 for the empty curve).
+func (c Curve) MinHeight() int64 {
+	if c.Empty() {
+		return 0
+	}
+	return c.pts[len(c.pts)-1].H
+}
+
+// MinHeightForWidth returns the smallest height that can hold the contents
+// when the width is at most w. It returns (0, true) for the empty curve and
+// (0, false) when even the narrowest corner is wider than w.
+func (c Curve) MinHeightForWidth(w int64) (int64, bool) {
+	if c.Empty() {
+		return 0, true
+	}
+	// Largest corner with W <= w; corners sorted by W ascending.
+	i := sort.Search(len(c.pts), func(i int) bool { return c.pts[i].W > w })
+	if i == 0 {
+		return 0, false
+	}
+	return c.pts[i-1].H, true
+}
+
+// MinWidthForHeight is the transpose of MinHeightForWidth.
+func (c Curve) MinWidthForHeight(h int64) (int64, bool) {
+	if c.Empty() {
+		return 0, true
+	}
+	// Heights are strictly decreasing; find the first corner with H <= h.
+	i := sort.Search(len(c.pts), func(i int) bool { return c.pts[i].H <= h })
+	if i == len(c.pts) {
+		return 0, false
+	}
+	return c.pts[i].W, true
+}
+
+// Fits reports whether a w×h box can hold the contents.
+func (c Curve) Fits(w, h int64) bool {
+	mh, ok := c.MinHeightForWidth(w)
+	return ok && mh <= h
+}
+
+// MinAreaPoint returns the corner with the smallest box area. For the empty
+// curve it returns the zero Point.
+func (c Curve) MinAreaPoint() Point {
+	var best Point
+	bestArea := int64(math.MaxInt64)
+	for _, p := range c.pts {
+		if a := p.Area(); a < bestArea {
+			bestArea = a
+			best = p
+		}
+	}
+	if c.Empty() {
+		return Point{}
+	}
+	return best
+}
+
+// MinArea returns the smallest feasible box area (0 for the empty curve).
+func (c Curve) MinArea() int64 { return c.MinAreaPoint().Area() }
+
+// Thin returns a copy of the curve with at most k corners, always keeping
+// the two extremes. Thinned curves stay conservative (see thin).
+func (c Curve) Thin(k int) Curve {
+	if len(c.pts) <= k {
+		return c
+	}
+	cp := make([]Point, len(c.pts))
+	copy(cp, c.pts)
+	return Curve{pts: thinTo(cp, k)}
+}
+
+// Rotate returns the curve of the same contents rotated by 90 degrees
+// (every corner transposed).
+func (c Curve) Rotate() Curve {
+	pts := make([]Point, len(c.pts))
+	for i, p := range c.pts {
+		pts[i] = Point{p.H, p.W}
+	}
+	return FromPoints(pts)
+}
+
+// WithRotations returns the union of the curve and its rotation: the shape
+// curve when the contents may be placed in either orientation.
+func (c Curve) WithRotations() Curve { return Union(c, c.Rotate()) }
+
+// Union returns the curve that fits a box iff any input curve fits it
+// (alternative realizations of the same contents).
+func Union(curves ...Curve) Curve {
+	var all []Point
+	for _, c := range curves {
+		all = append(all, c.pts...)
+	}
+	return Curve{pts: prune(all)}
+}
+
+// CombineH places a beside b (horizontal juxtaposition, vertical cut):
+// widths add, heights max. Combining with an empty curve yields the other
+// curve unchanged.
+func CombineH(a, b Curve) Curve {
+	if a.Empty() {
+		return b
+	}
+	if b.Empty() {
+		return a
+	}
+	pts := make([]Point, 0, len(a.pts)*len(b.pts))
+	for _, pa := range a.pts {
+		for _, pb := range b.pts {
+			h := pa.H
+			if pb.H > h {
+				h = pb.H
+			}
+			pts = append(pts, Point{pa.W + pb.W, h})
+		}
+	}
+	return Curve{pts: prune(pts)}
+}
+
+// CombineV stacks a on top of b (horizontal cut): heights add, widths max.
+func CombineV(a, b Curve) Curve {
+	if a.Empty() {
+		return b
+	}
+	if b.Empty() {
+		return a
+	}
+	pts := make([]Point, 0, len(a.pts)*len(b.pts))
+	for _, pa := range a.pts {
+		for _, pb := range b.pts {
+			w := pa.W
+			if pb.W > w {
+				w = pb.W
+			}
+			pts = append(pts, Point{w, pa.H + pb.H})
+		}
+	}
+	return Curve{pts: prune(pts)}
+}
+
+func (c Curve) String() string {
+	if c.Empty() {
+		return "Γ{}"
+	}
+	var sb strings.Builder
+	sb.WriteString("Γ{")
+	for i, p := range c.pts {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%dx%d", p.W, p.H)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}

@@ -1,0 +1,240 @@
+package slicing
+
+import (
+	"repro/internal/geom"
+	"repro/internal/shape"
+)
+
+// Block is one leaf of the slicing tree: the ⟨Γ, am, at⟩ characterization
+// of paper §II-D. Soft blocks (pure standard cells) have an empty Curve.
+type Block struct {
+	// Curve is the shape curve of the block's macros (Γ).
+	Curve shape.Curve
+	// MinArea is am: macros plus standard cells of the block.
+	MinArea int64
+	// TargetArea is at: am plus the glue area assigned to the block.
+	TargetArea int64
+}
+
+// EvalParams weights the graded penalties. The defaults order severity as
+// the paper prescribes: yielding target area is cheap, eating into minimum
+// area is expensive, violating macro feasibility is prohibitive.
+type EvalParams struct {
+	PenaltyAt    float64
+	PenaltyAm    float64
+	PenaltyMacro float64
+	// CompactPoints thins composed shape curves to this corner budget
+	// during bottom-up composition (speed/accuracy knob).
+	CompactPoints int
+}
+
+// DefaultEvalParams returns the standard weights.
+func DefaultEvalParams() EvalParams {
+	return EvalParams{PenaltyAt: 0.5, PenaltyAm: 4, PenaltyMacro: 32, CompactPoints: 12}
+}
+
+// Eval is the outcome of evaluating one expression against a budget.
+type Eval struct {
+	// Rects holds the rectangle assigned to every leaf block, indexed by
+	// operand id.
+	Rects []geom.Rect
+	// ViolationAt, ViolationAm and ViolationMacro accumulate the relative
+	// magnitudes of each violation class.
+	ViolationAt    float64
+	ViolationAm    float64
+	ViolationMacro float64
+	// Penalty is the cost multiplier: 1 when the layout is fully legal.
+	Penalty float64
+}
+
+// Legal reports whether no am or macro violations occurred. (at
+// underruns are tolerable by design: at includes elastic glue area.)
+func (ev *Eval) Legal() bool { return ev.ViolationAm == 0 && ev.ViolationMacro == 0 }
+
+// node is one slicing-tree node materialized from the postfix expression.
+type node struct {
+	op          int32 // OpV, OpH, or >= 0 for a leaf (operand id)
+	left, right int   // children indices, -1 for leaves
+	at, am      int64
+	curve       shape.Curve
+}
+
+// Evaluate runs the paper's top-down area-budgeting layout generation:
+// the budget rectangle is recursively partitioned according to the target
+// areas of each subtree; cuts that would make a subtree's macros unplaceable
+// shift area from the sibling, charging graded penalties for the kind of
+// area yielded. The layout always tiles the budget exactly.
+func Evaluate(e *Expr, blocks []Block, budget geom.Rect, p EvalParams) *Eval {
+	ev := &Eval{Rects: make([]geom.Rect, len(blocks)), Penalty: 1}
+	if e.n == 0 || budget.Empty() {
+		return ev
+	}
+	if p.CompactPoints <= 0 {
+		p.CompactPoints = 12
+	}
+
+	// Bottom-up: build the tree, composing ⟨Γ, am, at⟩ per node.
+	nodes := make([]node, 0, len(e.elems))
+	stack := make([]int, 0, len(blocks))
+	for _, v := range e.elems {
+		if v >= 0 {
+			b := blocks[v]
+			nodes = append(nodes, node{
+				op: v, left: -1, right: -1,
+				at:    b.TargetArea,
+				am:    b.MinArea,
+				curve: b.Curve.Thin(p.CompactPoints),
+			})
+			stack = append(stack, len(nodes)-1)
+			continue
+		}
+		r := stack[len(stack)-1]
+		l := stack[len(stack)-2]
+		stack = stack[:len(stack)-2]
+		var c shape.Curve
+		if v == OpV {
+			c = shape.CombineH(nodes[l].curve, nodes[r].curve)
+		} else {
+			c = shape.CombineV(nodes[l].curve, nodes[r].curve)
+		}
+		nodes = append(nodes, node{
+			op: v, left: l, right: r,
+			at:    nodes[l].at + nodes[r].at,
+			am:    nodes[l].am + nodes[r].am,
+			curve: c.Thin(p.CompactPoints),
+		})
+		stack = append(stack, len(nodes)-1)
+	}
+	root := stack[0]
+
+	// Top-down: assign rectangles.
+	var assign func(ni int, r geom.Rect)
+	assign = func(ni int, r geom.Rect) {
+		nd := &nodes[ni]
+		if nd.left < 0 {
+			ev.Rects[nd.op] = r
+			ev.leafPenalties(&blocks[nd.op], r)
+			return
+		}
+		l, rr := &nodes[nd.left], &nodes[nd.right]
+		if nd.op == OpV {
+			wl := splitShare(r.W, l.at, rr.at)
+			wl = ev.repairSplit(wl, r.W, r.H, &l.curve, &rr.curve, true)
+			assign(nd.left, geom.RectXYWH(r.X, r.Y, wl, r.H))
+			assign(nd.right, geom.RectXYWH(r.X+wl, r.Y, r.W-wl, r.H))
+		} else {
+			hb := splitShare(r.H, l.at, rr.at)
+			hb = ev.repairSplit(hb, r.H, r.W, &l.curve, &rr.curve, false)
+			assign(nd.left, geom.RectXYWH(r.X, r.Y, r.W, hb))
+			assign(nd.right, geom.RectXYWH(r.X, r.Y+hb, r.W, r.H-hb))
+		}
+	}
+	assign(root, budget)
+
+	ev.Penalty = 1 + p.PenaltyAt*ev.ViolationAt + p.PenaltyAm*ev.ViolationAm + p.PenaltyMacro*ev.ViolationMacro
+	return ev
+}
+
+// splitShare splits extent proportionally to the target areas, keeping both
+// sides non-degenerate when possible.
+func splitShare(extent, atL, atR int64) int64 {
+	total := atL + atR
+	var s int64
+	if total <= 0 {
+		s = extent / 2
+	} else {
+		s = int64(float64(extent) * float64(atL) / float64(total))
+	}
+	if s < 1 {
+		s = 1
+	}
+	if s > extent-1 {
+		s = extent - 1
+	}
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// repairSplit nudges a cut position so that both children can hold their
+// macros given the fixed cross extent. For a vertical cut (vertical=true)
+// the cross extent is the height and the split divides the width; for a
+// horizontal cut the roles swap (shape curves are queried transposed).
+// When both minima cannot be satisfied the cut is placed proportionally to
+// the minima and the overflow is charged as a macro violation.
+func (ev *Eval) repairSplit(s, extent, cross int64, curveL, curveR *shape.Curve, vertical bool) int64 {
+	minL := minExtent(curveL, cross, vertical)
+	minR := minExtent(curveR, cross, vertical)
+	switch {
+	case minL+minR > extent:
+		// Infeasible cut: macros overflow no matter where it lands.
+		over := float64(minL+minR-extent) / float64(extent)
+		ev.ViolationMacro += over
+		s = splitShare(extent, minL, minR)
+	case s < minL:
+		s = minL
+	case extent-s < minR:
+		s = extent - minR
+	}
+	return s
+}
+
+// minExtent returns the minimal width (vertical cut) or height (horizontal
+// cut) a subtree needs when the cross dimension is fixed. An unsatisfiable
+// cross dimension falls back to the curve's own minimum, leaving the
+// overflow to be charged at the leaves.
+func minExtent(c *shape.Curve, cross int64, vertical bool) int64 {
+	if c.Empty() {
+		return 0
+	}
+	if vertical {
+		if w, ok := c.MinWidthForHeight(cross); ok {
+			return w
+		}
+		return c.MinWidth()
+	}
+	if h, ok := c.MinHeightForWidth(cross); ok {
+		return h
+	}
+	return c.MinHeight()
+}
+
+// leafPenalties charges the graded violations for one placed leaf.
+func (ev *Eval) leafPenalties(b *Block, r geom.Rect) {
+	area := r.Area()
+	if b.TargetArea > 0 && area < b.TargetArea {
+		ev.ViolationAt += float64(b.TargetArea-area) / float64(b.TargetArea)
+	}
+	if b.MinArea > 0 && area < b.MinArea {
+		ev.ViolationAm += float64(b.MinArea-area) / float64(b.MinArea)
+	}
+	if !b.Curve.Empty() && !b.Curve.Fits(r.W, r.H) {
+		ev.ViolationMacro += macroShortfall(&b.Curve, r)
+	}
+}
+
+// macroShortfall measures how badly a rectangle misses the shape curve:
+// the smallest relative dimension overflow over all Pareto corners.
+func macroShortfall(c *shape.Curve, r geom.Rect) float64 {
+	best := -1.0
+	for _, p := range c.Points() {
+		var over float64
+		if p.W > r.W && r.W > 0 {
+			over += float64(p.W-r.W) / float64(r.W)
+		}
+		if p.H > r.H && r.H > 0 {
+			over += float64(p.H-r.H) / float64(r.H)
+		}
+		if r.W <= 0 || r.H <= 0 {
+			over = 1e9
+		}
+		if best < 0 || over < best {
+			best = over
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}

@@ -1,0 +1,284 @@
+// Package slicing implements the slicing-structure layout representation of
+// paper §IV-E: normalized Polish expressions over the level's blocks, the
+// three classic perturbations (operand swap, operator-chain inversion,
+// operand–operator swap, after Wong & Liu), and the paper's novel top-down
+// area-budgeting evaluation that always tiles exactly the assigned budget
+// (Fig. 8), repairing macro-infeasible cuts by moving area between siblings
+// and charging graded penalties (at / am / macro, least to most severe).
+package slicing
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Operator encoding inside an expression: non-negative values are operand
+// (leaf) indices; OpV and OpH are the two cut operators.
+const (
+	// OpV is a vertical cut: the two children sit side by side
+	// (widths add, heights max).
+	OpV int32 = -1
+	// OpH is a horizontal cut: the two children stack
+	// (heights add, widths max).
+	OpH int32 = -2
+)
+
+// Expr is a normalized Polish (postfix) expression over n operands.
+// Invariants: every prefix has more operands than operators (balloting),
+// the full expression has exactly n-1 operators, and no two consecutive
+// operators are equal (normalization).
+type Expr struct {
+	elems []int32
+	n     int
+}
+
+// NewBalanced builds an initial expression shaped as a balanced tree with
+// alternating cut directions, a good unbiased starting point for annealing.
+func NewBalanced(n int) Expr {
+	if n <= 0 {
+		return Expr{}
+	}
+	var build func(lo, hi int, op int32) []int32
+	build = func(lo, hi int, op int32) []int32 {
+		if hi-lo == 1 {
+			return []int32{int32(lo)}
+		}
+		mid := (lo + hi) / 2
+		next := OpV
+		if op == OpV {
+			next = OpH
+		}
+		out := build(lo, mid, next)
+		out = append(out, build(mid, hi, next)...)
+		return append(out, op)
+	}
+	return Expr{elems: build(0, n, OpV), n: n}
+}
+
+// NewChain builds the degenerate chain 0 1 op 2 op' 3 op ... with
+// alternating operators (also normalized).
+func NewChain(n int) Expr {
+	if n <= 0 {
+		return Expr{}
+	}
+	elems := []int32{0}
+	op := OpV
+	for i := 1; i < n; i++ {
+		elems = append(elems, int32(i), op)
+		if op == OpV {
+			op = OpH
+		} else {
+			op = OpV
+		}
+	}
+	return Expr{elems: elems, n: n}
+}
+
+// NumOperands returns the number of leaves.
+func (e *Expr) NumOperands() int { return e.n }
+
+// Len returns the element count (2n-1 for n operands).
+func (e *Expr) Len() int { return len(e.elems) }
+
+// Elems returns a copy of the raw element slice.
+func (e *Expr) Elems() []int32 {
+	out := make([]int32, len(e.elems))
+	copy(out, e.elems)
+	return out
+}
+
+// Clone returns an independent copy.
+func (e *Expr) Clone() Expr {
+	return Expr{elems: e.Elems(), n: e.n}
+}
+
+// CopyFrom overwrites e with the contents of src (no aliasing).
+func (e *Expr) CopyFrom(src *Expr) {
+	e.elems = append(e.elems[:0], src.elems...)
+	e.n = src.n
+}
+
+func (e *Expr) String() string {
+	var sb strings.Builder
+	for _, v := range e.elems {
+		switch v {
+		case OpV:
+			sb.WriteByte('V')
+		case OpH:
+			sb.WriteByte('H')
+		default:
+			if v > 9 {
+				fmt.Fprintf(&sb, "(%d)", v)
+			} else {
+				sb.WriteByte(byte('0' + v))
+			}
+		}
+	}
+	return sb.String()
+}
+
+// Valid checks the three structural invariants; used by tests.
+func (e *Expr) Valid() bool {
+	if e.n == 0 {
+		return len(e.elems) == 0
+	}
+	operands, operators := 0, 0
+	seen := make([]bool, e.n)
+	for i, v := range e.elems {
+		if v >= 0 {
+			if int(v) >= e.n || seen[v] {
+				return false
+			}
+			seen[v] = true
+			operands++
+			continue
+		}
+		if v != OpV && v != OpH {
+			return false
+		}
+		operators++
+		if operators >= operands {
+			return false // balloting violated
+		}
+		if i > 0 && e.elems[i-1] == v {
+			return false // not normalized
+		}
+	}
+	return operands == e.n && operators == e.n-1
+}
+
+// MoveKind names the three perturbations for reporting.
+type MoveKind uint8
+
+const (
+	// MoveOperandSwap exchanges two adjacent operands (M1).
+	MoveOperandSwap MoveKind = iota
+	// MoveChainInvert complements one maximal operator chain (M2).
+	MoveChainInvert
+	// MoveOperandOperatorSwap swaps an adjacent operand/operator pair (M3).
+	MoveOperandOperatorSwap
+)
+
+// Perturb applies one random valid move chosen uniformly among the three
+// kinds (retrying internally if the sampled M3 site is invalid) and returns
+// an undo closure together with the kind applied.
+func (e *Expr) Perturb(rng *rand.Rand) (undo func(), kind MoveKind) {
+	if e.n < 2 {
+		return func() {}, MoveOperandSwap
+	}
+	for {
+		switch MoveKind(rng.Intn(3)) {
+		case MoveOperandSwap:
+			if u := e.operandSwap(rng); u != nil {
+				return u, MoveOperandSwap
+			}
+		case MoveChainInvert:
+			if u := e.chainInvert(rng); u != nil {
+				return u, MoveChainInvert
+			}
+		case MoveOperandOperatorSwap:
+			if u := e.operandOperatorSwap(rng); u != nil {
+				return u, MoveOperandOperatorSwap
+			}
+		}
+	}
+}
+
+// operandSwap (M1): swap the k-th and (k+1)-th operands.
+func (e *Expr) operandSwap(rng *rand.Rand) func() {
+	k := rng.Intn(e.n - 1)
+	i := e.operandPos(k)
+	j := e.operandPos(k + 1)
+	e.elems[i], e.elems[j] = e.elems[j], e.elems[i]
+	return func() { e.elems[i], e.elems[j] = e.elems[j], e.elems[i] }
+}
+
+// operandPos returns the index in elems of the k-th operand (0-based).
+func (e *Expr) operandPos(k int) int {
+	cnt := 0
+	for i, v := range e.elems {
+		if v >= 0 {
+			if cnt == k {
+				return i
+			}
+			cnt++
+		}
+	}
+	return -1
+}
+
+// chainInvert (M2): pick one maximal operator chain and complement every
+// operator in it. Complementing preserves balloting and normalization.
+func (e *Expr) chainInvert(rng *rand.Rand) func() {
+	// Collect chain start positions.
+	var chains [][2]int
+	i := 0
+	for i < len(e.elems) {
+		if e.elems[i] >= 0 {
+			i++
+			continue
+		}
+		j := i
+		for j < len(e.elems) && e.elems[j] < 0 {
+			j++
+		}
+		chains = append(chains, [2]int{i, j})
+		i = j
+	}
+	if len(chains) == 0 {
+		return nil
+	}
+	c := chains[rng.Intn(len(chains))]
+	flip := func() {
+		for k := c[0]; k < c[1]; k++ {
+			if e.elems[k] == OpV {
+				e.elems[k] = OpH
+			} else {
+				e.elems[k] = OpV
+			}
+		}
+	}
+	flip()
+	return flip
+}
+
+// operandOperatorSwap (M3): swap an adjacent operand/operator pair when the
+// result stays a normalized Polish expression.
+func (e *Expr) operandOperatorSwap(rng *rand.Rand) func() {
+	// Candidate positions i where elems[i], elems[i+1] are operand/operator
+	// in either order and the swap keeps validity.
+	start := rng.Intn(len(e.elems) - 1)
+	for off := 0; off < len(e.elems)-1; off++ {
+		i := (start + off) % (len(e.elems) - 1)
+		a, b := e.elems[i], e.elems[i+1]
+		if (a >= 0) == (b >= 0) {
+			continue
+		}
+		e.elems[i], e.elems[i+1] = b, a
+		if e.validLocal() {
+			return func() { e.elems[i], e.elems[i+1] = a, b }
+		}
+		e.elems[i], e.elems[i+1] = a, b
+	}
+	return nil
+}
+
+// validLocal re-checks balloting and normalization after a swap; O(len).
+func (e *Expr) validLocal() bool {
+	operands, operators := 0, 0
+	for i, v := range e.elems {
+		if v >= 0 {
+			operands++
+			continue
+		}
+		operators++
+		if operators >= operands {
+			return false
+		}
+		if i > 0 && e.elems[i-1] == v {
+			return false
+		}
+	}
+	return true
+}

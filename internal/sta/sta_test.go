@@ -1,0 +1,159 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/placement"
+	"repro/internal/seqgraph"
+)
+
+// stretchable builds a -> b register pipeline (8 bits) whose stage distance
+// the test controls via placement.
+func stretchable(t testing.TB) (*netlist.Design, *seqgraph.Graph, []netlist.CellID, []netlist.CellID) {
+	b := netlist.NewBuilder("st")
+	b.SetDie(geom.RectXYWH(0, 0, 10_000_000, 10_000_000)) // 10 mm die
+	var as, bs []netlist.CellID
+	for i := 0; i < 8; i++ {
+		a := b.AddFlop(fmt.Sprintf("a[%d]", i), "")
+		bb := b.AddFlop(fmt.Sprintf("b[%d]", i), "")
+		b.Wire(fmt.Sprintf("n%d", i), a, bb)
+		as = append(as, a)
+		bs = append(bs, bb)
+	}
+	d := b.MustBuild()
+	sg := seqgraph.Build(d, seqgraph.DefaultParams())
+	return d, sg, as, bs
+}
+
+func placeAt(pl *placement.Placement, ids []netlist.CellID, p geom.Point) {
+	for _, id := range ids {
+		pl.Place(id, p)
+	}
+}
+
+func TestTimingClosesWhenClose(t *testing.T) {
+	d, sg, as, bs := stretchable(t)
+	pl := placement.New(d)
+	placeAt(pl, as, geom.Pt(1000, 1000))
+	placeAt(pl, bs, geom.Pt(2000, 1000)) // 1 µm apart: negligible wire delay
+	res := Analyze(sg, pl, DefaultOptions())
+	if res.WNSPct != 0 {
+		t.Errorf("WNSPct = %v, want 0", res.WNSPct)
+	}
+	if res.TNSns != 0 {
+		t.Errorf("TNSns = %v, want 0", res.TNSns)
+	}
+	if res.Stages != 1 {
+		t.Errorf("Stages = %d, want 1 (one Gseq edge a->b)", res.Stages)
+	}
+}
+
+func TestTimingViolatesWhenFar(t *testing.T) {
+	d, sg, as, bs := stretchable(t)
+	pl := placement.New(d)
+	placeAt(pl, as, geom.Pt(0, 0))
+	placeAt(pl, bs, geom.Pt(9_000_000, 9_000_000)) // 18 mm Manhattan
+	res := Analyze(sg, pl, DefaultOptions())
+	// delay = 700 + 0.0005 * 18e6 = 9700 ps >> 2000 ps.
+	if res.WNSPct >= 0 {
+		t.Fatalf("WNSPct = %v, want negative", res.WNSPct)
+	}
+	wantWNS := 100 * (2000 - 9700.0) / 2000
+	if math.Abs(res.WNSPct-wantWNS) > 1 {
+		t.Errorf("WNSPct = %v, want ~%v", res.WNSPct, wantWNS)
+	}
+	if res.ViolatingEndpoints != 1 {
+		t.Errorf("ViolatingEndpoints = %d, want 1", res.ViolatingEndpoints)
+	}
+	// TNS: one endpoint with slack (2000-9700) ps = -7.7 ns.
+	if math.Abs(res.TNSns-(-7.7)) > 0.1 {
+		t.Errorf("TNSns = %v, want ~-7.7", res.TNSns)
+	}
+}
+
+func TestTimingMonotoneInDistance(t *testing.T) {
+	d, sg, as, bs := stretchable(t)
+	prev := 0.0
+	for i, x := range []int64{1_000_000, 3_000_000, 6_000_000, 9_000_000} {
+		pl := placement.New(d)
+		placeAt(pl, as, geom.Pt(0, 0))
+		placeAt(pl, bs, geom.Pt(x, 0))
+		res := Analyze(sg, pl, DefaultOptions())
+		if i > 0 && res.WNSPct > prev {
+			t.Errorf("WNS not monotone: %v after %v at x=%d", res.WNSPct, prev, x)
+		}
+		prev = res.WNSPct
+	}
+}
+
+func TestCustomClockPeriod(t *testing.T) {
+	d, sg, as, bs := stretchable(t)
+	pl := placement.New(d)
+	placeAt(pl, as, geom.Pt(0, 0))
+	placeAt(pl, bs, geom.Pt(2_000_000, 0))
+	// delay = 700 + 1000 = 1700 ps.
+	tight := Analyze(sg, pl, Options{ClockPs: 1000, IntrinsicPs: 700, WirePsPerDBU: 0.0005})
+	loose := Analyze(sg, pl, Options{ClockPs: 4000, IntrinsicPs: 700, WirePsPerDBU: 0.0005})
+	if tight.WNSPct >= 0 {
+		t.Error("tight clock should violate")
+	}
+	if loose.WNSPct != 0 {
+		t.Error("loose clock should close")
+	}
+}
+
+func TestMultiFaninWorstSlackWins(t *testing.T) {
+	// c has two fanins: near (a) and far (b); endpoint slack must be b's.
+	bld := netlist.NewBuilder("mf")
+	bld.SetDie(geom.RectXYWH(0, 0, 10_000_000, 10_000_000))
+	mk := func(name string) []netlist.CellID {
+		var ids []netlist.CellID
+		for i := 0; i < 4; i++ {
+			ids = append(ids, bld.AddFlop(fmt.Sprintf("%s[%d]", name, i), ""))
+		}
+		return ids
+	}
+	a, b, c := mk("a"), mk("b"), mk("c")
+	for i := 0; i < 4; i++ {
+		bld.Wire(fmt.Sprintf("na%d", i), a[i], c[i])
+		bld.Wire(fmt.Sprintf("nb%d", i), b[i], c[i])
+	}
+	d := bld.MustBuild()
+	sg := seqgraph.Build(d, seqgraph.DefaultParams())
+	pl := placement.New(d)
+	placeAt(pl, a, geom.Pt(100, 100))
+	placeAt(pl, c, geom.Pt(200, 100))
+	placeAt(pl, b, geom.Pt(8_000_000, 8_000_000))
+	res := Analyze(sg, pl, DefaultOptions())
+	if res.ViolatingEndpoints != 1 {
+		t.Errorf("ViolatingEndpoints = %d, want 1 (c via b)", res.ViolatingEndpoints)
+	}
+	if res.WNSPct >= 0 {
+		t.Error("expected violation via far fanin")
+	}
+}
+
+func TestWorstStageReported(t *testing.T) {
+	d, sg, as, bs := stretchable(t)
+	pl := placement.New(d)
+	placeAt(pl, as, geom.Pt(0, 0))
+	placeAt(pl, bs, geom.Pt(5_000_000, 0))
+	res := Analyze(sg, pl, DefaultOptions())
+	if res.Worst.From != "a" || res.Worst.To != "b" {
+		t.Errorf("worst stage = %s -> %s, want a -> b", res.Worst.From, res.Worst.To)
+	}
+	if res.Worst.DistDBU != 5_000_000 {
+		t.Errorf("worst dist = %d", res.Worst.DistDBU)
+	}
+	if res.Worst.SlackPs >= 0 {
+		t.Errorf("worst slack = %v, want negative", res.Worst.SlackPs)
+	}
+	wantDelay := 700 + 0.0005*5_000_000
+	if math.Abs(res.Worst.DelayPs-wantDelay) > 1 {
+		t.Errorf("worst delay = %v, want ~%v", res.Worst.DelayPs, wantDelay)
+	}
+}

@@ -1,0 +1,109 @@
+package verilog
+
+// File is a parsed source file: an ordered set of modules.
+type File struct {
+	Modules []*Module
+}
+
+// Module finds a module by name, or nil.
+func (f *File) Module(name string) *Module {
+	for _, m := range f.Modules {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// PortDir is a module port direction.
+type PortDir uint8
+
+const (
+	// DirInput marks an input port.
+	DirInput PortDir = iota
+	// DirOutput marks an output port.
+	DirOutput
+)
+
+// Module is one module declaration.
+type Module struct {
+	Name string
+	// PortOrder lists the header port names in declaration order.
+	PortOrder []string
+	// Ports maps port names to their declarations.
+	Ports map[string]*NetDecl
+	// Wires maps internal wire names to their declarations (ports are not
+	// duplicated here).
+	Wires map[string]*NetDecl
+	// Insts lists instances in source order.
+	Insts []*Inst
+	Line  int
+}
+
+// NetDecl declares a port or wire, possibly vectored.
+type NetDecl struct {
+	Name string
+	// MSB/LSB are the range bounds; scalar nets have MSB == LSB == 0 and
+	// Vector == false.
+	MSB, LSB int
+	Vector   bool
+	Dir      PortDir // meaningful for ports
+	IsPort   bool
+}
+
+// Width returns the declared bit width.
+func (n *NetDecl) Width() int {
+	if !n.Vector {
+		return 1
+	}
+	if n.MSB >= n.LSB {
+		return n.MSB - n.LSB + 1
+	}
+	return n.LSB - n.MSB + 1
+}
+
+// Inst is one instantiation (of a library cell or another module).
+type Inst struct {
+	Type string
+	Name string
+	// Conns maps formal port names to actual expressions.
+	Conns map[string]Expr
+	// ConnOrder preserves source order for deterministic elaboration.
+	ConnOrder []string
+	Line      int
+}
+
+// Expr is a connection expression.
+type Expr interface{ exprNode() }
+
+// IdentExpr references a whole net (scalar or full vector).
+type IdentExpr struct{ Name string }
+
+// BitExpr references one bit: name[idx].
+type BitExpr struct {
+	Name string
+	Idx  int
+}
+
+// RangeExpr references a part-select: name[msb:lsb].
+type RangeExpr struct {
+	Name     string
+	MSB, LSB int
+}
+
+// ConcatExpr is {a, b, c} (left part is most significant).
+type ConcatExpr struct{ Parts []Expr }
+
+// ConstExpr is a sized constant such as 4'b1010.
+type ConstExpr struct {
+	Bits int
+	// Value keeps the raw text; the elaborator only needs the width
+	// because constant bits become undriven tie nets.
+	Value string
+}
+
+func (IdentExpr) exprNode()  {}
+func (BitExpr) exprNode()    {}
+func (RangeExpr) exprNode()  {}
+func (ConcatExpr) exprNode() {}
+func (ConstExpr) exprNode()  {}

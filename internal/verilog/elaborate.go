@@ -1,0 +1,276 @@
+package verilog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// Elaborate flattens the module hierarchy rooted at top into the netlist
+// model. Instance paths become hierarchy nodes; top-level ports become port
+// cells (one per bit, named name[bit] for vectors) with positions to be
+// assigned by the caller or defaulted; nets keep hierarchical names.
+func Elaborate(f *File, top string, lib *Library) (*netlist.Design, error) {
+	topMod := f.Module(top)
+	if topMod == nil {
+		return nil, fmt.Errorf("verilog: top module %q not found", top)
+	}
+	for _, c := range lib.Cells {
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+	}
+	e := &elaborator{
+		f:   f,
+		lib: lib,
+		b:   netlist.NewBuilder(top),
+	}
+
+	// Top ports: one port cell per bit, driving/receiving the port nets.
+	env := map[string][]netlist.NetID{}
+	for _, pname := range topMod.PortOrder {
+		decl := topMod.Ports[pname]
+		if decl == nil {
+			return nil, fmt.Errorf("verilog: top port %s has no direction declaration", pname)
+		}
+		nets := e.declareNets("", decl)
+		env[pname] = nets
+		for bit, nid := range nets {
+			cellName := pname
+			if decl.Width() > 1 {
+				cellName = fmt.Sprintf("%s[%d]", pname, decl.LSB+bit)
+			}
+			pc := e.b.AddPort(cellName)
+			if decl.Dir == DirInput {
+				e.b.Connect(pc, nid, netlist.DirOut) // input port drives
+			} else {
+				e.b.Connect(pc, nid, netlist.DirIn)
+			}
+		}
+	}
+	if err := e.instantiate(topMod, "", env); err != nil {
+		return nil, err
+	}
+	return e.b.Build()
+}
+
+type elaborator struct {
+	f    *File
+	lib  *Library
+	b    *netlist.Builder
+	anon int
+}
+
+// declareNets creates the net IDs for a declaration under a hierarchy
+// prefix, least-significant bit first.
+func (e *elaborator) declareNets(prefix string, decl *NetDecl) []netlist.NetID {
+	w := decl.Width()
+	nets := make([]netlist.NetID, w)
+	for bit := 0; bit < w; bit++ {
+		name := join(prefix, decl.Name)
+		if decl.Vector {
+			name = fmt.Sprintf("%s[%d]", name, decl.LSB+bit)
+		}
+		nets[bit] = e.b.Net(name)
+	}
+	return nets
+}
+
+func join(prefix, name string) string {
+	if prefix == "" {
+		return name
+	}
+	return prefix + "/" + name
+}
+
+// instantiate elaborates one module instance at the given path. env binds
+// the module's port names to net lists (LSB first).
+func (e *elaborator) instantiate(m *Module, path string, env map[string][]netlist.NetID) error {
+	// Local wires.
+	local := map[string][]netlist.NetID{}
+	for name, nets := range env {
+		local[name] = nets
+	}
+	for _, decl := range sortedDecls(m.Wires) {
+		local[decl.Name] = e.declareNets(path, decl)
+	}
+
+	declOf := func(name string) *NetDecl {
+		if d, ok := m.Ports[name]; ok {
+			return d
+		}
+		if d, ok := m.Wires[name]; ok {
+			return d
+		}
+		return nil
+	}
+
+	// resolve evaluates a connection expression to a net list (LSB first).
+	var resolve func(ex Expr) ([]netlist.NetID, error)
+	resolve = func(ex Expr) ([]netlist.NetID, error) {
+		switch v := ex.(type) {
+		case IdentExpr:
+			nets, ok := local[v.Name]
+			if !ok {
+				// Verilog implicit scalar net.
+				nets = []netlist.NetID{e.b.Net(join(path, v.Name))}
+				local[v.Name] = nets
+			}
+			return nets, nil
+		case BitExpr:
+			nets, ok := local[v.Name]
+			if !ok {
+				return nil, fmt.Errorf("verilog: %s: bit-select of undeclared net %s", path, v.Name)
+			}
+			d := declOf(v.Name)
+			lsb := 0
+			if d != nil {
+				lsb = d.LSB
+			}
+			idx := v.Idx - lsb
+			if idx < 0 || idx >= len(nets) {
+				return nil, fmt.Errorf("verilog: %s: index %d out of range for %s", path, v.Idx, v.Name)
+			}
+			return nets[idx : idx+1], nil
+		case RangeExpr:
+			nets, ok := local[v.Name]
+			if !ok {
+				return nil, fmt.Errorf("verilog: %s: part-select of undeclared net %s", path, v.Name)
+			}
+			d := declOf(v.Name)
+			lsb := 0
+			if d != nil {
+				lsb = d.LSB
+			}
+			lo, hi := v.LSB-lsb, v.MSB-lsb
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if lo < 0 || hi >= len(nets) {
+				return nil, fmt.Errorf("verilog: %s: range [%d:%d] out of bounds for %s", path, v.MSB, v.LSB, v.Name)
+			}
+			return nets[lo : hi+1], nil
+		case ConcatExpr:
+			// Left-most part is most significant: resolve right to left.
+			var out []netlist.NetID
+			for i := len(v.Parts) - 1; i >= 0; i-- {
+				part, err := resolve(v.Parts[i])
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, part...)
+			}
+			return out, nil
+		case ConstExpr:
+			// Constant bits become undriven tie nets.
+			out := make([]netlist.NetID, v.Bits)
+			for i := range out {
+				e.anon++
+				out[i] = e.b.Net(fmt.Sprintf("%s/const%d", path, e.anon))
+			}
+			return out, nil
+		}
+		return nil, fmt.Errorf("verilog: %s: unsupported expression", path)
+	}
+
+	for _, inst := range m.Insts {
+		ipath := join(path, inst.Name)
+		if lc := e.lib.Cell(inst.Type); lc != nil {
+			if err := e.placePrimitive(lc, inst, ipath, resolve); err != nil {
+				return err
+			}
+			continue
+		}
+		sub := e.f.Module(inst.Type)
+		if sub == nil {
+			return fmt.Errorf("verilog: %s: unknown cell or module type %q", ipath, inst.Type)
+		}
+		subEnv := map[string][]netlist.NetID{}
+		for _, port := range inst.ConnOrder {
+			decl := sub.Ports[port]
+			if decl == nil {
+				return fmt.Errorf("verilog: %s: module %s has no port %s", ipath, sub.Name, port)
+			}
+			nets, err := resolve(inst.Conns[port])
+			if err != nil {
+				return err
+			}
+			if len(nets) != decl.Width() {
+				return fmt.Errorf("verilog: %s: port %s width %d bound to %d bits",
+					ipath, port, decl.Width(), len(nets))
+			}
+			subEnv[port] = nets
+		}
+		// Unconnected submodule ports get fresh local nets.
+		for name, decl := range sub.Ports {
+			if _, ok := subEnv[name]; !ok {
+				subEnv[name] = e.declareNets(ipath, decl)
+			}
+		}
+		if err := e.instantiate(sub, ipath, subEnv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// placePrimitive creates a netlist cell for a library primitive instance.
+func (e *elaborator) placePrimitive(lc *LibCell, inst *Inst, ipath string,
+	resolve func(Expr) ([]netlist.NetID, error)) error {
+
+	var id netlist.CellID
+	hierPath := parentPath(ipath)
+	switch lc.Kind {
+	case netlist.KindMacro:
+		id = e.b.AddMacro(ipath, lc.Width, lc.Height, hierPath)
+	case netlist.KindFlop:
+		id = e.b.AddCell(ipath, netlist.KindFlop, lc.Width, lc.Height, hierPath)
+	default:
+		id = e.b.AddCell(ipath, netlist.KindComb, lc.Width, lc.Height, hierPath)
+	}
+	for _, port := range inst.ConnOrder {
+		spec := lc.Pin(port)
+		if spec == nil {
+			return fmt.Errorf("verilog: %s: cell %s has no pin %s", ipath, lc.Name, port)
+		}
+		nets, err := resolve(inst.Conns[port])
+		if err != nil {
+			return err
+		}
+		if len(nets) != spec.Width {
+			return fmt.Errorf("verilog: %s: pin %s width %d bound to %d bits",
+				ipath, port, spec.Width, len(nets))
+		}
+		for bit, nid := range nets {
+			off := geom.Pt(spec.Offset.X, spec.Offset.Y+int64(bit)*spec.Pitch)
+			e.b.ConnectAt(id, nid, spec.Dir, off)
+		}
+	}
+	return nil
+}
+
+// parentPath strips the last path segment (the instance's own name).
+func parentPath(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[:i]
+		}
+	}
+	return ""
+}
+
+// sortedDecls returns map values in name order for determinism.
+func sortedDecls(m map[string]*NetDecl) []*NetDecl {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*NetDecl, len(names))
+	for i, n := range names {
+		out[i] = m[n]
+	}
+	return out
+}

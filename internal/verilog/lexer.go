@@ -1,0 +1,162 @@
+// Package verilog provides a structural-Verilog-subset front end for the
+// floorplanner: a lexer and parser for gate/macro-level netlists, a small
+// synthetic cell library, an elaborator that flattens the module hierarchy
+// into the netlist model (preserving hierarchy paths and array names), and
+// a writer that emits a flat design back as Verilog.
+//
+// Supported subset: module declarations with port lists, input/output/wire
+// declarations with ranges, and module/primitive instantiations with named
+// port connections (identifiers, bit-selects, part-selects, concatenations
+// and sized constants). This covers what synthesis tools emit for the
+// macro-placement use case; behavioral constructs are rejected.
+package verilog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber // plain decimal
+	tokBased  // sized constant like 4'b1010
+	tokPunct  // single-char punctuation
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes the whole input up front (netlists are small relative to
+// memory; a token slice keeps the parser trivial).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, line: l.line})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			l.lexIdent()
+		case c == '\\':
+			if err := l.lexEscapedIdent(); err != nil {
+				return nil, err
+			}
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case strings.IndexByte("()[]{}.,;:#=", c) >= 0:
+			l.toks = append(l.toks, token{kind: tokPunct, text: string(c), line: l.line})
+			l.pos++
+		default:
+			return nil, fmt.Errorf("verilog: line %d: unexpected character %q", l.line, c)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], line: l.line})
+}
+
+// lexEscapedIdent handles Verilog escaped identifiers: \anything-until-space.
+func (l *lexer) lexEscapedIdent() error {
+	l.pos++ // consume backslash
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] != ' ' && l.src[l.pos] != '\t' &&
+		l.src[l.pos] != '\n' && l.src[l.pos] != '\r' {
+		l.pos++
+	}
+	if l.pos == start {
+		return fmt.Errorf("verilog: line %d: empty escaped identifier", l.line)
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], line: l.line})
+	return nil
+}
+
+// lexNumber handles decimals and sized constants (8'hFF, 4'b1010, 3'd5).
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '\'' {
+		l.pos++
+		if l.pos >= len(l.src) {
+			return fmt.Errorf("verilog: line %d: truncated based constant", l.line)
+		}
+		base := l.src[l.pos]
+		if strings.IndexByte("bBoOdDhH", base) < 0 {
+			return fmt.Errorf("verilog: line %d: bad constant base %q", l.line, base)
+		}
+		l.pos++
+		digits := l.pos
+		for l.pos < len(l.src) && (isIdentPart(l.src[l.pos])) {
+			l.pos++
+		}
+		if l.pos == digits {
+			return fmt.Errorf("verilog: line %d: based constant without digits", l.line)
+		}
+		l.toks = append(l.toks, token{kind: tokBased, text: l.src[start:l.pos], line: l.line})
+		return nil
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], line: l.line})
+	return nil
+}

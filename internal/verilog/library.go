@@ -1,0 +1,123 @@
+package verilog
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// PinSpec describes one library cell pin.
+type PinSpec struct {
+	Name string
+	Dir  netlist.PinDir
+	// Width > 1 makes the pin a bus: the bound expression must have the
+	// same width and each bit becomes its own netlist pin.
+	Width int
+	// Offset is the location of bit 0 within the cell outline; further
+	// bits step by Pitch vertically.
+	Offset geom.Point
+	Pitch  int64
+}
+
+// LibCell is one library primitive.
+type LibCell struct {
+	Name          string
+	Kind          netlist.CellKind
+	Width, Height int64
+	Pins          []PinSpec
+}
+
+// Pin finds a pin by name.
+func (c *LibCell) Pin(name string) *PinSpec {
+	for i := range c.Pins {
+		if c.Pins[i].Name == name {
+			return &c.Pins[i]
+		}
+	}
+	return nil
+}
+
+// Library is a set of primitives, keyed by cell type name.
+type Library struct {
+	Cells map[string]*LibCell
+}
+
+// Cell looks up a cell type.
+func (l *Library) Cell(name string) *LibCell { return l.Cells[name] }
+
+// Add registers a cell (replacing any previous definition).
+func (l *Library) Add(c *LibCell) { l.Cells[c.Name] = c }
+
+// AddMacro registers a macro with D (input) and Q (output) data buses on
+// the west and east edges.
+func (l *Library) AddMacro(name string, w, h int64, dataBits int) *LibCell {
+	pitch := h / int64(dataBits+2)
+	c := &LibCell{
+		Name: name, Kind: netlist.KindMacro, Width: w, Height: h,
+		Pins: []PinSpec{
+			{Name: "D", Dir: netlist.DirIn, Width: dataBits, Offset: geom.Pt(0, pitch), Pitch: pitch},
+			{Name: "Q", Dir: netlist.DirOut, Width: dataBits, Offset: geom.Pt(w, pitch), Pitch: pitch},
+			{Name: "CE", Dir: netlist.DirIn, Width: 1, Offset: geom.Pt(0, 0)},
+		},
+	}
+	l.Add(c)
+	return c
+}
+
+// rowH is the synthetic library row height used for primitive footprints.
+const rowH = 1400
+
+func comb2(name string, ins ...string) *LibCell {
+	c := &LibCell{
+		Name: name, Kind: netlist.KindComb,
+		Width: int64(1+len(ins)) * rowH, Height: rowH,
+	}
+	for _, in := range ins {
+		c.Pins = append(c.Pins, PinSpec{Name: in, Dir: netlist.DirIn, Width: 1})
+	}
+	c.Pins = append(c.Pins, PinSpec{Name: "Y", Dir: netlist.DirOut, Width: 1})
+	return c
+}
+
+// DefaultLibrary returns the synthetic standard cell library: a flop, the
+// usual combinational gates, and no macros (register macros per design with
+// AddMacro).
+func DefaultLibrary() *Library {
+	l := &Library{Cells: map[string]*LibCell{}}
+	l.Add(&LibCell{
+		Name: "DFF", Kind: netlist.KindFlop, Width: 4 * rowH, Height: rowH,
+		Pins: []PinSpec{
+			{Name: "D", Dir: netlist.DirIn, Width: 1},
+			{Name: "CK", Dir: netlist.DirIn, Width: 1},
+			{Name: "Q", Dir: netlist.DirOut, Width: 1},
+		},
+	})
+	for _, c := range []*LibCell{
+		comb2("BUF", "A"),
+		comb2("INV", "A"),
+		comb2("AND2", "A", "B"),
+		comb2("OR2", "A", "B"),
+		comb2("NAND2", "A", "B"),
+		comb2("NOR2", "A", "B"),
+		comb2("XOR2", "A", "B"),
+		comb2("MUX2", "A", "B", "S"),
+	} {
+		l.Add(c)
+	}
+	return l
+}
+
+// validate checks that the library cell definition is usable.
+func (c *LibCell) validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("verilog: library cell %s has degenerate outline", c.Name)
+	}
+	for i := range c.Pins {
+		if c.Pins[i].Width <= 0 {
+			return fmt.Errorf("verilog: library cell %s pin %s has width %d",
+				c.Name, c.Pins[i].Name, c.Pins[i].Width)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,310 @@
+package verilog
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a structural Verilog source into a File.
+func Parse(src string) (*File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for !p.at(tokEOF, "") {
+		m, err := p.parseModule()
+		if err != nil {
+			return nil, err
+		}
+		f.Modules = append(f.Modules, m)
+	}
+	return f, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	t := p.cur()
+	return t, fmt.Errorf("verilog: line %d: expected %q, found %q", t.line, text, t.text)
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("verilog: line %d: "+format, append([]interface{}{p.cur().line}, args...)...)
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	if _, err := p.expect(tokIdent, "module"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Name:  nameTok.text,
+		Ports: map[string]*NetDecl{},
+		Wires: map[string]*NetDecl{},
+		Line:  nameTok.line,
+	}
+	// Header port list (names only; directions come from body decls).
+	if p.accept(tokPunct, "(") {
+		for !p.accept(tokPunct, ")") {
+			t, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			m.PortOrder = append(m.PortOrder, t.text)
+			if !p.accept(tokPunct, ",") && !p.at(tokPunct, ")") {
+				return nil, p.errf("expected ',' or ')' in port list")
+			}
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+
+	for {
+		switch {
+		case p.at(tokIdent, "endmodule"):
+			p.next()
+			return m, nil
+		case p.at(tokIdent, "input") || p.at(tokIdent, "output"):
+			if err := p.parsePortDecl(m); err != nil {
+				return nil, err
+			}
+		case p.at(tokIdent, "wire"):
+			if err := p.parseWireDecl(m); err != nil {
+				return nil, err
+			}
+		case p.at(tokIdent, ""):
+			if err := p.parseInstance(m); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unexpected token %q in module body", p.cur().text)
+		}
+	}
+}
+
+func (p *parser) expectIdent() (token, error) {
+	if p.at(tokIdent, "") {
+		return p.next(), nil
+	}
+	return p.cur(), p.errf("expected identifier, found %q", p.cur().text)
+}
+
+// parseRange parses an optional [msb:lsb]; returns (msb, lsb, isVector).
+func (p *parser) parseRange() (int, int, bool, error) {
+	if !p.accept(tokPunct, "[") {
+		return 0, 0, false, nil
+	}
+	msb, err := p.expectInt()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if _, err := p.expect(tokPunct, ":"); err != nil {
+		return 0, 0, false, err
+	}
+	lsb, err := p.expectInt()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if _, err := p.expect(tokPunct, "]"); err != nil {
+		return 0, 0, false, err
+	}
+	return msb, lsb, true, nil
+}
+
+func (p *parser) expectInt() (int, error) {
+	if !p.at(tokNumber, "") {
+		return 0, p.errf("expected number, found %q", p.cur().text)
+	}
+	v, err := strconv.Atoi(p.next().text)
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+func (p *parser) parsePortDecl(m *Module) error {
+	dir := DirInput
+	if p.next().text == "output" {
+		dir = DirOutput
+	}
+	msb, lsb, vec, err := p.parseRange()
+	if err != nil {
+		return err
+	}
+	for {
+		t, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		m.Ports[t.text] = &NetDecl{
+			Name: t.text, MSB: msb, LSB: lsb, Vector: vec, Dir: dir, IsPort: true,
+		}
+		if p.accept(tokPunct, ";") {
+			return nil
+		}
+		if _, err := p.expect(tokPunct, ","); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) parseWireDecl(m *Module) error {
+	p.next() // "wire"
+	msb, lsb, vec, err := p.parseRange()
+	if err != nil {
+		return err
+	}
+	for {
+		t, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		m.Wires[t.text] = &NetDecl{Name: t.text, MSB: msb, LSB: lsb, Vector: vec}
+		if p.accept(tokPunct, ";") {
+			return nil
+		}
+		if _, err := p.expect(tokPunct, ","); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) parseInstance(m *Module) error {
+	typeTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	switch typeTok.text {
+	case "assign", "always", "initial", "reg", "parameter", "genvar", "generate":
+		return fmt.Errorf("verilog: line %d: behavioral construct %q not supported (structural netlists only)",
+			typeTok.line, typeTok.text)
+	}
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	inst := &Inst{Type: typeTok.text, Name: nameTok.text, Conns: map[string]Expr{}, Line: typeTok.line}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return err
+	}
+	for !p.accept(tokPunct, ")") {
+		if _, err := p.expect(tokPunct, "."); err != nil {
+			return err
+		}
+		port, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return err
+		}
+		var ex Expr
+		if !p.at(tokPunct, ")") { // unconnected: .P()
+			ex, err = p.parseExpr()
+			if err != nil {
+				return err
+			}
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return err
+		}
+		if _, dup := inst.Conns[port.text]; dup {
+			return fmt.Errorf("verilog: line %d: duplicate connection to port %s", port.line, port.text)
+		}
+		if ex != nil {
+			inst.Conns[port.text] = ex
+			inst.ConnOrder = append(inst.ConnOrder, port.text)
+		}
+		if !p.accept(tokPunct, ",") && !p.at(tokPunct, ")") {
+			return p.errf("expected ',' or ')' in connection list")
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return err
+	}
+	m.Insts = append(m.Insts, inst)
+	return nil
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	switch {
+	case p.at(tokBased, ""):
+		t := p.next()
+		bits := 1
+		for i := 0; i < len(t.text); i++ {
+			if t.text[i] == '\'' {
+				if n, err := strconv.Atoi(t.text[:i]); err == nil {
+					bits = n
+				}
+				break
+			}
+		}
+		return ConstExpr{Bits: bits, Value: t.text}, nil
+	case p.at(tokPunct, "{"):
+		p.next()
+		cc := ConcatExpr{}
+		for !p.accept(tokPunct, "}") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			cc.Parts = append(cc.Parts, e)
+			if !p.accept(tokPunct, ",") && !p.at(tokPunct, "}") {
+				return nil, p.errf("expected ',' or '}' in concatenation")
+			}
+		}
+		return cc, nil
+	case p.at(tokIdent, ""):
+		name := p.next().text
+		if !p.accept(tokPunct, "[") {
+			return IdentExpr{Name: name}, nil
+		}
+		first, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(tokPunct, ":") {
+			lsb, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return RangeExpr{Name: name, MSB: first, LSB: lsb}, nil
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		return BitExpr{Name: name, Idx: first}, nil
+	}
+	return nil, p.errf("expected expression, found %q", p.cur().text)
+}

@@ -1,0 +1,294 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+const srcPipeline = `
+// A two-level structural netlist with a macro.
+module wrapper (d, q);
+  input [3:0] d;
+  output [3:0] q;
+  RAM16 u_mem (.D(d), .Q(q), .CE(1'b1));
+endmodule
+
+module top (din, dout);
+  input [3:0] din;
+  output [3:0] dout;
+  wire [3:0] s1, s2;
+  wire n0;
+
+  DFF r0 (.D(din[0]), .Q(s1[0]));
+  DFF r1 (.D(din[1]), .Q(s1[1]));
+  DFF r2 (.D(din[2]), .Q(s1[2]));
+  DFF r3 (.D(din[3]), .Q(s1[3]));
+  AND2 g0 (.A(s1[0]), .B(s1[1]), .Y(n0));
+  BUF g1 (.A(n0), .Y(s2[0]));
+  BUF g2 (.A(s1[1]), .Y(s2[1]));
+  BUF g3 (.A(s1[2]), .Y(s2[2]));
+  BUF g4 (.A(s1[3]), .Y(s2[3]));
+  wrapper u_w (.d(s2), .q(dout));
+endmodule
+`
+
+func libWithRAM16() *Library {
+	lib := DefaultLibrary()
+	lib.AddMacro("RAM16", 20_000, 12_000, 4)
+	return lib
+}
+
+func TestParseBasics(t *testing.T) {
+	f, err := Parse(srcPipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Modules) != 2 {
+		t.Fatalf("modules = %d", len(f.Modules))
+	}
+	top := f.Module("top")
+	if top == nil {
+		t.Fatal("top missing")
+	}
+	if len(top.PortOrder) != 2 || top.PortOrder[0] != "din" {
+		t.Errorf("ports = %v", top.PortOrder)
+	}
+	if top.Ports["din"].Width() != 4 || top.Ports["din"].Dir != DirInput {
+		t.Errorf("din decl = %+v", top.Ports["din"])
+	}
+	if len(top.Insts) != 10 {
+		t.Errorf("instances = %d, want 10", len(top.Insts))
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+module m (a); // line comment
+  input a; /* block
+  comment */ wire b;
+  BUF g (.A(a), .Y(b));
+endmodule`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Module("m") == nil {
+		t.Fatal("module m missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		frag string
+	}{
+		{"behavioral", "module m(); assign x = y; endmodule", "behavioral"},
+		{"unterminated", "module m(a; endmodule", "expected"},
+		{"badchar", "module m(); ! endmodule", "unexpected character"},
+		{"dupconn", `module m(); BUF g (.A(x), .A(y)); endmodule`, "duplicate"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestElaborate(t *testing.T) {
+	f, err := Parse(srcPipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Elaborate(f, "top", libWithRAM16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.PortCells != 8 { // 4 din + 4 dout bits
+		t.Errorf("ports = %d, want 8", st.PortCells)
+	}
+	if st.Flops != 4 {
+		t.Errorf("flops = %d, want 4", st.Flops)
+	}
+	if st.MacroCells != 1 {
+		t.Errorf("macros = %d, want 1", st.MacroCells)
+	}
+	if st.Comb != 5 {
+		t.Errorf("comb = %d, want 5", st.Comb)
+	}
+	// Hierarchy: u_w exists and holds the macro.
+	hid := d.NodeByPath("u_w")
+	if hid == netlist.None {
+		t.Fatal("hierarchy node u_w missing")
+	}
+	mac := d.CellByName("u_w/u_mem")
+	if mac == netlist.None {
+		t.Fatal("macro cell u_w/u_mem missing")
+	}
+	if d.Cell(mac).Hier != hid {
+		t.Error("macro not under u_w")
+	}
+}
+
+func TestElaborateConnectivity(t *testing.T) {
+	f, _ := Parse(srcPipeline)
+	d, err := Elaborate(f, "top", libWithRAM16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// din[0] net: port drives r0.D.
+	r0 := d.CellByName("r0")
+	if r0 == netlist.None {
+		t.Fatal("r0 missing")
+	}
+	var dinNet netlist.NetID = netlist.None
+	for _, pid := range d.Cell(r0).Pins {
+		if d.Pin(pid).Dir == netlist.DirIn {
+			dinNet = d.Pin(pid).Net
+		}
+	}
+	found := false
+	for _, pid := range d.Net(dinNet).Pins {
+		c := d.Cell(d.Pin(pid).Cell)
+		if c.Kind == netlist.KindPort && c.Name == "din[0]" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("din[0] port not on r0's input net")
+	}
+	// Macro D pin width: 4 pins with distinct offsets.
+	mac := d.CellByName("u_w/u_mem")
+	ins := 0
+	for _, pid := range d.Cell(mac).Pins {
+		if d.Pin(pid).Dir == netlist.DirIn {
+			ins++
+		}
+	}
+	if ins != 5 { // 4 data + CE
+		t.Errorf("macro input pins = %d, want 5", ins)
+	}
+}
+
+func TestElaborateErrors(t *testing.T) {
+	lib := libWithRAM16()
+	cases := []struct {
+		name, src, top, frag string
+	}{
+		{"missing top", "module m(); endmodule", "nope", "not found"},
+		{"unknown type", "module t(); FOO u (.A(x)); endmodule", "t", "unknown cell"},
+		{"width mismatch", `
+			module s(p); input [7:0] p; endmodule
+			module t(); wire [3:0] w; s u (.p(w)); endmodule`, "t", "width"},
+		{"bad pin", "module t(); DFF f (.NOPE(x)); endmodule", "t", "no pin"},
+		{"bad index", "module t(); wire [3:0] w; BUF g (.A(w[9]), .Y(y)); endmodule", "t", "out of range"},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		if _, err := Elaborate(f, c.top, lib); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestConcatAndConst(t *testing.T) {
+	src := `
+module s(p); input [3:0] p; endmodule
+module t(a, b);
+  input [1:0] a;
+  input [1:0] b;
+  s u (.p({a, b}));
+endmodule`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Elaborate(f, "t", DefaultLibrary()); err != nil {
+		t.Fatalf("concat elaboration failed: %v", err)
+	}
+}
+
+func TestPartSelect(t *testing.T) {
+	src := `
+module s(p); input [1:0] p; endmodule
+module t(a);
+  input [7:0] a;
+  s u (.p(a[5:4]));
+endmodule`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Elaborate(f, "t", DefaultLibrary()); err != nil {
+		t.Fatalf("part-select elaboration failed: %v", err)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	f, _ := Parse(srcPipeline)
+	lib := libWithRAM16()
+	d, err := Elaborate(f, "top", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, d, lib); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "module top") {
+		t.Error("missing module header")
+	}
+	f2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, out)
+	}
+	d2, err := Elaborate(f2, "top", lib)
+	if err != nil {
+		t.Fatalf("re-elaborate failed: %v\n%s", err, out)
+	}
+	s1, s2 := d.Stats(), d2.Stats()
+	if s1.Flops != s2.Flops || s1.MacroCells != s2.MacroCells ||
+		s1.Comb != s2.Comb || s1.PortCells != s2.PortCells {
+		t.Errorf("round trip changed stats: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestEscapedIdentifier(t *testing.T) {
+	src := "module m(a); input a; BUF \\g$1 (.A(a), .Y(y)); endmodule"
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Module("m").Insts[0].Name != "g$1" {
+		t.Errorf("escaped name = %q", f.Module("m").Insts[0].Name)
+	}
+}
+
+func TestLexerBasedConstants(t *testing.T) {
+	toks, err := lex("8'hFF 4'b1010 3'd5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	based := 0
+	for _, tok := range toks {
+		if tok.kind == tokBased {
+			based++
+		}
+	}
+	if based != 3 {
+		t.Errorf("based constants = %d, want 3", based)
+	}
+	if _, err := lex("4'"); err == nil {
+		t.Error("truncated constant should fail")
+	}
+	if _, err := lex("4'q0"); err == nil {
+		t.Error("bad base should fail")
+	}
+}
