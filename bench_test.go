@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -79,7 +80,7 @@ func BenchmarkTableII(b *testing.B) {
 		var rows []*flows.Metrics
 		for _, g := range gens {
 			for _, f := range []flows.Flow{flows.FlowIndEDA, flows.FlowHiDaP, flows.FlowHandFP} {
-				m, _, err := flows.Run(g, f, opt)
+				m, _, err := flows.Run(context.Background(), g, f, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -105,13 +106,13 @@ func BenchmarkTableIII(b *testing.B) {
 				var m *flows.Metrics
 				for i := 0; i < b.N; i++ {
 					var err error
-					m, _, err = flows.Run(g, f, opt)
+					m, _, err = flows.Run(context.Background(), g, f, opt)
 					if err != nil {
 						b.Fatal(err)
 					}
 				}
-				b.ReportMetric(m.WLm, "wl_m")
-				b.ReportMetric(m.GRCPct, "grc_pct")
+				b.ReportMetric(m.WirelengthM, "wl_m")
+				b.ReportMetric(m.CongestionPct, "grc_pct")
 				b.ReportMetric(-m.WNSPct, "neg_wns_pct")
 				b.ReportMetric(-m.TNSns, "neg_tns_ns")
 			})
@@ -128,7 +129,7 @@ func BenchmarkFig1(b *testing.B) {
 	var res *core.Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = core.Place(g.Design, opt)
+		res, err = core.Place(context.Background(), g.Design, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,7 +164,7 @@ func BenchmarkFig3(b *testing.B) {
 				opt := core.DefaultOptions()
 				opt.Lambda = lambda
 				opt.Seed = 7
-				res, err := core.Place(d, opt)
+				res, err := core.Place(context.Background(), d, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -187,7 +188,7 @@ func BenchmarkFig4(b *testing.B) {
 	grp := g.Design.NodeByPath("left/grp0")
 	var corners int
 	for i := 0; i < b.N; i++ {
-		sc := core.GenerateShapeCurves(tr, 1)
+		sc := core.GenerateShapeCurves(context.Background(), tr, 1)
 		corners = sc.ByNode[grp].Len()
 	}
 	b.ReportMetric(float64(corners), "pareto_corners")
@@ -242,7 +243,7 @@ func BenchmarkFig9(b *testing.B) {
 	opt := fastFlowOpts()
 	var peak float64
 	for i := 0; i < b.N; i++ {
-		_, pl, err := flows.Run(g, flows.FlowHiDaP, opt)
+		_, pl, err := flows.Run(context.Background(), g, flows.FlowHiDaP, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -265,11 +266,11 @@ func BenchmarkAblationLambda(b *testing.B) {
 			opt.Lambdas = []float64{lambda}
 			var wl float64
 			for i := 0; i < b.N; i++ {
-				m, _, err := flows.Run(g, flows.FlowHiDaP, opt)
+				m, _, err := flows.Run(context.Background(), g, flows.FlowHiDaP, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
-				wl = m.WLm
+				wl = m.WirelengthM
 			}
 			b.ReportMetric(wl, "wl_m")
 		})
@@ -286,7 +287,7 @@ func BenchmarkAblationK(b *testing.B) {
 				opt := core.DefaultOptions()
 				opt.K = k
 				opt.Effort = layout.EffortLow
-				res, err := core.Place(g.Design, opt)
+				res, err := core.Place(context.Background(), g.Design, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -313,7 +314,7 @@ func BenchmarkAblationEffort(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				opt := core.DefaultOptions()
 				opt.Effort = eff.e
-				res, err := core.Place(g.Design, opt)
+				res, err := core.Place(context.Background(), g.Design, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -340,7 +341,7 @@ func BenchmarkAblationMinBits(b *testing.B) {
 				opt := core.DefaultOptions()
 				opt.Seq = seqgraph.Params{MinBits: mb}
 				opt.Effort = layout.EffortLow
-				res, err := core.Place(g.Design, opt)
+				res, err := core.Place(context.Background(), g.Design, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -371,7 +372,7 @@ func BenchmarkAblationFlat(b *testing.B) {
 				opt := core.DefaultOptions()
 				opt.Flat = mode.flat
 				opt.Effort = layout.EffortLow
-				res, err := core.Place(g.Design, opt)
+				res, err := core.Place(context.Background(), g.Design, opt)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/circuits"
 	"repro/internal/core"
@@ -58,12 +60,14 @@ func main() {
 	aff := gdf.Affinity(dataflow.Params{Lambda: *lambda, K: *k})
 
 	// Block positions from a traced HiDaP run (the floorplan of Fig. 9d).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	opt := core.DefaultOptions()
 	opt.Lambda = *lambda
 	opt.K = *k
 	opt.Seed = *seed
 	opt.Trace = true
-	res, err := core.Place(d, opt)
+	res, err := core.Place(ctx, d, opt)
 	if err != nil {
 		fatal(err)
 	}

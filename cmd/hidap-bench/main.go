@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -49,6 +51,9 @@ func main() {
 		*table2, *table3 = true, true
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	specs, err := selectSpecs(*ckts, *scale)
 	if err != nil {
 		fatal(err)
@@ -67,7 +72,7 @@ func main() {
 	}
 
 	if *table2 || *table3 {
-		rows := runSuite(specs, opt)
+		rows := runSuite(ctx, specs, opt)
 		flows.Normalize(rows)
 		if *table3 {
 			printTable3(rows)
@@ -89,7 +94,7 @@ func main() {
 	}
 
 	if *fig9 {
-		if err := emitFig9(*fig9ckt, *scale, opt, *outdir); err != nil {
+		if err := emitFig9(ctx, *fig9ckt, *scale, opt, *outdir); err != nil {
 			fatal(err)
 		}
 	}
@@ -119,7 +124,7 @@ func selectSpecs(names string, scale int) ([]circuits.Spec, error) {
 	return specs, nil
 }
 
-func runSuite(specs []circuits.Spec, opt flows.Options) []*flows.Metrics {
+func runSuite(ctx context.Context, specs []circuits.Spec, opt flows.Options) []*flows.Metrics {
 	var rows []*flows.Metrics
 	for _, spec := range specs {
 		g := circuits.Generate(spec)
@@ -128,7 +133,7 @@ func runSuite(specs []circuits.Spec, opt flows.Options) []*flows.Metrics {
 			spec.Name, st.Cells, st.MacroCells,
 			float64(g.Design.Die.W)/1e6, float64(g.Design.Die.H)/1e6)
 		for _, f := range []flows.Flow{flows.FlowIndEDA, flows.FlowHiDaP, flows.FlowHandFP} {
-			m, _, err := flows.Run(g, f, opt)
+			m, _, err := flows.Run(ctx, g, f, opt)
 			if err != nil {
 				fatal(fmt.Errorf("%s/%s: %w", spec.Name, f, err))
 			}
@@ -179,7 +184,7 @@ func printTable3(rows []*flows.Metrics) {
 			lam = fmt.Sprintf(" λ=%.1f", r.Lambda)
 		}
 		fmt.Printf("%-4s %-8s %10.3f %8.3f %8.2f %9.1f %10.1f %8.1f%s\n",
-			r.Circuit, r.Flow, r.WLm, r.WLnorm, r.GRCPct, r.WNSPct, r.TNSns, r.MacroSeconds, lam)
+			r.Circuit, r.Flow, r.WirelengthM, r.WLnorm, r.CongestionPct, r.WNSPct, r.TNSns, r.MacroSeconds, lam)
 	}
 	fmt.Println()
 }
@@ -196,7 +201,7 @@ func printTable2(rows []*flows.Metrics) {
 
 // emitFig9 renders the density maps of one circuit under the three flows
 // plus the top-level Gdf block floorplan (Fig. 9a-d).
-func emitFig9(name string, scale int, opt flows.Options, outdir string) error {
+func emitFig9(ctx context.Context, name string, scale int, opt flows.Options, outdir string) error {
 	spec, err := circuits.SuiteSpec(name)
 	if err != nil {
 		return err
@@ -208,7 +213,7 @@ func emitFig9(name string, scale int, opt flows.Options, outdir string) error {
 	}
 
 	for _, f := range []flows.Flow{flows.FlowIndEDA, flows.FlowHiDaP, flows.FlowHandFP} {
-		m, pl, err := flows.Run(g, f, opt)
+		m, pl, err := flows.Run(ctx, g, f, opt)
 		if err != nil {
 			return err
 		}
@@ -220,7 +225,7 @@ func emitFig9(name string, scale int, opt flows.Options, outdir string) error {
 		}
 		render.DensityMap(fd, pl, dm, 640)
 		fd.Close()
-		fmt.Printf("Fig9 %-7s WL=%.3fm peak-density=%.2f -> %s\n", f, m.WLm, dm.Peak(), path)
+		fmt.Printf("Fig9 %-7s WL=%.3fm peak-density=%.2f -> %s\n", f, m.WirelengthM, dm.Peak(), path)
 		fmt.Println(render.DensityASCII(metrics.Density(pl, 24)))
 	}
 
@@ -228,7 +233,7 @@ func emitFig9(name string, scale int, opt flows.Options, outdir string) error {
 	coreOpt := core.DefaultOptions()
 	coreOpt.Seed = opt.Seed
 	coreOpt.Trace = true
-	res, err := core.Place(g.Design, coreOpt)
+	res, err := core.Place(ctx, g.Design, coreOpt)
 	if err != nil {
 		return err
 	}

@@ -1,19 +1,26 @@
-// Command hidap places the macros of a structural Verilog netlist with the
-// HiDaP flow and writes the placement plus an SVG floorplan.
+// Command hidap places the macros of a structural Verilog netlist with any
+// registered placement flow and writes the placement plus an SVG floorplan.
 //
 // Usage:
 //
 //	hidap -in design.v -top chip -out placement.txt -svg floorplan.svg
-//	hidap -in design.v -top chip -lambda 0.2 -effort high -seed 7
+//	hidap -in design.v -top chip -flow indeda -seed 7
+//	hidap -in design.v -top chip -lambda 0.2 -effort high -cells -json
 //
+// Flows come from the hidap placer registry (-flow hidap|indeda|...).
 // Macro cell types are declared inline with -macro name=WxHxBITS (repeat
-// as needed); the DFF/gate library is built in.
+// as needed) or via -lef; the DFF/gate library is built in. With -json the
+// evaluation report is the only stdout payload (the placement listing goes
+// to -out or stderr), so the output pipes straight into jq. Interrupting
+// the run (Ctrl-C) cancels the placement promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -27,17 +34,20 @@ func (m *macroFlags) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input structural Verilog file (required)")
-		top    = flag.String("top", "top", "top module name")
-		out    = flag.String("out", "", "placement output file (default stdout)")
-		svg    = flag.String("svg", "", "optional SVG floorplan output")
-		def_   = flag.String("def", "", "optional DEF placement output")
-		lef    = flag.String("lef", "", "optional LEF file defining the macro library")
-		lambda = flag.Float64("lambda", 0.5, "block-flow vs macro-flow blend λ")
-		k      = flag.Float64("k", 2, "latency decay exponent")
-		effort = flag.String("effort", "medium", "annealing effort: low|medium|high")
-		seed   = flag.Int64("seed", 1, "random seed")
-		cells  = flag.Bool("cells", false, "also run standard-cell placement and report metrics")
+		in       = flag.String("in", "", "input structural Verilog file (required)")
+		top      = flag.String("top", "top", "top module name")
+		out      = flag.String("out", "", "placement output file (default stdout)")
+		svg      = flag.String("svg", "", "optional SVG floorplan output")
+		def_     = flag.String("def", "", "optional DEF placement output")
+		lef      = flag.String("lef", "", "optional LEF file defining the macro library")
+		flow     = flag.String("flow", "hidap", "placement flow: "+strings.Join(hidap.Placers(), "|"))
+		lambda   = flag.Float64("lambda", 0.5, "block-flow vs macro-flow blend λ")
+		k        = flag.Float64("k", 2, "latency decay exponent")
+		effort   = flag.String("effort", "medium", "annealing effort: low|medium|high")
+		seed     = flag.Int64("seed", 1, "random seed")
+		cells    = flag.Bool("cells", false, "also run standard-cell placement and report metrics")
+		jsonOut  = flag.Bool("json", false, "with -cells: print the evaluation report as JSON")
+		progress = flag.Bool("progress", false, "stream per-level progress to stderr")
 	)
 	var macros macroFlags
 	flag.Var(&macros, "macro", "macro declaration name=WxHxBITS (DBU), repeatable")
@@ -47,6 +57,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	src, err := os.ReadFile(*in)
 	if err != nil {
 		fatal(err)
@@ -54,14 +68,9 @@ func main() {
 
 	lib := hidap.DefaultLibrary()
 	if *lef != "" {
-		f, err := os.Open(*lef)
-		if err != nil {
+		if err := readLEF(*lef, lib); err != nil {
 			fatal(err)
 		}
-		if _, err := hidap.ReadLEF(f, lib); err != nil {
-			fatal(err)
-		}
-		f.Close()
 	}
 	for _, m := range macros {
 		name, w, h, bits, err := parseMacro(m)
@@ -78,24 +87,45 @@ func main() {
 		d, err = hidap.ParseVerilog(string(src), *top, lib)
 	}
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("parse %s: %w", *in, err))
 	}
 
-	opt := hidap.DefaultOptions()
-	opt.Lambda = *lambda
-	opt.K = *k
-	opt.Seed = *seed
+	placer, err := hidap.Lookup(*flow)
+	if err != nil {
+		fatal(err)
+	}
+	opts := []hidap.Option{
+		hidap.WithLambda(*lambda),
+		hidap.WithK(*k),
+		hidap.WithSeed(*seed),
+	}
 	switch *effort {
 	case "low":
-		opt.Effort = hidap.EffortLow
+		opts = append(opts, hidap.WithEffort(hidap.EffortLow))
 	case "high":
-		opt.Effort = hidap.EffortHigh
+		opts = append(opts, hidap.WithEffort(hidap.EffortHigh))
 	}
-	res, err := hidap.Place(d, opt)
+	if *progress {
+		opts = append(opts, hidap.WithProgress(func(ev hidap.Progress) {
+			switch ev.Stage {
+			case hidap.StageLevel:
+				fmt.Fprintf(os.Stderr, "# level %d: %q depth %d, %d blocks\n",
+					ev.Level, ev.Path, ev.Depth, ev.Blocks)
+			case hidap.StageFlips:
+				fmt.Fprintf(os.Stderr, "# flipped %d macros\n", ev.Flips)
+			}
+		}))
+	}
+	cfg := hidap.NewConfig(opts...)
+
+	pl, stats, err := placer.Place(ctx, d, cfg)
 	if err != nil {
 		fatal(err)
 	}
 
+	// With -json, stdout is reserved for the machine-readable report; the
+	// placement listing moves to -out (or stderr) so `hidap ... -json | jq`
+	// always reads a pure JSON stream.
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -104,21 +134,33 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	} else if *jsonOut && *cells {
+		w = os.Stderr
 	}
-	fmt.Fprintf(w, "# design %s: die %dx%d DBU, %d macros, %d levels\n",
-		d.Name, d.Die.W, d.Die.H, len(d.Macros()), res.Levels)
+	fmt.Fprintf(w, "# design %s: die %dx%d DBU, %d macros, flow %s, %d levels\n",
+		d.Name, d.Die.W, d.Die.H, len(d.Macros()), placer.Name(), stats.Levels)
 	for _, m := range d.Macros() {
-		r := res.Placement.Rect(m)
-		fmt.Fprintf(w, "macro %s %d %d %s\n", d.Cell(m).Name, r.X, r.Y, res.Placement.Orient[m])
+		r := pl.Rect(m)
+		fmt.Fprintf(w, "macro %s %d %d %s\n", d.Cell(m).Name, r.X, r.Y, pl.Orient[m])
 	}
 
 	if *cells {
-		if err := hidap.PlaceCells(res.Placement); err != nil {
+		if err := hidap.PlaceStdCells(ctx, pl); err != nil {
 			fatal(err)
 		}
-		wns, tns := hidap.Timing(d, res.Placement)
-		fmt.Fprintf(w, "# WL %.6f m, GRC %.2f%%, WNS %.1f%%, TNS %.1f ns\n",
-			hidap.Wirelength(res.Placement), hidap.Congestion(res.Placement), wns, tns)
+		rep, err := hidap.Evaluate(ctx, d, pl)
+		if err != nil {
+			fatal(err)
+		}
+		stats.Annotate(rep)
+		if *jsonOut {
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Fprintf(w, "# WL %.6f m, GRC %.2f%%, WNS %.1f%%, TNS %.1f ns\n",
+				rep.WirelengthM, rep.CongestionPct, rep.WNSPct, rep.TNSns)
+		}
 	}
 
 	if *svg != "" {
@@ -126,7 +168,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		hidap.WriteFloorplanSVG(f, res.Placement)
+		hidap.WriteFloorplanSVG(f, pl)
 		f.Close()
 	}
 
@@ -135,11 +177,24 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := hidap.WriteDEF(f, res.Placement); err != nil {
+		if err := hidap.WriteDEF(f, pl); err != nil {
 			fatal(err)
 		}
 		f.Close()
 	}
+}
+
+// readLEF loads LEF macros into lib, reporting the file name on failure.
+func readLEF(path string, lib *hidap.Library) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open LEF: %w", err)
+	}
+	defer f.Close()
+	if _, err := hidap.ReadLEF(f, lib); err != nil {
+		return fmt.Errorf("read LEF %s: %w", path, err)
+	}
+	return nil
 }
 
 func parseMacro(s string) (name string, w, h int64, bits int, err error) {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	g := circuits.ABCDX()
 	d := g.Design
 
@@ -36,29 +38,35 @@ func main() {
 	}
 
 	fmt.Println("\nlayouts under the three lenses (Fig. 3):")
+	placer, err := hidap.Lookup("hidap")
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, lambda := range []float64{1.0, 0.0, 0.5} {
-		opt := hidap.DefaultOptions()
-		opt.Lambda = lambda
-		opt.Seed = 7
-		res, err := hidap.Place(d, opt)
+		cfg := hidap.NewConfig(hidap.WithLambda(lambda), hidap.WithSeed(7))
+		pl, _, err := placer.Place(ctx, d, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := hidap.PlaceCells(res.Placement); err != nil {
+		if err := hidap.PlaceStdCells(ctx, pl); err != nil {
 			log.Fatal(err)
 		}
-		chain := chainLength(d, res)
+		rep, err := hidap.Evaluate(ctx, d, pl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		chain := chainLength(d, pl)
 		fmt.Printf("  λ=%.1f  WL=%.4f m   A->B->C->D chain span %.0f µm  %s\n",
-			lambda, hidap.Wirelength(res.Placement), float64(chain)/1000, lensName(lambda))
+			lambda, rep.WirelengthM, float64(chain)/1000, lensName(lambda))
 	}
 }
 
 // chainLength sums the macro-chain distances A->B->C->D (centers of the
 // first macro of each block).
-func chainLength(d *hidap.Design, res *hidap.Result) int64 {
+func chainLength(d *hidap.Design, pl *hidap.Placement) int64 {
 	pos := func(name string) hidap.Point {
 		id := d.CellByName(name)
-		return res.Placement.Center(id)
+		return pl.Center(id)
 	}
 	chain := []string{"A/ram0/mem", "B/ram0/mem", "C/ram0/mem", "D/ram0/mem"}
 	var sum int64

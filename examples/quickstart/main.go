@@ -1,14 +1,17 @@
-// Quickstart: the paper's running example (Fig. 1) end to end.
+// Quickstart: the paper's running example (Fig. 1) end to end, on the
+// registry-based Placer API.
 //
-// A sixteen-macro design is floorplanned with HiDaP; the program prints the
-// multi-level evolution of the block floorplan (first partition, recursive
-// partitions, final macro coordinates) and writes one SVG per level plus
-// the final floorplan.
+// A sixteen-macro design is floorplanned with the "hidap" placer; the
+// program streams per-level progress, prints the multi-level evolution of
+// the block floorplan (first partition, recursive partitions, final macro
+// coordinates) and writes one SVG per level plus the final floorplan,
+// ending with the unified evaluation report.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -18,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	g := circuits.Fig1Design()
 	d := g.Design
 	fmt.Printf("design %s: %d macros, %d cells, die %.1f x %.1f mm\n",
@@ -35,19 +39,29 @@ func main() {
 		fmt.Printf("  block %-8s %s\n", names[i], kind)
 	}
 
-	// Run the full flow with per-level tracing.
-	opt := hidap.DefaultOptions()
-	opt.Trace = true
-	opt.Seed = 1
-	res, err := hidap.Place(d, opt)
+	// Run the full flow with per-level tracing and progress streaming.
+	placer, err := hidap.Lookup("hidap")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nHiDaP placed %d macros across %d levels (%d flips)\n",
-		len(d.Macros()), res.Levels, res.Flips)
+	cfg := hidap.NewConfig(
+		hidap.WithSeed(1),
+		hidap.WithTrace(),
+		hidap.WithProgress(func(ev hidap.Progress) {
+			if ev.Stage == hidap.StageLevel {
+				fmt.Printf("  [progress] level %d: %q (%d blocks)\n", ev.Level, ev.Path, ev.Blocks)
+			}
+		}),
+	)
+	pl, stats, err := placer.Place(ctx, d, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nHiDaP placed %d macros across %d levels (%d flips) in %.2fs\n",
+		len(d.Macros()), stats.Levels, stats.Flips, stats.MacroSeconds)
 
 	// The Fig. 1 evolution: one SVG per recursion level.
-	for i, lv := range res.Trace {
+	for i, lv := range stats.Trace {
 		path := fmt.Sprintf("quickstart_level%d.svg", i)
 		f, err := os.Create(path)
 		if err != nil {
@@ -62,24 +76,32 @@ func main() {
 	// Final coordinates (Fig. 1d).
 	fmt.Println("\nfinal macro placement:")
 	for _, m := range d.Macros() {
-		r := res.Placement.Rect(m)
+		r := pl.Rect(m)
 		fmt.Printf("  %-22s at (%7d,%7d) %s\n",
-			d.Cell(m).Name, r.X, r.Y, res.Placement.Orient[m])
+			d.Cell(m).Name, r.X, r.Y, pl.Orient[m])
 	}
 
 	f, err := os.Create("quickstart_floorplan.svg")
 	if err != nil {
 		log.Fatal(err)
 	}
-	hidap.WriteFloorplanSVG(f, res.Placement)
+	hidap.WriteFloorplanSVG(f, pl)
 	f.Close()
 
-	// Metrics after standard-cell placement.
-	if err := hidap.PlaceCells(res.Placement); err != nil {
+	// Metrics after standard-cell placement: one Report for everything.
+	if err := hidap.PlaceStdCells(ctx, pl); err != nil {
 		log.Fatal(err)
 	}
-	wns, tns := hidap.Timing(d, res.Placement)
+	rep, err := hidap.Evaluate(ctx, d, pl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats.Annotate(rep)
 	fmt.Printf("\nafter cell placement: WL %.4f m, GRC %.2f%%, WNS %.1f%%, TNS %.1f ns\n",
-		hidap.Wirelength(res.Placement), hidap.Congestion(res.Placement), wns, tns)
+		rep.WirelengthM, rep.CongestionPct, rep.WNSPct, rep.TNSns)
+	fmt.Println("report as JSON:")
+	if err := rep.WriteJSON(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("wrote quickstart_floorplan.svg")
 }

@@ -1,15 +1,16 @@
-// Socfloorplan: the three flows compared on a mid-size SoC.
+// Socfloorplan: every registered placement flow compared on a mid-size SoC.
 //
-// A c5-class synthetic SoC (133 macros) is floorplanned with the
-// industrial-style baseline, HiDaP and the handcrafted oracle; standard
-// cells are placed with the shared quadratic placer and the paper's
-// Table III metrics are reported, along with SVG floorplans and ASCII
-// density maps (Fig. 9).
+// A c5-class synthetic SoC (133 macros) is floorplanned by each placer in
+// the registry — the industrial-style baseline, HiDaP and the handcrafted
+// oracle; standard cells are placed with the shared quadratic placer and
+// the paper's Table III metrics come out of the unified Evaluate pipeline,
+// along with SVG floorplans and ASCII density maps (Fig. 9).
 //
 //	go run ./examples/socfloorplan
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	spec, err := circuits.SuiteSpec("c5")
 	if err != nil {
 		log.Fatal(err)
@@ -31,38 +33,31 @@ func main() {
 		spec.Name, st.Cells, st.MacroCells,
 		float64(d.Die.W)/1e6, float64(d.Die.H)/1e6)
 
-	type flowFn func() (*hidap.Placement, error)
-	flowsToRun := []struct {
-		name string
-		run  flowFn
-	}{
-		{"IndEDA", func() (*hidap.Placement, error) { return hidap.PlaceIndEDA(d, 1) }},
-		{"HiDaP", func() (*hidap.Placement, error) {
-			opt := hidap.DefaultOptions()
-			opt.Seed = 1
-			res, err := hidap.Place(d, opt)
-			if err != nil {
-				return nil, err
-			}
-			return res.Placement, nil
-		}},
-		{"handFP", func() (*hidap.Placement, error) { return hidap.PlaceHandFP(d, g.Intent, 1) }},
-	}
+	// The handfp placer needs the designer intent; the others ignore it.
+	cfg := hidap.NewConfig(hidap.WithSeed(1), hidap.WithIntent(g.Intent))
 
 	fmt.Printf("%-8s %10s %8s %9s %10s\n", "flow", "WL(m)", "GRC%", "WNS%", "TNS(ns)")
-	for _, fl := range flowsToRun {
-		pl, err := fl.run()
+	for _, name := range hidap.Placers() {
+		placer, err := hidap.Lookup(name)
 		if err != nil {
-			log.Fatalf("%s: %v", fl.name, err)
+			log.Fatal(err)
 		}
-		if err := hidap.PlaceCells(pl); err != nil {
-			log.Fatalf("%s: cells: %v", fl.name, err)
+		pl, stats, err := placer.Place(ctx, d, cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
 		}
-		wns, tns := hidap.Timing(d, pl)
+		if err := hidap.PlaceStdCells(ctx, pl); err != nil {
+			log.Fatalf("%s: cells: %v", name, err)
+		}
+		rep, err := hidap.Evaluate(ctx, d, pl)
+		if err != nil {
+			log.Fatalf("%s: evaluate: %v", name, err)
+		}
+		stats.Annotate(rep)
 		fmt.Printf("%-8s %10.4f %8.2f %9.1f %10.1f\n",
-			fl.name, hidap.Wirelength(pl), hidap.Congestion(pl), wns, tns)
+			name, rep.WirelengthM, rep.CongestionPct, rep.WNSPct, rep.TNSns)
 
-		svg := fmt.Sprintf("soc_%s.svg", fl.name)
+		svg := fmt.Sprintf("soc_%s.svg", name)
 		f, err := os.Create(svg)
 		if err != nil {
 			log.Fatal(err)
@@ -71,7 +66,7 @@ func main() {
 		f.Close()
 
 		fmt.Printf("\n%s standard-cell density (M = macro):\n%s\n",
-			fl.name, hidap.DensityASCII(pl, 20))
+			name, hidap.DensityASCII(pl, 20))
 	}
-	fmt.Println("wrote soc_IndEDA.svg, soc_HiDaP.svg, soc_handFP.svg")
+	fmt.Println("wrote soc_handfp.svg, soc_hidap.svg, soc_indeda.svg")
 }

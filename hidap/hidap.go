@@ -1,27 +1,38 @@
 // Package hidap is the public API of the HiDaP reproduction: RTL-aware,
 // dataflow-driven macro placement after Vidal-Obiols et al. (DATE 2019).
 //
-// The typical flow:
+// Every flow sits behind the Placer interface and a name registry, with one
+// evaluation pipeline for the results:
 //
 //	b := hidap.NewDesign("soc")
 //	... build the hierarchical netlist (or hidap.ParseVerilog) ...
 //	d := b.MustBuild()
-//	res, err := hidap.Place(d, hidap.DefaultOptions())
-//	hidap.PlaceCells(res.Placement)            // standard cells
-//	wl := hidap.Wirelength(res.Placement)      // meters
+//	p, _ := hidap.Lookup("hidap") // or "indeda", "handfp", a plug-in
+//	cfg := hidap.NewConfig(hidap.WithLambda(0.5), hidap.WithSeed(7))
+//	pl, stats, err := p.Place(ctx, d, cfg)
+//	hidap.PlaceStdCells(ctx, pl)        // standard cells
+//	rep, err := hidap.Evaluate(ctx, d, pl)
+//	stats.Annotate(rep)                 // one JSON-ready Report
 //
-// The package re-exports the stable subset of the internal machinery:
-// netlist construction, the Verilog front end, the HiDaP placer, the
-// comparison flows (IndEDA-style baseline and handcrafted oracle), metric
-// models and SVG rendering. Every entry point is deterministic for a fixed
-// seed.
+// Placers honor context cancellation and deadlines, report progress through
+// hidap.WithProgress, and are deterministic for a fixed seed. Third-party
+// flows join the registry with hidap.Register without touching this
+// package.
+//
+// The package also re-exports the stable subset of the internal machinery:
+// netlist construction, the Verilog front end, metric models, interchange
+// formats and SVG rendering. The free functions Place, PlaceIndEDA,
+// PlaceHandFP, PlaceCells, Wirelength, Congestion and Timing are the
+// deprecated pre-registry surface, kept as thin wrappers.
 package hidap
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
 	"repro/internal/deffmt"
+	"repro/internal/eval"
 	"repro/internal/geom"
 	"repro/internal/handfp"
 	"repro/internal/indeda"
@@ -116,16 +127,25 @@ const (
 
 // DefaultOptions mirrors the paper's parameter choices (λ=0.5, k=2,
 // open_area=1%, min_area=40%).
+//
+// Deprecated: use NewConfig with functional options.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
 // Place runs the HiDaP flow: hierarchy tree, shape curves, recursive
 // dataflow-driven block floorplanning, and macro flipping.
-func Place(d *Design, opt Options) (*Result, error) { return core.Place(d, opt) }
+//
+// Deprecated: use Lookup("hidap") and Placer.Place, which add cancellation
+// and progress reporting.
+func Place(d *Design, opt Options) (*Result, error) {
+	return core.Place(context.Background(), d, opt)
+}
 
 // PlaceIndEDA runs the industrial-baseline macro placer (hierarchy- and
 // dataflow-blind; wall-packing plus netlist annealing).
+//
+// Deprecated: use Lookup("indeda") and Placer.Place.
 func PlaceIndEDA(d *Design, seed int64) (*Placement, error) {
-	return indeda.Place(d, indeda.Options{Seed: seed, HighEffort: true, WallWeight: 0.4})
+	return indeda.Place(context.Background(), d, indeda.Options{Seed: seed, HighEffort: true, WallWeight: 0.4})
 }
 
 // Intent maps macro cell names to intended placed outlines; it feeds the
@@ -134,33 +154,41 @@ type Intent = handfp.Intent
 
 // PlaceHandFP realizes a handcrafted floorplan from a designer intent and
 // refines it locally.
+//
+// Deprecated: use Lookup("handfp") and Placer.Place with WithIntent.
 func PlaceHandFP(d *Design, intent Intent, seed int64) (*Placement, error) {
-	return handfp.Place(d, intent, handfp.Options{Seed: seed})
+	return handfp.Place(context.Background(), d, intent, handfp.Options{Seed: seed})
 }
 
 // PlaceCells runs the standard-cell global placer over a design whose
 // macros are already placed.
-func PlaceCells(pl *Placement) error { return place.Run(pl, place.DefaultOptions()) }
+//
+// Deprecated: use PlaceStdCells, which honors cancellation.
+func PlaceCells(pl *Placement) error {
+	return place.Run(context.Background(), pl, place.DefaultOptions())
+}
 
 // Wirelength returns the total half-perimeter wirelength in meters.
+//
+// Deprecated: use Evaluate, which returns every metric in one Report.
 func Wirelength(pl *Placement) float64 { return metrics.WirelengthMeters(pl) }
 
 // Congestion returns GRC%: the percentage of routing gcells whose estimated
 // demand exceeds capacity.
+//
+// Deprecated: use Evaluate, which returns every metric in one Report.
 func Congestion(pl *Placement) float64 {
 	return route.Estimate(pl, route.DefaultOptions()).OverflowPct
 }
 
 // Timing returns (WNS as % of the clock period, TNS in ns) under the
-// synthetic timing model, with the wire delay calibrated to the die (a
-// stage crossing ~70% of the die half-perimeter consumes the wire budget,
-// matching the benchmark harness calibration).
+// synthetic timing model, with the wire delay calibrated to the die by
+// CalibrateSTA.
+//
+// Deprecated: use Evaluate, which returns every metric in one Report.
 func Timing(d *Design, pl *Placement) (wnsPct, tnsNs float64) {
 	sg := seqgraph.Build(d, seqgraph.DefaultParams())
-	opt := sta.DefaultOptions()
-	span := float64(d.Die.W + d.Die.H)
-	opt.WirePsPerDBU = (opt.ClockPs - opt.IntrinsicPs) / (0.7 * span / 2)
-	res := sta.Analyze(sg, pl, opt)
+	res := sta.Analyze(sg, pl, eval.CalibrateSTA(d, sta.Options{}))
 	return res.WNSPct, res.TNSns
 }
 

@@ -1,6 +1,7 @@
 package hidap
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/core"
@@ -68,7 +69,7 @@ func ShapeCurveFor(d *Design, path string) []ShapePoint {
 		return nil
 	}
 	tr := hier.New(d)
-	sc := core.GenerateShapeCurves(tr, 1)
+	sc := core.GenerateShapeCurves(context.Background(), tr, 1)
 	curve, ok := sc.ByNode[nh]
 	if !ok {
 		return nil

@@ -1,0 +1,192 @@
+package hidap
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/handfp"
+	"repro/internal/indeda"
+	"repro/internal/seqgraph"
+)
+
+// SeqStats is the sequential-graph size summary (Table I).
+type SeqStats = seqgraph.Stats
+
+// Stats is the bookkeeping of one Placer run.
+type Stats struct {
+	// Placer names the flow that produced the placement.
+	Placer string
+	// MacroSeconds is the macro-placement wall time.
+	MacroSeconds float64
+	// Levels counts floorplanned recursion levels (hidap flow).
+	Levels int
+	// Flips counts orientation changes of the flipping post-process.
+	Flips int
+	// Lambda is the dataflow blend of the run (hidap flow).
+	Lambda float64
+	// SeqStats reports the Gseq size (hidap flow).
+	SeqStats SeqStats
+	// Trace lists the per-level block floorplans when Config.Trace is set.
+	Trace []LevelTrace
+}
+
+// Annotate copies the run bookkeeping onto a measurement report, fusing
+// "what the placer did" with "how good the placement is" into the single
+// record a server or the bench harness emits.
+func (s Stats) Annotate(r *Report) {
+	r.Placer = s.Placer
+	r.MacroSeconds = s.MacroSeconds
+	r.Levels = s.Levels
+	r.Flips = s.Flips
+	r.Lambda = s.Lambda
+	if s.SeqStats.Nodes > 0 {
+		r.SeqNodes = s.SeqStats.Nodes
+		r.SeqEdges = s.SeqStats.Edges
+	}
+}
+
+// Placer is a macro-placement flow behind the uniform entry point. The
+// package registers its three flows ("hidap", "indeda", "handfp"); third
+// parties add their own with Register and select them by name via Lookup.
+type Placer interface {
+	// Name is the registry key of the flow.
+	Name() string
+	// Place produces a macro placement for the design. Ports are fixed by
+	// the design; standard cells are left to PlaceStdCells. A nil cfg
+	// means NewConfig() defaults. A cancelled or expired ctx aborts the
+	// run promptly and returns ctx.Err().
+	Place(ctx context.Context, d *Design, cfg *Config) (*Placement, Stats, error)
+}
+
+// PlacerFunc adapts a placement function to the Placer interface.
+func PlacerFunc(name string, fn func(ctx context.Context, d *Design, cfg *Config) (*Placement, Stats, error)) Placer {
+	return placerFunc{name: name, fn: fn}
+}
+
+type placerFunc struct {
+	name string
+	fn   func(ctx context.Context, d *Design, cfg *Config) (*Placement, Stats, error)
+}
+
+func (p placerFunc) Name() string { return p.name }
+
+func (p placerFunc) Place(ctx context.Context, d *Design, cfg *Config) (*Placement, Stats, error) {
+	if cfg == nil {
+		cfg = NewConfig()
+	}
+	return p.fn(ctx, d, cfg)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Placer{}
+)
+
+// Register adds a placer to the registry. Registering an empty or duplicate
+// name is an error, so flows cannot silently shadow each other.
+func Register(p Placer) error {
+	name := p.Name()
+	if name == "" {
+		return fmt.Errorf("hidap: placer has empty name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("hidap: placer %q already registered", name)
+	}
+	registry[name] = p
+	return nil
+}
+
+// MustRegister is Register, panicking on error; for use from init functions.
+func MustRegister(p Placer) {
+	if err := Register(p); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the placer registered under name.
+func Lookup(name string) (Placer, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	p, ok := registry[name]
+	if !ok {
+		names := make([]string, 0, len(registry))
+		for n := range registry {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("hidap: unknown placer %q (registered: %v)", name, names)
+	}
+	return p, nil
+}
+
+// Placers lists the registered placer names, sorted.
+func Placers() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	MustRegister(PlacerFunc("hidap", placeHiDaP))
+	MustRegister(PlacerFunc("indeda", placeIndEDA))
+	MustRegister(PlacerFunc("handfp", placeHandFP))
+}
+
+// placeHiDaP runs the paper's flow: hierarchy tree, shape curves, recursive
+// dataflow-driven block floorplanning, and macro flipping.
+func placeHiDaP(ctx context.Context, d *Design, cfg *Config) (*Placement, Stats, error) {
+	start := time.Now()
+	res, err := core.Place(ctx, d, cfg.coreOptions())
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return res.Placement, Stats{
+		Placer:       "hidap",
+		MacroSeconds: time.Since(start).Seconds(),
+		Levels:       res.Levels,
+		Flips:        res.Flips,
+		Lambda:       cfg.Lambda,
+		SeqStats:     res.SeqStats,
+		Trace:        res.Trace,
+	}, nil
+}
+
+// placeIndEDA runs the industrial-baseline macro placer (hierarchy- and
+// dataflow-blind; wall-packing plus netlist annealing).
+func placeIndEDA(ctx context.Context, d *Design, cfg *Config) (*Placement, Stats, error) {
+	start := time.Now()
+	pl, err := indeda.Place(ctx, d, indeda.Options{
+		Seed:       cfg.Seed,
+		HighEffort: cfg.Effort != EffortLow,
+		WallWeight: 0.4,
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return pl, Stats{Placer: "indeda", MacroSeconds: time.Since(start).Seconds()}, nil
+}
+
+// placeHandFP realizes a handcrafted floorplan from the designer intent
+// supplied via WithIntent and refines it locally.
+func placeHandFP(ctx context.Context, d *Design, cfg *Config) (*Placement, Stats, error) {
+	if cfg.Intent == nil {
+		return nil, Stats{}, fmt.Errorf("hidap: placer \"handfp\" needs a designer intent (use WithIntent)")
+	}
+	start := time.Now()
+	pl, err := handfp.Place(ctx, d, cfg.Intent, handfp.Options{Seed: cfg.Seed})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return pl, Stats{Placer: "handfp", MacroSeconds: time.Since(start).Seconds()}, nil
+}

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -28,7 +29,7 @@ func TestEndToEndSuiteCircuit(t *testing.T) {
 
 	var rows []*flows.Metrics
 	for _, f := range []flows.Flow{flows.FlowIndEDA, flows.FlowHiDaP, flows.FlowHandFP} {
-		m, pl, err := flows.Run(g, f, opt)
+		m, pl, err := flows.Run(context.Background(), g, f, opt)
 		if err != nil {
 			t.Fatalf("%s: %v", f, err)
 		}
@@ -183,18 +184,18 @@ func TestRestartsImproveOrKeep(t *testing.T) {
 	base.Effort = layout.EffortLow
 	base.Lambdas = []float64{0.5}
 
-	one, _, err := flows.Run(g, flows.FlowHiDaP, base)
+	one, _, err := flows.Run(context.Background(), g, flows.FlowHiDaP, base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	multi := base
 	multi.Restarts = 3
-	three, _, err := flows.Run(g, flows.FlowHiDaP, multi)
+	three, _, err := flows.Run(context.Background(), g, flows.FlowHiDaP, multi)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if three.WLm > one.WLm+1e-12 {
-		t.Errorf("3 restarts WL %v worse than 1 restart %v", three.WLm, one.WLm)
+	if three.WirelengthM > one.WirelengthM+1e-12 {
+		t.Errorf("3 restarts WL %v worse than 1 restart %v", three.WirelengthM, one.WirelengthM)
 	}
 }
 

@@ -7,6 +7,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 	"math/rand"
 )
@@ -59,7 +60,14 @@ type Result struct {
 	Rounds    int
 	InitTemp  float64
 	FinalTemp float64
+	// Canceled is set when the run stopped early because ctx was done. The
+	// best snapshot taken so far is still valid.
+	Canceled bool
 }
+
+// ctxCheckMoves bounds how many moves run between cancellation checks, so a
+// cancelled context stops a schedule within a fraction of one round.
+const ctxCheckMoves = 16
 
 // Run minimizes the caller's objective.
 //
@@ -69,7 +77,10 @@ type Result struct {
 //     the best seen so far, so the caller can snapshot it. The engine never
 //     restores state itself: when the run ends the caller's state is
 //     whatever the walk last accepted, and the snapshot holds the best.
-func Run(opt Options, cost func() float64, perturb func(rng *rand.Rand) func(), onBest func()) Result {
+//
+// Cancelling ctx stops the schedule within a few moves; the caller should
+// propagate ctx.Err() after checking Result.Canceled.
+func Run(ctx context.Context, opt Options, cost func() float64, perturb func(rng *rand.Rand) func(), onBest func()) Result {
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed))
 
@@ -101,6 +112,12 @@ func Run(opt Options, cost func() float64, perturb func(rng *rand.Rand) func(), 
 		res.Rounds++
 		improvedThisRound := false
 		for m := 0; m < opt.MovesPerRound; m++ {
+			if m%ctxCheckMoves == 0 && ctx.Err() != nil {
+				res.Canceled = true
+				res.BestCost = best
+				res.FinalTemp = temp
+				return res
+			}
 			undo := perturb(rng)
 			next := cost()
 			delta := next - cur

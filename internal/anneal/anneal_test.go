@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -43,7 +44,7 @@ func (p *permProblem) perturb(rng *rand.Rand) func() {
 func TestRunFindsOptimum(t *testing.T) {
 	p := newPermProblem(12, 99)
 	var bestPerm []int
-	res := Run(Options{Seed: 1, MovesPerRound: 200, MaxRounds: 300},
+	res := Run(context.Background(), Options{Seed: 1, MovesPerRound: 200, MaxRounds: 300},
 		p.cost,
 		p.perturb,
 		func() { bestPerm = append(bestPerm[:0], p.perm...) },
@@ -62,7 +63,7 @@ func TestDeterminism(t *testing.T) {
 	run := func() (float64, []int) {
 		p := newPermProblem(10, 5)
 		var best []int
-		res := Run(Options{Seed: 42, MovesPerRound: 50, MaxRounds: 60},
+		res := Run(context.Background(), Options{Seed: 42, MovesPerRound: 50, MaxRounds: 60},
 			p.cost, p.perturb,
 			func() { best = append(best[:0], p.perm...) })
 		return res.BestCost, best
@@ -82,7 +83,7 @@ func TestDeterminism(t *testing.T) {
 func TestSeedChangesTrajectory(t *testing.T) {
 	accepted := func(seed int64) int {
 		p := newPermProblem(10, 5)
-		res := Run(Options{Seed: seed, MovesPerRound: 30, MaxRounds: 20}, p.cost, p.perturb, nil)
+		res := Run(context.Background(), Options{Seed: seed, MovesPerRound: 30, MaxRounds: 20}, p.cost, p.perturb, nil)
 		return res.Accepted
 	}
 	if accepted(1) == accepted(2) {
@@ -95,7 +96,7 @@ func TestSeedChangesTrajectory(t *testing.T) {
 func TestBestNeverWorseThanInitial(t *testing.T) {
 	p := newPermProblem(15, 3)
 	initial := p.cost()
-	res := Run(Options{Seed: 7, MovesPerRound: 10, MaxRounds: 10}, p.cost, p.perturb, nil)
+	res := Run(context.Background(), Options{Seed: 7, MovesPerRound: 10, MaxRounds: 10}, p.cost, p.perturb, nil)
 	if res.BestCost > initial {
 		t.Errorf("BestCost %v worse than initial %v", res.BestCost, initial)
 	}
@@ -103,7 +104,7 @@ func TestBestNeverWorseThanInitial(t *testing.T) {
 
 func TestCalibration(t *testing.T) {
 	p := newPermProblem(12, 11)
-	res := Run(Options{Seed: 2, MovesPerRound: 20, MaxRounds: 5}, p.cost, p.perturb, nil)
+	res := Run(context.Background(), Options{Seed: 2, MovesPerRound: 20, MaxRounds: 5}, p.cost, p.perturb, nil)
 	if res.InitTemp <= 0 {
 		t.Errorf("calibrated InitTemp = %v, want > 0", res.InitTemp)
 	}
@@ -111,7 +112,7 @@ func TestCalibration(t *testing.T) {
 
 func TestExplicitTemperatureHonored(t *testing.T) {
 	p := newPermProblem(12, 11)
-	res := Run(Options{Seed: 2, InitialTemp: 123, MovesPerRound: 5, MaxRounds: 3},
+	res := Run(context.Background(), Options{Seed: 2, InitialTemp: 123, MovesPerRound: 5, MaxRounds: 3},
 		p.cost, p.perturb, nil)
 	if res.InitTemp != 123 {
 		t.Errorf("InitTemp = %v, want 123", res.InitTemp)
@@ -122,7 +123,7 @@ func TestStallStopsEarly(t *testing.T) {
 	// A flat landscape never improves; StallRounds must cut the run short.
 	flatCost := func() float64 { return 1 }
 	perturb := func(rng *rand.Rand) func() { return func() {} }
-	res := Run(Options{Seed: 1, InitialTemp: 1, MovesPerRound: 2, MaxRounds: 1000, StallRounds: 3},
+	res := Run(context.Background(), Options{Seed: 1, InitialTemp: 1, MovesPerRound: 2, MaxRounds: 1000, StallRounds: 3},
 		flatCost, perturb, nil)
 	if res.Rounds > 4 {
 		t.Errorf("Rounds = %d, want early stall stop", res.Rounds)
@@ -139,7 +140,7 @@ func TestZeroTempOnMonotoneLandscape(t *testing.T) {
 		x--
 		return func() { x = old }
 	}
-	res := Run(Options{Seed: 1, MovesPerRound: 5, MaxRounds: 5}, cost, perturb, nil)
+	res := Run(context.Background(), Options{Seed: 1, MovesPerRound: 5, MaxRounds: 5}, cost, perturb, nil)
 	if res.BestCost >= 1000 {
 		t.Errorf("BestCost = %v, want < 1000", res.BestCost)
 	}
@@ -148,9 +149,31 @@ func TestZeroTempOnMonotoneLandscape(t *testing.T) {
 func TestOnBestCalledOnImprovement(t *testing.T) {
 	p := newPermProblem(8, 17)
 	calls := 0
-	Run(Options{Seed: 3, MovesPerRound: 50, MaxRounds: 50}, p.cost, p.perturb,
+	Run(context.Background(), Options{Seed: 3, MovesPerRound: 50, MaxRounds: 50}, p.cost, p.perturb,
 		func() { calls++ })
 	if calls < 2 {
 		t.Errorf("onBest calls = %d, want >= 2 (initial + improvements)", calls)
+	}
+}
+
+func TestCancelStopsSchedule(t *testing.T) {
+	// Cancel mid-run from the cost callback: the engine must stop within
+	// one cancellation-check window instead of finishing the schedule.
+	ctx, cancel := context.WithCancel(context.Background())
+	p := newPermProblem(12, 9)
+	evals := 0
+	cost := func() float64 {
+		evals++
+		if evals == 10 {
+			cancel()
+		}
+		return p.cost()
+	}
+	res := Run(ctx, Options{Seed: 1, MovesPerRound: 64, MaxRounds: 10_000, InitialTemp: 1}, cost, p.perturb, nil)
+	if !res.Canceled {
+		t.Fatal("Canceled not set after mid-run cancellation")
+	}
+	if evals > 10+ctxCheckMoves+1 {
+		t.Errorf("engine ran %d cost evals after cancellation, want <= %d", evals-10, ctxCheckMoves+1)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -69,7 +70,7 @@ func TestPlaceEndToEnd(t *testing.T) {
 	opt := DefaultOptions()
 	opt.Seed = 42
 	opt.Trace = true
-	res, err := Place(d, opt)
+	res, err := Place(context.Background(), d, opt)
 	if err != nil {
 		t.Fatalf("Place: %v", err)
 	}
@@ -98,11 +99,11 @@ func TestPlaceDeterministic(t *testing.T) {
 	d := miniSoC(t)
 	opt := DefaultOptions()
 	opt.Seed = 7
-	r1, err := Place(d, opt)
+	r1, err := Place(context.Background(), d, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Place(d, opt)
+	r2, err := Place(context.Background(), d, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,12 +120,12 @@ func TestPlaceDeterministic(t *testing.T) {
 
 func TestPlaceSeedMatters(t *testing.T) {
 	d := miniSoC(t)
-	a, err := Place(d, Options{Seed: 1, Lambda: 0.5, K: 2,
+	a, err := Place(context.Background(), d, Options{Seed: 1, Lambda: 0.5, K: 2,
 		Decluster: hier.DefaultParams()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Place(d, Options{Seed: 2, Lambda: 0.5, K: 2,
+	b, err := Place(context.Background(), d, Options{Seed: 2, Lambda: 0.5, K: 2,
 		Decluster: hier.DefaultParams()})
 	if err != nil {
 		t.Fatal(err)
@@ -146,7 +147,7 @@ func TestPlaceSubsystemCohesion(t *testing.T) {
 	d := miniSoC(t)
 	opt := DefaultOptions()
 	opt.Seed = 3
-	res, err := Place(d, opt)
+	res, err := Place(context.Background(), d, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestPlaceNoMacrosFails(t *testing.T) {
 	b := netlist.NewBuilder("nomacro")
 	b.AddComb("c", 100, "")
 	d := b.MustBuild()
-	if _, err := Place(d, DefaultOptions()); err == nil {
+	if _, err := Place(context.Background(), d, DefaultOptions()); err == nil {
 		t.Error("expected error for macro-free design")
 	}
 }
@@ -200,7 +201,7 @@ func TestPlaceNoMacrosFails(t *testing.T) {
 func TestGenerateShapeCurves(t *testing.T) {
 	d := miniSoC(t)
 	tr := hier.New(d)
-	sc := GenerateShapeCurves(tr, 1)
+	sc := GenerateShapeCurves(context.Background(), tr, 1)
 
 	// Every node with macros has a non-empty curve.
 	for i := range d.Hier {
@@ -236,7 +237,7 @@ func TestGenerateShapeCurves(t *testing.T) {
 func TestShapeCurveLeafRotatable(t *testing.T) {
 	d := miniSoC(t)
 	tr := hier.New(d)
-	sc := GenerateShapeCurves(tr, 1)
+	sc := GenerateShapeCurves(context.Background(), tr, 1)
 	for m, c := range sc.ByMacro {
 		cell := d.Cell(m)
 		if !c.Fits(cell.Width, cell.Height) || !c.Fits(cell.Height, cell.Width) {
@@ -248,7 +249,7 @@ func TestShapeCurveLeafRotatable(t *testing.T) {
 func TestComposePartsTwo(t *testing.T) {
 	a := shape.FromBox(10, 20)
 	b := shape.FromBox(30, 5)
-	c := composeParts([]shape.Curve{a, b}, 1)
+	c := composeParts(context.Background(), []shape.Curve{a, b}, 1)
 	// H composition: 40 x 20; V composition: 30 x 25.
 	if !c.Fits(40, 20) || !c.Fits(30, 25) {
 		t.Errorf("compose missing realizations: %v", c)
@@ -315,7 +316,7 @@ func TestFlatModePlacesAllMacros(t *testing.T) {
 	opt.Flat = true
 	opt.Seed = 5
 	opt.Trace = true
-	res, err := Place(d, opt)
+	res, err := Place(context.Background(), d, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataflow"
@@ -14,6 +15,42 @@ import (
 	"repro/internal/seqgraph"
 	"repro/internal/slicing"
 )
+
+// Progress stages reported to Options.Progress.
+const (
+	// StageLevel reports one floorplanned recursion level.
+	StageLevel = "level"
+	// StageFlips reports the macro-flipping post-process.
+	StageFlips = "flips"
+	// StageCandidate reports one evaluated candidate of a multi-candidate
+	// run (emitted by the flows harness, not by Place itself).
+	StageCandidate = "candidate"
+)
+
+// Progress is one event of a running placement, delivered to the
+// Options.Progress callback so long runs can stream status.
+type Progress struct {
+	// Stage is one of the Stage* constants.
+	Stage string
+	// Path, Depth and Blocks describe the floorplanned level (StageLevel).
+	Path   string
+	Depth  int
+	Blocks int
+	// Level counts floorplanned levels so far.
+	Level int
+	// Candidate / Candidates index a multi-candidate run (StageCandidate).
+	Candidate  int
+	Candidates int
+	// Lambda is the dataflow blend of the run or candidate.
+	Lambda float64
+	// Flips counts orientation changes (StageFlips).
+	Flips int
+}
+
+// ProgressFunc receives placement progress events. Callbacks must be fast
+// and must not retain the event past the call; they may be invoked from the
+// goroutine running the placement.
+type ProgressFunc func(Progress)
 
 // Options configures the HiDaP flow.
 type Options struct {
@@ -39,6 +76,9 @@ type Options struct {
 	// the paper's first contribution (multi-level placement with
 	// hierarchy-aware declustering); dataflow affinity is still used.
 	Flat bool
+	// Progress, when set, receives one event per floorplanned level and one
+	// for the flipping post-process.
+	Progress ProgressFunc
 }
 
 // DefaultOptions mirrors the paper's defaults.
@@ -97,10 +137,15 @@ type flowState struct {
 }
 
 // Place runs the complete HiDaP flow (Algorithm 1) on a design: hierarchy
-// tree, shape curves, recursive block floorplan, and macro flipping.
-func Place(d *netlist.Design, opt Options) (*Result, error) {
+// tree, shape curves, recursive block floorplan, and macro flipping. A
+// cancelled or expired ctx aborts the run promptly (between annealing moves)
+// and returns ctx.Err().
+func Place(ctx context.Context, d *netlist.Design, opt Options) (*Result, error) {
 	if len(d.Macros()) == 0 {
 		return nil, fmt.Errorf("core: design %q has no macros to place", d.Name)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if opt.K == 0 {
 		opt.K = 2
@@ -123,13 +168,17 @@ func Place(d *netlist.Design, opt Options) (*Result, error) {
 		approx: make([]geom.Point, len(d.Cells)),
 		hasApx: make([]bool, len(d.Cells)),
 	}
-	st.sc = GenerateShapeCurves(st.tree, opt.Seed)
+	st.sc = GenerateShapeCurves(ctx, st.tree, opt.Seed)
 	st.res.SeqStats = st.sg.Stats()
 
+	var err error
 	if opt.Flat {
-		st.flatPlace(d.Die)
+		err = st.flatPlace(ctx, d.Die)
 	} else {
-		st.recurse(d.Root(), d.Die, 0)
+		err = st.recurse(ctx, d.Root(), d.Die, 0)
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	if !st.pl.AllMacrosPlaced() {
@@ -138,16 +187,27 @@ func Place(d *netlist.Design, opt Options) (*Result, error) {
 	legalize.Macros(st.pl, d.Die)
 	st.res.Flips = flipMacros(st.pl, st.approx, st.hasApx)
 	st.res.Placement = st.pl
+	st.emit(Progress{Stage: StageFlips, Level: st.res.Levels, Lambda: opt.Lambda, Flips: st.res.Flips})
 	return st.res, nil
+}
+
+// emit delivers one progress event when a callback is registered.
+func (st *flowState) emit(ev Progress) {
+	if st.opt.Progress != nil {
+		st.opt.Progress(ev)
+	}
 }
 
 // recurse is Algorithm 2: floorplan the blocks of one hierarchy level
 // inside region, then recurse into multi-macro blocks.
-func (st *flowState) recurse(nh netlist.HierID, region geom.Rect, depth int) {
+func (st *flowState) recurse(ctx context.Context, nh netlist.HierID, region geom.Rect, depth int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	d := st.d
 	decl := st.tree.Decluster(nh, st.opt.Decluster)
 	if len(decl.Blocks) == 0 {
-		return
+		return nil
 	}
 	st.res.Levels++
 
@@ -158,7 +218,7 @@ func (st *flowState) recurse(nh netlist.HierID, region geom.Rect, depth int) {
 		for _, m := range b.MacroCells {
 			st.fixSingleMacro(m, region, nil, nil, 0, nil)
 		}
-		return
+		return nil
 	}
 
 	at := st.targetAreas(decl)
@@ -185,7 +245,14 @@ func (st *flowState) recurse(nh netlist.HierID, region geom.Rect, depth int) {
 	}
 
 	opt := layout.Options{Seed: st.opt.Seed + int64(nh)*7919, Effort: st.opt.Effort, Eval: st.opt.Eval}
-	sol := layout.Solve(prob, opt)
+	sol := layout.Solve(ctx, prob, opt)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	st.emit(Progress{
+		Stage: StageLevel, Path: d.Node(nh).Path, Depth: depth,
+		Blocks: len(decl.Blocks), Level: st.res.Levels, Lambda: st.opt.Lambda,
+	})
 
 	// Refresh position estimates: every cell of block i now lives at the
 	// center of the block's rectangle; glue cells at the region center.
@@ -226,14 +293,17 @@ func (st *flowState) recurse(nh netlist.HierID, region geom.Rect, depth int) {
 		case b.MacroCount() == 1:
 			st.fixSingleMacro(b.MacroCells[0], r, gdf, aff, int32(i), sol)
 		default:
-			st.recurse(b.Node, r, depth+1)
+			if err := st.recurse(ctx, b.Node, r, depth+1); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // flatPlace is the single-level ablation: one layout instance whose blocks
 // are the individual macros; all standard cells are glue.
-func (st *flowState) flatPlace(region geom.Rect) {
+func (st *flowState) flatPlace(ctx context.Context, region geom.Rect) error {
 	d := st.d
 	decl := &hier.Result{CellBlock: make([]int32, len(d.Cells))}
 	for i := range decl.CellBlock {
@@ -282,7 +352,11 @@ func (st *flowState) flatPlace(region geom.Rect) {
 			Pos:  st.terminalPos(gdf, i),
 		})
 	}
-	sol := layout.Solve(prob, layout.Options{Seed: st.opt.Seed, Effort: st.opt.Effort, Eval: st.opt.Eval})
+	sol := layout.Solve(ctx, prob, layout.Options{Seed: st.opt.Seed, Effort: st.opt.Effort, Eval: st.opt.Eval})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	st.emit(Progress{Stage: StageLevel, Path: "(flat)", Blocks: len(decl.Blocks), Level: 1, Lambda: st.opt.Lambda})
 	for i := range decl.Blocks {
 		st.fixSingleMacro(decl.Blocks[i].MacroCells[0], sol.Rects[i], gdf, aff, int32(i), sol)
 	}
@@ -293,6 +367,7 @@ func (st *flowState) flatPlace(region geom.Rect) {
 		}
 		st.res.Trace = append(st.res.Trace, tl)
 	}
+	return nil
 }
 
 // targetAreas implements §IV-C: glue cells adopt their BFS-nearest block,

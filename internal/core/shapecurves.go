@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/anneal"
@@ -30,7 +31,7 @@ type ShapeCurves struct {
 // orientations; interior nodes compose their parts with a short
 // area-minimizing anneal over slicing structures, and the union of every
 // composition visited forms the node's Pareto set.
-func GenerateShapeCurves(tree *hier.Tree, seed int64) *ShapeCurves {
+func GenerateShapeCurves(ctx context.Context, tree *hier.Tree, seed int64) *ShapeCurves {
 	d := tree.D
 	sc := &ShapeCurves{
 		ByNode:  make(map[netlist.HierID]shape.Curve),
@@ -59,7 +60,7 @@ func GenerateShapeCurves(tree *hier.Tree, seed int64) *ShapeCurves {
 				parts = append(parts, sc.ByNode[ch])
 			}
 		}
-		sc.ByNode[hid] = composeParts(parts, seed+int64(id))
+		sc.ByNode[hid] = composeParts(ctx, parts, seed+int64(id))
 	}
 	return sc
 }
@@ -84,7 +85,7 @@ const composeCompact = 16
 // composition. Two parts are enumerated exactly; more parts run a short
 // area-optimization anneal (paper §IV-A), accumulating the Pareto union of
 // every slicing structure visited.
-func composeParts(parts []shape.Curve, seed int64) shape.Curve {
+func composeParts(ctx context.Context, parts []shape.Curve, seed int64) shape.Curve {
 	switch len(parts) {
 	case 0:
 		return shape.Curve{}
@@ -111,7 +112,7 @@ func composeParts(parts []shape.Curve, seed int64) shape.Curve {
 		acc = shape.Union(acc, c)
 		return float64(c.MinArea())
 	}
-	anneal.Run(
+	anneal.Run(ctx,
 		anneal.Options{Seed: seed, MovesPerRound: 24, MaxRounds: 30, Alpha: 0.88, StallRounds: 8},
 		cost,
 		func(rng *rand.Rand) func() {

@@ -1,12 +1,13 @@
 // Package flows runs the three macro-placement flows of the paper's
 // evaluation end to end — macro placement, standard-cell placement,
 // wirelength / congestion / timing measurement — and assembles the rows of
-// Tables II and III. All flows share the same cell placer and metric
-// models, mirroring §V ("Metrics are taken after placement of standard
-// cells using the same tool as IndEDA").
+// Tables II and III. All flows share the same cell placer and the eval
+// measurement pipeline, mirroring §V ("Metrics are taken after placement of
+// standard cells using the same tool as IndEDA").
 package flows
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 
 	"repro/circuits"
 	"repro/internal/core"
+	"repro/internal/eval"
 	"repro/internal/handfp"
 	"repro/internal/indeda"
 	"repro/internal/layout"
@@ -61,12 +63,16 @@ type Options struct {
 	// (λ × restarts). Selection is deterministic either way; parallel just
 	// uses the machine's cores.
 	Sequential bool
+	// Progress, when set, receives one core.StageCandidate event per
+	// evaluated HiDaP candidate, so callers can stream status for long
+	// suite runs. Events may arrive from worker goroutines.
+	Progress core.ProgressFunc
 	// Place configures the shared standard-cell placer.
 	Place place.Options
 	// Route configures the congestion model.
 	Route route.Options
 	// STA configures timing; a zero WirePsPerDBU is auto-calibrated to the
-	// die (see CalibrateSTA).
+	// die (see eval.CalibrateSTA).
 	STA sta.Options
 }
 
@@ -77,54 +83,32 @@ func DefaultOptions() Options {
 		Lambdas: []float64{0.2, 0.5, 0.8},
 		Place:   place.DefaultOptions(),
 		Route:   route.DefaultOptions(),
-		// STA left zero: CalibrateSTA fits the wire delay to each die.
+		// STA left zero: eval.CalibrateSTA fits the wire delay to each die.
 	}
 }
 
-// Metrics is one row of Table III.
+// Metrics is one row of Table III: the uniform eval.Report of the run plus
+// the suite bookkeeping (circuit, flow, normalized wirelength).
 type Metrics struct {
 	Circuit string
 	Flow    Flow
-	// WLm is the post-placement wirelength in meters.
-	WLm float64
-	// WLnorm is WLm normalized to the circuit's handFP flow (set by
-	// Normalize).
+	eval.Report
+	// WLnorm is WirelengthM normalized to the circuit's handFP flow (set
+	// by Normalize).
 	WLnorm float64
-	// GRCPct is the global routing overflow percentage.
-	GRCPct float64
-	// WNSPct is the worst negative slack in percent of the clock period.
-	WNSPct float64
-	// TNSns is the total negative slack in nanoseconds.
-	TNSns float64
-	// MacroSeconds is the macro-placement wall time ("effort").
-	MacroSeconds float64
-	// Lambda is the winning λ for HiDaP rows (0 otherwise).
-	Lambda float64
 }
 
-// CalibrateSTA scales the wire-delay coefficient to the die so that a stage
-// crossing ~70% of the die half-perimeter consumes the full wire budget.
-// The suite scales cell counts (and with them die sizes) down from the
-// paper's multi-million-cell designs; scaling electrical reach with the die
-// keeps the timing picture equivalent.
+// CalibrateSTA scales the wire-delay coefficient to the die.
+//
+// Deprecated: use eval.CalibrateSTA, which this forwards to.
 func CalibrateSTA(d *netlist.Design, base sta.Options) sta.Options {
-	def := sta.DefaultOptions()
-	if base.ClockPs <= 0 {
-		base.ClockPs = def.ClockPs
-	}
-	if base.IntrinsicPs <= 0 {
-		base.IntrinsicPs = def.IntrinsicPs
-	}
-	if base.WirePsPerDBU == 0 {
-		span := float64(d.Die.W + d.Die.H)
-		wireBudget := base.ClockPs - base.IntrinsicPs
-		base.WirePsPerDBU = wireBudget / (0.7 * span / 2)
-	}
-	return base
+	return eval.CalibrateSTA(d, base)
 }
 
-// Run executes one flow on a generated circuit and measures it.
-func Run(g *circuits.Generated, flow Flow, opt Options) (*Metrics, *placement.Placement, error) {
+// Run executes one flow on a generated circuit and measures it. A cancelled
+// ctx aborts macro placement, candidate evaluation and cell placement
+// promptly and returns ctx.Err().
+func Run(ctx context.Context, g *circuits.Generated, flow Flow, opt Options) (*Metrics, *placement.Placement, error) {
 	d := g.Design
 	if len(opt.Lambdas) == 0 {
 		opt.Lambdas = []float64{0.2, 0.5, 0.8}
@@ -136,129 +120,147 @@ func Run(g *circuits.Generated, flow Flow, opt Options) (*Metrics, *placement.Pl
 	var err error
 	switch flow {
 	case FlowIndEDA:
-		pl, err = indeda.Place(d, indeda.Options{Seed: opt.Seed, HighEffort: true, WallWeight: 0.4})
+		pl, err = indeda.Place(ctx, d, indeda.Options{Seed: opt.Seed, HighEffort: true, WallWeight: 0.4})
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := cellPlace(pl, opt); err != nil {
+		if err := cellPlace(ctx, pl, opt); err != nil {
 			return nil, nil, err
 		}
 	case FlowHandFP:
-		pl, err = handfp.Place(d, g.Intent, handfp.Options{Seed: opt.Seed})
+		pl, err = handfp.Place(ctx, d, g.Intent, handfp.Options{Seed: opt.Seed})
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := cellPlace(pl, opt); err != nil {
+		if err := cellPlace(ctx, pl, opt); err != nil {
 			return nil, nil, err
 		}
 	case FlowHiDaP:
-		restarts := opt.Restarts
-		if restarts < 1 {
-			restarts = 1
+		pl, bestLambda, err = runHiDaP(ctx, g, opt)
+		if err != nil {
+			return nil, nil, err
 		}
-		// Evaluate every (restart, λ) candidate; independent, so they run
-		// in parallel unless opt.Sequential. Selection scans candidates in
-		// a fixed order, so the result is identical either way.
-		type candidate struct {
-			lambda float64
-			pl     *placement.Placement
-			wl     float64
-			wns    float64
-			err    error
-		}
-		cands := make([]candidate, 0, restarts*len(opt.Lambdas))
-		for r := 0; r < restarts; r++ {
-			for _, lambda := range opt.Lambdas {
-				cands = append(cands, candidate{lambda: lambda})
-			}
-		}
-		evalOne := func(i int) {
-			c := &cands[i]
-			coreOpt := core.DefaultOptions()
-			coreOpt.Lambda = c.lambda
-			coreOpt.Seed = opt.Seed + int64(i/len(opt.Lambdas))*1_000_003
-			coreOpt.Effort = opt.Effort
-			res, err := core.Place(d, coreOpt)
-			if err != nil {
-				c.err = err
-				return
-			}
-			c.pl = res.Placement
-			if err := cellPlace(c.pl, opt); err != nil {
-				c.err = err
-				return
-			}
-			c.wl = metrics.WirelengthMeters(c.pl)
-			if opt.SelectBy == "timing" {
-				c.wns = sta.Analyze(seqOf(g), c.pl, CalibrateSTA(d, opt.STA)).WNSPct
-			}
-		}
-		if opt.Sequential || len(cands) == 1 {
-			for i := range cands {
-				evalOne(i)
-			}
-		} else {
-			var wg sync.WaitGroup
-			for i := range cands {
-				wg.Add(1)
-				go func(i int) {
-					defer wg.Done()
-					evalOne(i)
-				}(i)
-			}
-			wg.Wait()
-		}
-		best := -1
-		for i := range cands {
-			if cands[i].err != nil {
-				return nil, nil, cands[i].err
-			}
-			switch {
-			case best < 0:
-				best = i
-			case opt.SelectBy == "timing":
-				if cands[i].wns > cands[best].wns ||
-					(cands[i].wns == cands[best].wns && cands[i].wl < cands[best].wl) {
-					best = i
-				}
-			case cands[i].wl < cands[best].wl:
-				best = i
-			}
-		}
-		pl = cands[best].pl
-		bestLambda = cands[best].lambda
 	default:
 		return nil, nil, fmt.Errorf("flows: unknown flow %q", flow)
 	}
 	elapsed := time.Since(start).Seconds()
 
-	m := measure(g, flow, pl, opt)
+	m, err := measure(ctx, g, flow, pl, opt)
+	if err != nil {
+		return nil, nil, err
+	}
 	m.MacroSeconds = elapsed
 	m.Lambda = bestLambda
 	return m, pl, nil
 }
 
-func cellPlace(pl *placement.Placement, opt Options) error {
+// runHiDaP evaluates every (restart, λ) candidate — in parallel unless
+// opt.Sequential — and selects the winner. Selection scans candidates in a
+// fixed order, so the result is identical either way.
+func runHiDaP(ctx context.Context, g *circuits.Generated, opt Options) (*placement.Placement, float64, error) {
+	d := g.Design
+	restarts := opt.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	type candidate struct {
+		lambda float64
+		pl     *placement.Placement
+		wl     float64
+		wns    float64
+		err    error
+	}
+	cands := make([]candidate, 0, restarts*len(opt.Lambdas))
+	for r := 0; r < restarts; r++ {
+		for _, lambda := range opt.Lambdas {
+			cands = append(cands, candidate{lambda: lambda})
+		}
+	}
+	evalOne := func(i int) {
+		c := &cands[i]
+		if c.err = ctx.Err(); c.err != nil {
+			return
+		}
+		coreOpt := core.DefaultOptions()
+		coreOpt.Lambda = c.lambda
+		coreOpt.Seed = opt.Seed + int64(i/len(opt.Lambdas))*1_000_003
+		coreOpt.Effort = opt.Effort
+		res, err := core.Place(ctx, d, coreOpt)
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.pl = res.Placement
+		if err := cellPlace(ctx, c.pl, opt); err != nil {
+			c.err = err
+			return
+		}
+		c.wl = metrics.WirelengthMeters(c.pl)
+		if opt.SelectBy == "timing" {
+			c.wns = sta.Analyze(seqOf(g), c.pl, eval.CalibrateSTA(d, opt.STA)).WNSPct
+		}
+		if opt.Progress != nil {
+			opt.Progress(core.Progress{
+				Stage: core.StageCandidate, Candidate: i + 1, Candidates: len(cands), Lambda: c.lambda,
+			})
+		}
+	}
+	if opt.Sequential || len(cands) == 1 {
+		for i := range cands {
+			evalOne(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i := range cands {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				evalOne(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	best := -1
+	for i := range cands {
+		if cands[i].err != nil {
+			return nil, 0, cands[i].err
+		}
+		switch {
+		case best < 0:
+			best = i
+		case opt.SelectBy == "timing":
+			if cands[i].wns > cands[best].wns ||
+				(cands[i].wns == cands[best].wns && cands[i].wl < cands[best].wl) {
+				best = i
+			}
+		case cands[i].wl < cands[best].wl:
+			best = i
+		}
+	}
+	return cands[best].pl, cands[best].lambda, nil
+}
+
+func cellPlace(ctx context.Context, pl *placement.Placement, opt Options) error {
 	p := opt.Place
 	if p.GridBins == 0 {
 		p = place.DefaultOptions()
 	}
-	return place.Run(pl, p)
+	return place.Run(ctx, pl, p)
 }
 
-// measure computes the Table III metric columns for a fully placed design.
-func measure(g *circuits.Generated, flow Flow, pl *placement.Placement, opt Options) *Metrics {
-	staOpt := CalibrateSTA(g.Design, opt.STA)
-	cong := route.Estimate(pl, opt.Route)
-	timing := sta.Analyze(seqOf(g), pl, staOpt)
-	return &Metrics{
-		Circuit: g.Spec.Name,
-		Flow:    flow,
-		WLm:     metrics.WirelengthMeters(pl),
-		GRCPct:  cong.OverflowPct,
-		WNSPct:  timing.WNSPct,
-		TNSns:   timing.TNSns,
+// measure computes the Table III metric columns for a fully placed design
+// through the shared eval pipeline.
+func measure(ctx context.Context, g *circuits.Generated, flow Flow, pl *placement.Placement, opt Options) (*Metrics, error) {
+	rep, err := eval.Evaluate(ctx, g.Design, pl, eval.Options{
+		Route: opt.Route,
+		STA:   opt.STA,
+		Graph: seqOf(g),
+	})
+	if err != nil {
+		return nil, err
 	}
+	rep.Placer = string(flow)
+	return &Metrics{Circuit: g.Spec.Name, Flow: flow, Report: *rep}, nil
 }
 
 // Normalize fills WLnorm on a result set: each circuit's rows are divided
@@ -267,12 +269,12 @@ func Normalize(rows []*Metrics) {
 	ref := map[string]float64{}
 	for _, r := range rows {
 		if r.Flow == FlowHandFP {
-			ref[r.Circuit] = r.WLm
+			ref[r.Circuit] = r.WirelengthM
 		}
 	}
 	for _, r := range rows {
 		if base := ref[r.Circuit]; base > 0 {
-			r.WLnorm = r.WLm / base
+			r.WLnorm = r.WirelengthM / base
 		}
 	}
 }
@@ -351,9 +353,9 @@ func WriteCSV(w io.Writer, rows []*Metrics) error {
 	for _, r := range rows {
 		rec := []string{
 			r.Circuit, string(r.Flow),
-			fmt.Sprintf("%.6f", r.WLm),
+			fmt.Sprintf("%.6f", r.WirelengthM),
 			fmt.Sprintf("%.4f", r.WLnorm),
-			fmt.Sprintf("%.3f", r.GRCPct),
+			fmt.Sprintf("%.3f", r.CongestionPct),
 			fmt.Sprintf("%.2f", r.WNSPct),
 			fmt.Sprintf("%.2f", r.TNSns),
 			fmt.Sprintf("%.2f", r.MacroSeconds),

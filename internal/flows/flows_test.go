@@ -1,11 +1,13 @@
 package flows
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
 
 	"repro/circuits"
+	"repro/internal/eval"
 	"repro/internal/layout"
 	"repro/internal/sta"
 )
@@ -29,15 +31,15 @@ func TestRunAllFlows(t *testing.T) {
 	g := tinyCircuit()
 	var rows []*Metrics
 	for _, f := range []Flow{FlowIndEDA, FlowHiDaP, FlowHandFP} {
-		m, pl, err := Run(g, f, fastOpts())
+		m, pl, err := Run(context.Background(), g, f, fastOpts())
 		if err != nil {
 			t.Fatalf("%s: %v", f, err)
 		}
-		if m.WLm <= 0 {
-			t.Errorf("%s: WL = %v", f, m.WLm)
+		if m.WirelengthM <= 0 {
+			t.Errorf("%s: WL = %v", f, m.WirelengthM)
 		}
-		if m.GRCPct < 0 || m.GRCPct > 100 {
-			t.Errorf("%s: GRC%% = %v", f, m.GRCPct)
+		if m.CongestionPct < 0 || m.CongestionPct > 100 {
+			t.Errorf("%s: GRC%% = %v", f, m.CongestionPct)
 		}
 		if m.WNSPct > 0 {
 			t.Errorf("%s: WNS%% = %v, must be <= 0", f, m.WNSPct)
@@ -82,7 +84,7 @@ func TestHiDaPPicksBestLambda(t *testing.T) {
 	g := tinyCircuit()
 	opt := fastOpts()
 	opt.Lambdas = []float64{0.2, 0.8}
-	m, _, err := Run(g, FlowHiDaP, opt)
+	m, _, err := Run(context.Background(), g, FlowHiDaP, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +95,7 @@ func TestHiDaPPicksBestLambda(t *testing.T) {
 
 func TestRunUnknownFlow(t *testing.T) {
 	g := tinyCircuit()
-	if _, _, err := Run(g, Flow("nope"), fastOpts()); err == nil {
+	if _, _, err := Run(context.Background(), g, Flow("nope"), fastOpts()); err == nil {
 		t.Error("expected error for unknown flow")
 	}
 }
@@ -119,21 +121,21 @@ func TestCalibrateSTA(t *testing.T) {
 
 func TestDeterministicMetrics(t *testing.T) {
 	g := tinyCircuit()
-	a, _, err := Run(g, FlowHiDaP, fastOpts())
+	a, _, err := Run(context.Background(), g, FlowHiDaP, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := Run(g, FlowHiDaP, fastOpts())
+	b, _, err := Run(context.Background(), g, FlowHiDaP, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.WLm != b.WLm || a.GRCPct != b.GRCPct || a.WNSPct != b.WNSPct || a.TNSns != b.TNSns {
+	if a.WirelengthM != b.WirelengthM || a.CongestionPct != b.CongestionPct || a.WNSPct != b.WNSPct || a.TNSns != b.TNSns {
 		t.Errorf("metrics nondeterministic: %+v vs %+v", a, b)
 	}
 }
 
 func TestNormalizeWithoutHandFP(t *testing.T) {
-	rows := []*Metrics{{Circuit: "x", Flow: FlowHiDaP, WLm: 2}}
+	rows := []*Metrics{{Circuit: "x", Flow: FlowHiDaP, Report: eval.Report{WirelengthM: 2}}}
 	Normalize(rows) // no handFP reference: norms stay zero, no panic
 	if rows[0].WLnorm != 0 {
 		t.Errorf("norm = %v, want 0 without a reference", rows[0].WLnorm)
@@ -142,7 +144,7 @@ func TestNormalizeWithoutHandFP(t *testing.T) {
 
 func TestSummarizeSkipsMissingFlows(t *testing.T) {
 	rows := []*Metrics{
-		{Circuit: "x", Flow: FlowHiDaP, WLnorm: 1.1, WNSPct: -10},
+		{Circuit: "x", Flow: FlowHiDaP, WLnorm: 1.1, Report: eval.Report{WNSPct: -10}},
 	}
 	sums := Summarize(rows)
 	if len(sums) != 1 || sums[0].Flow != FlowHiDaP {
@@ -152,8 +154,8 @@ func TestSummarizeSkipsMissingFlows(t *testing.T) {
 
 func TestWriteCSV(t *testing.T) {
 	rows := []*Metrics{
-		{Circuit: "c1", Flow: FlowIndEDA, WLm: 1.5, WLnorm: 1.2, GRCPct: 3, WNSPct: -10, TNSns: -5},
-		{Circuit: "c1", Flow: FlowHiDaP, WLm: 1.2, WLnorm: 0.96, Lambda: 0.5},
+		{Circuit: "c1", Flow: FlowIndEDA, WLnorm: 1.2, Report: eval.Report{WirelengthM: 1.5, CongestionPct: 3, WNSPct: -10, TNSns: -5}},
+		{Circuit: "c1", Flow: FlowHiDaP, WLnorm: 0.96, Report: eval.Report{WirelengthM: 1.2, Lambda: 0.5}},
 	}
 	var sb strings.Builder
 	if err := WriteCSV(&sb, rows); err != nil {
@@ -177,17 +179,17 @@ func TestSelectByTiming(t *testing.T) {
 	opt := fastOpts()
 	opt.Lambdas = []float64{0.2, 0.8}
 	opt.SelectBy = "timing"
-	m, pl, err := Run(g, FlowHiDaP, opt)
+	m, pl, err := Run(context.Background(), g, FlowHiDaP, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pl == nil || m.WLm <= 0 {
+	if pl == nil || m.WirelengthM <= 0 {
 		t.Fatal("timing selection produced no placement")
 	}
 	// Timing-selected WNS must be at least as good as WL-selected WNS.
 	optWL := fastOpts()
 	optWL.Lambdas = []float64{0.2, 0.8}
-	mWL, _, err := Run(g, FlowHiDaP, optWL)
+	mWL, _, err := Run(context.Background(), g, FlowHiDaP, optWL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,16 +205,16 @@ func TestParallelMatchesSequential(t *testing.T) {
 	seq := par
 	seq.Sequential = true
 
-	mp, _, err := Run(g, FlowHiDaP, par)
+	mp, _, err := Run(context.Background(), g, FlowHiDaP, par)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms, _, err := Run(g, FlowHiDaP, seq)
+	ms, _, err := Run(context.Background(), g, FlowHiDaP, seq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mp.WLm != ms.WLm || mp.Lambda != ms.Lambda {
+	if mp.WirelengthM != ms.WirelengthM || mp.Lambda != ms.Lambda {
 		t.Errorf("parallel (%v, λ=%v) != sequential (%v, λ=%v)",
-			mp.WLm, mp.Lambda, ms.WLm, ms.Lambda)
+			mp.WirelengthM, mp.Lambda, ms.WirelengthM, ms.Lambda)
 	}
 }

@@ -7,6 +7,7 @@
 package handfp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -32,8 +33,9 @@ type Options struct {
 // DefaultOptions returns the standard expert effort.
 func DefaultOptions() Options { return Options{RefineRounds: 160} }
 
-// Place realizes the handcrafted floorplan.
-func Place(d *netlist.Design, intent Intent, opt Options) (*placement.Placement, error) {
+// Place realizes the handcrafted floorplan. A cancelled ctx aborts the
+// refinement anneal and returns ctx.Err().
+func Place(ctx context.Context, d *netlist.Design, intent Intent, opt Options) (*placement.Placement, error) {
 	pl := placement.New(d)
 	macros := d.Macros()
 	for _, m := range macros {
@@ -49,7 +51,10 @@ func Place(d *netlist.Design, intent Intent, opt Options) (*placement.Placement,
 		pl.PlaceOriented(m, geom.Pt(r.X, r.Y), o)
 	}
 	legalize.Macros(pl, d.Die)
-	refine(pl, macros, opt)
+	refine(ctx, pl, macros, opt)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	legalize.Macros(pl, d.Die)
 	flipAll(pl, macros)
 	return pl, nil
@@ -57,7 +62,7 @@ func Place(d *netlist.Design, intent Intent, opt Options) (*placement.Placement,
 
 // refine locally improves macro positions on macro-incident netlist
 // wirelength: small slides only, so the expert's global structure is kept.
-func refine(pl *placement.Placement, macros []netlist.CellID, opt Options) {
+func refine(ctx context.Context, pl *placement.Placement, macros []netlist.CellID, opt Options) {
 	if len(macros) == 0 {
 		return
 	}
@@ -119,7 +124,7 @@ func refine(pl *placement.Placement, macros []netlist.CellID, opt Options) {
 			bestOri[i] = pl.Orient[m]
 		}
 	}
-	anneal.Run(anneal.Options{
+	anneal.Run(ctx, anneal.Options{
 		Seed: opt.Seed, MovesPerRound: 48, MaxRounds: rounds, Alpha: 0.95, StallRounds: 40,
 	}, cost, perturb, snapshot)
 	for i, m := range macros {

@@ -1,6 +1,7 @@
 package handfp
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -27,7 +28,7 @@ func design(t testing.TB) (*netlist.Design, Intent) {
 
 func TestPlaceHonorsIntent(t *testing.T) {
 	d, intent := design(t)
-	pl, err := Place(d, intent, DefaultOptions())
+	pl, err := Place(context.Background(), d, intent, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestPlaceRotatedIntent(t *testing.T) {
 	d, intent := design(t)
 	// Rotate m3's intent: 10000x20000.
 	intent["m3"] = geom.RectXYWH(0, 50_000, 10_000, 20_000)
-	pl, err := Place(d, intent, DefaultOptions())
+	pl, err := Place(context.Background(), d, intent, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestPlaceRotatedIntent(t *testing.T) {
 func TestPlaceMissingIntentFails(t *testing.T) {
 	d, intent := design(t)
 	delete(intent, "m2")
-	if _, err := Place(d, intent, DefaultOptions()); err == nil {
+	if _, err := Place(context.Background(), d, intent, DefaultOptions()); err == nil {
 		t.Error("expected error for missing intent")
 	}
 }
@@ -81,11 +82,11 @@ func TestRefineImprovesOrKeepsWL(t *testing.T) {
 	d, intent := design(t)
 	// Unrefined: rounds=0 is replaced by default, so compare against a
 	// placement pinned exactly at intent.
-	pinned, err := Place(d, intent, Options{Seed: 1, RefineRounds: 1})
+	pinned, err := Place(context.Background(), d, intent, Options{Seed: 1, RefineRounds: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	refined, err := Place(d, intent, Options{Seed: 1, RefineRounds: 120})
+	refined, err := Place(context.Background(), d, intent, Options{Seed: 1, RefineRounds: 120})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,8 +97,8 @@ func TestRefineImprovesOrKeepsWL(t *testing.T) {
 
 func TestPlaceDeterministic(t *testing.T) {
 	d, intent := design(t)
-	a, _ := Place(d, intent, DefaultOptions())
-	b, _ := Place(d, intent, DefaultOptions())
+	a, _ := Place(context.Background(), d, intent, DefaultOptions())
+	b, _ := Place(context.Background(), d, intent, DefaultOptions())
 	for _, m := range d.Macros() {
 		if a.Pos[m] != b.Pos[m] || a.Orient[m] != b.Orient[m] {
 			t.Fatal("nondeterministic")

@@ -8,6 +8,7 @@
 package indeda
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -37,8 +38,9 @@ func DefaultOptions() Options {
 }
 
 // Place produces a macro placement. Ports must already be fixed (they are
-// read from the design); standard cells are left to the cell placer.
-func Place(d *netlist.Design, opt Options) (*placement.Placement, error) {
+// read from the design); standard cells are left to the cell placer. A
+// cancelled ctx aborts the annealing refinement and returns ctx.Err().
+func Place(ctx context.Context, d *netlist.Design, opt Options) (*placement.Placement, error) {
 	pl := placement.New(d)
 	macros := d.Macros()
 	if len(macros) == 0 {
@@ -49,7 +51,10 @@ func Place(d *netlist.Design, opt Options) (*placement.Placement, error) {
 	}
 
 	packPeriphery(pl, macros)
-	refine(pl, macros, opt)
+	refine(ctx, pl, macros, opt)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	legalize.Macros(pl, d.Die)
 	flipAll(pl, macros)
 	return pl, nil
@@ -129,7 +134,7 @@ func packPeriphery(pl *placement.Placement, macros []netlist.CellID) {
 // weighted — see package mbonds), plus the industrial wall preference and
 // an overlap penalty. This is the connectivity picture a commercial,
 // RTL-blind floorplanner optimizes before cell placement.
-func refine(pl *placement.Placement, macros []netlist.CellID, opt Options) {
+func refine(ctx context.Context, pl *placement.Placement, macros []netlist.CellID, opt Options) {
 	d := pl.D
 	die := d.Die
 	bonds := mbonds.Extract(d, mbonds.DefaultParams())
@@ -223,7 +228,7 @@ func refine(pl *placement.Placement, macros []netlist.CellID, opt Options) {
 			bestPos[i] = pl.Pos[m]
 		}
 	}
-	anneal.Run(sched, cost, perturb, snapshot)
+	anneal.Run(ctx, sched, cost, perturb, snapshot)
 	for i, m := range macros {
 		pl.Place(m, bestPos[i])
 	}

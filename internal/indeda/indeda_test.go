@@ -1,6 +1,7 @@
 package indeda
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -30,7 +31,7 @@ func wallDesign(t testing.TB) *netlist.Design {
 
 func TestPlaceLegal(t *testing.T) {
 	d := wallDesign(t)
-	pl, err := Place(d, DefaultOptions())
+	pl, err := Place(context.Background(), d, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestPlaceLegal(t *testing.T) {
 
 func TestPlacePrefersWalls(t *testing.T) {
 	d := wallDesign(t)
-	pl, err := Place(d, DefaultOptions())
+	pl, err := Place(context.Background(), d, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,11 +71,11 @@ func TestPlacePrefersWalls(t *testing.T) {
 
 func TestPlaceDeterministic(t *testing.T) {
 	d := wallDesign(t)
-	a, err := Place(d, Options{Seed: 3, HighEffort: false, WallWeight: 0.4})
+	a, err := Place(context.Background(), d, Options{Seed: 3, HighEffort: false, WallWeight: 0.4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Place(d, Options{Seed: 3, HighEffort: false, WallWeight: 0.4})
+	b, err := Place(context.Background(), d, Options{Seed: 3, HighEffort: false, WallWeight: 0.4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestPlaceNoMacros(t *testing.T) {
 	b := netlist.NewBuilder("empty")
 	b.AddComb("c", 100, "")
 	d := b.MustBuild()
-	pl, err := Place(d, DefaultOptions())
+	pl, err := Place(context.Background(), d, DefaultOptions())
 	if err != nil || pl == nil {
 		t.Fatalf("macro-free design should succeed: %v", err)
 	}
@@ -99,7 +100,7 @@ func TestConnectivityPullsChainTogether(t *testing.T) {
 	// Macro chain m0-m1-...-m7: the annealer should keep consecutive
 	// macros closer on average than random pairs.
 	d := wallDesign(t)
-	pl, err := Place(d, DefaultOptions())
+	pl, err := Place(context.Background(), d, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

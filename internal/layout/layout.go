@@ -12,6 +12,7 @@
 package layout
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/anneal"
@@ -91,8 +92,10 @@ type Result struct {
 	Legal bool
 }
 
-// Solve floorplans one level.
-func Solve(p *Problem, opt Options) *Result {
+// Solve floorplans one level. A cancelled ctx stops the annealing schedule
+// early and returns the best layout reached so far; the caller is expected
+// to check ctx.Err() and abandon the result.
+func Solve(ctx context.Context, p *Problem, opt Options) *Result {
 	nb := len(p.Blocks)
 	if nb == 0 {
 		return &Result{Penalty: 1, Legal: true}
@@ -124,7 +127,7 @@ func Solve(p *Problem, opt Options) *Result {
 		return wirecost(ev, p, pairs)
 	}
 	best := expr.Clone()
-	anneal.Run(opt.Effort.schedule(opt.Seed),
+	anneal.Run(ctx, opt.Effort.schedule(opt.Seed),
 		cost,
 		func(rng *rand.Rand) func() {
 			undo, _ := expr.Perturb(rng)

@@ -1,6 +1,7 @@
 package layout
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/geom"
@@ -13,7 +14,7 @@ func soft(at int64) BlockSpec {
 }
 
 func TestSolveEmpty(t *testing.T) {
-	r := Solve(&Problem{Region: geom.RectXYWH(0, 0, 100, 100)}, DefaultOptions())
+	r := Solve(context.Background(), &Problem{Region: geom.RectXYWH(0, 0, 100, 100)}, DefaultOptions())
 	if len(r.Rects) != 0 || !r.Legal {
 		t.Errorf("empty problem: %+v", r)
 	}
@@ -24,7 +25,7 @@ func TestSolveSingleBlock(t *testing.T) {
 		Region: geom.RectXYWH(0, 0, 100, 100),
 		Blocks: []BlockSpec{soft(5000)},
 	}
-	r := Solve(p, DefaultOptions())
+	r := Solve(context.Background(), p, DefaultOptions())
 	if r.Rects[0] != p.Region {
 		t.Errorf("single block should take whole region, got %v", r.Rects[0])
 	}
@@ -50,7 +51,7 @@ func TestSolveTerminalPull(t *testing.T) {
 	}
 	opt := DefaultOptions()
 	opt.Seed = 5
-	r := Solve(p, opt)
+	r := Solve(context.Background(), p, opt)
 	if r.Rects[0].Center().X >= r.Rects[1].Center().X {
 		t.Errorf("block0 at %v should be west of block1 at %v", r.Rects[0].Center(), r.Rects[1].Center())
 	}
@@ -76,7 +77,7 @@ func TestSolveAffinityAdjacency(t *testing.T) {
 	}
 	opt := DefaultOptions()
 	opt.Seed = 11
-	r := Solve(p, opt)
+	r := Solve(context.Background(), p, opt)
 	d := r.Rects[0].Center().ManhattanDist(r.Rects[3].Center())
 	if d > 800 {
 		t.Errorf("high-affinity blocks %d apart; rects %v %v", d, r.Rects[0], r.Rects[3])
@@ -99,7 +100,7 @@ func TestSolveMacroLegality(t *testing.T) {
 	opt := DefaultOptions()
 	opt.Seed = 3
 	opt.Effort = EffortHigh
-	r := Solve(p, opt)
+	r := Solve(context.Background(), p, opt)
 	if !r.Legal {
 		t.Fatalf("expected legal layout, penalty=%v expr=%s rects=%v", r.Penalty, r.Expr.String(), r.Rects)
 	}
@@ -119,8 +120,8 @@ func TestSolveDeterministic(t *testing.T) {
 	}
 	opt := DefaultOptions()
 	opt.Seed = 77
-	a := Solve(p, opt)
-	b := Solve(p, opt)
+	a := Solve(context.Background(), p, opt)
+	b := Solve(context.Background(), p, opt)
 	if a.Cost != b.Cost || a.Expr.String() != b.Expr.String() {
 		t.Errorf("nondeterministic: %v/%s vs %v/%s", a.Cost, a.Expr.String(), b.Cost, b.Expr.String())
 	}
@@ -159,7 +160,7 @@ func TestSolveBeatsBadReference(t *testing.T) {
 
 	opt := DefaultOptions()
 	opt.Seed = 13
-	r := Solve(p, opt)
+	r := Solve(context.Background(), p, opt)
 	if r.Cost > ref {
 		t.Errorf("annealed cost %v worse than initial %v", r.Cost, ref)
 	}

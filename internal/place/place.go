@@ -10,6 +10,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -44,8 +45,9 @@ func DefaultOptions() Options {
 
 // Run places all movable cells (flops and combinational cells) of pl's
 // design. Macros and ports must already be placed; their positions are not
-// modified.
-func Run(pl *placement.Placement, opt Options) error {
+// modified. A cancelled ctx aborts between solve/spread rounds and returns
+// ctx.Err().
+func Run(ctx context.Context, pl *placement.Placement, opt Options) error {
 	d := pl.D
 	if opt.GridBins <= 0 {
 		opt = DefaultOptions()
@@ -81,6 +83,9 @@ func Run(pl *placement.Placement, opt Options) error {
 	}
 	grid := newGrid(d, pl, opt)
 	for iter := 0; iter < opt.Iterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		// Damping grows over the rounds so late spreading is not undone by
 		// the next quadratic solve (a light-weight stand-in for the anchor
 		// pseudo-nets of production placers).

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -38,14 +39,14 @@ func TestRunRequiresMacros(t *testing.T) {
 	b.AddComb("c", 100, "")
 	d := b.MustBuild()
 	pl := placement.New(d)
-	if err := Run(pl, DefaultOptions()); err == nil {
+	if err := Run(context.Background(), pl, DefaultOptions()); err == nil {
 		t.Error("expected error with unplaced macro")
 	}
 }
 
 func TestRunPlacesEverything(t *testing.T) {
 	_, pl, _, _ := anchored(t)
-	if err := Run(pl, DefaultOptions()); err != nil {
+	if err := Run(context.Background(), pl, DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	for i := range pl.D.Cells {
@@ -57,7 +58,7 @@ func TestRunPlacesEverything(t *testing.T) {
 
 func TestRunPullsCellsToAnchors(t *testing.T) {
 	d, pl, ga, gb := anchored(t)
-	if err := Run(pl, DefaultOptions()); err != nil {
+	if err := Run(context.Background(), pl, DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	mA := d.CellByName("mA")
@@ -85,7 +86,7 @@ func TestRunPullsCellsToAnchors(t *testing.T) {
 
 func TestRunKeepsCellsInDie(t *testing.T) {
 	d, pl, _, _ := anchored(t)
-	if err := Run(pl, DefaultOptions()); err != nil {
+	if err := Run(context.Background(), pl, DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	for i := range d.Cells {
@@ -101,7 +102,7 @@ func TestRunKeepsCellsInDie(t *testing.T) {
 
 func TestRunEvictsFromMacros(t *testing.T) {
 	d, pl, _, _ := anchored(t)
-	if err := Run(pl, DefaultOptions()); err != nil {
+	if err := Run(context.Background(), pl, DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	macros := []geom.Rect{}
@@ -129,10 +130,10 @@ func TestRunEvictsFromMacros(t *testing.T) {
 func TestRunDeterministic(t *testing.T) {
 	_, pl1, _, _ := anchored(t)
 	_, pl2, _, _ := anchored(t)
-	if err := Run(pl1, DefaultOptions()); err != nil {
+	if err := Run(context.Background(), pl1, DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
-	if err := Run(pl2, DefaultOptions()); err != nil {
+	if err := Run(context.Background(), pl2, DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	for i := range pl1.Pos {
@@ -150,7 +151,7 @@ func TestHintsRespected(t *testing.T) {
 	opt.HasHint = make([]bool, len(d.Cells))
 	opt.Hints[ga[0]] = geom.Pt(12_345, 54_321)
 	opt.HasHint[ga[0]] = true
-	if err := Run(pl, opt); err != nil {
+	if err := Run(context.Background(), pl, opt); err != nil {
 		t.Fatal(err)
 	}
 	got := pl.Pos[ga[0]]
@@ -172,7 +173,7 @@ func TestSpreadRelievesDensity(t *testing.T) {
 	d := b.MustBuild()
 	pl := placement.New(d)
 	pl.Place(m, geom.Pt(22_500, 22_500))
-	if err := Run(pl, DefaultOptions()); err != nil {
+	if err := Run(context.Background(), pl, DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	// Count distinct cell center positions: heavy collapse would leave
