@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/handfp"
 	"repro/internal/netlist"
+	"repro/internal/seqgraph"
 )
 
 // Generated bundles a synthetic design with its planted floorplan intent.
@@ -17,6 +19,20 @@ type Generated struct {
 	// handFP oracle flow.
 	Intent handfp.Intent
 	Spec   Spec
+
+	seqOnce sync.Once
+	seq     *seqgraph.Graph
+}
+
+// SeqGraph returns Gseq for the design under the default parameters, built
+// on first use and cached on the Generated itself. Tying the cache to the
+// circuit's lifetime lets the flow harness reuse one graph across flows
+// without a process-global map that would retain every design ever served.
+func (g *Generated) SeqGraph() *seqgraph.Graph {
+	g.seqOnce.Do(func() {
+		g.seq = seqgraph.Build(g.Design, seqgraph.DefaultParams())
+	})
+	return g.seq
 }
 
 // rowHeight is the synthetic library's standard cell row height in DBU

@@ -78,6 +78,13 @@ const ctxCheckMoves = 16
 //     restores state itself: when the run ends the caller's state is
 //     whatever the walk last accepted, and the snapshot holds the best.
 //
+// The engine guarantees a strict move discipline, in the main loop and in
+// the calibration walk alike: each undo closure is invoked at most once,
+// always before the next perturb call, or not at all. Incremental
+// evaluators (slicing.Evaluator) depend on this to keep a single-move undo
+// journal instead of full snapshots; perturb implementations may therefore
+// return the same closure every call.
+//
 // Cancelling ctx stops the schedule within a few moves; the caller should
 // propagate ctx.Err() after checking Result.Canceled.
 func Run(ctx context.Context, opt Options, cost func() float64, perturb func(rng *rand.Rand) func(), onBest func()) Result {

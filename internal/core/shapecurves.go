@@ -97,18 +97,21 @@ func composeParts(ctx context.Context, parts []shape.Curve, seed int64) shape.Cu
 			shape.CombineV(parts[0], parts[1]),
 		)
 	}
-	compact := make([]shape.Curve, len(parts))
+	// The anneal walks on an incremental evaluator over curve-only blocks:
+	// it thins every part once (to composeCompact, matching the old
+	// pre-compaction) and recomposes only the slicing-tree path each move
+	// touches, instead of rebuilding the whole composition per move.
+	blocks := make([]slicing.Block, len(parts))
 	for i := range parts {
-		compact[i] = parts[i].Thin(composeCompact)
+		blocks[i] = slicing.Block{Curve: parts[i]}
 	}
-
 	expr := slicing.NewBalanced(len(parts))
+	inc := slicing.NewEvaluator(&expr, blocks, slicing.EvalParams{CompactPoints: composeCompact})
 	acc := shape.Curve{}
-	compose := func() shape.Curve {
-		return composeExpr(&expr, compact)
-	}
 	cost := func() float64 {
-		c := compose()
+		c := inc.RootCurve()
+		// Union copies the corners, so accumulating the evaluator-owned
+		// curve is safe across later moves.
 		acc = shape.Union(acc, c)
 		return float64(c.MinArea())
 	}
@@ -116,33 +119,10 @@ func composeParts(ctx context.Context, parts []shape.Curve, seed int64) shape.Cu
 		anneal.Options{Seed: seed, MovesPerRound: 24, MaxRounds: 30, Alpha: 0.88, StallRounds: 8},
 		cost,
 		func(rng *rand.Rand) func() {
-			undo, _ := expr.Perturb(rng)
+			undo, _ := inc.Perturb(rng)
 			return undo
 		},
 		nil,
 	)
 	return acc
-}
-
-// composeExpr evaluates the composed shape curve of an expression.
-func composeExpr(e *slicing.Expr, parts []shape.Curve) shape.Curve {
-	elems := e.Elems()
-	stack := make([]shape.Curve, 0, len(parts))
-	for _, v := range elems {
-		if v >= 0 {
-			stack = append(stack, parts[v])
-			continue
-		}
-		b := stack[len(stack)-1]
-		a := stack[len(stack)-2]
-		stack = stack[:len(stack)-2]
-		var c shape.Curve
-		if v == slicing.OpV {
-			c = shape.CombineH(a, b)
-		} else {
-			c = shape.CombineV(a, b)
-		}
-		stack = append(stack, c.Thin(composeCompact))
-	}
-	return stack[0]
 }

@@ -1,0 +1,137 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/placement"
+	"repro/internal/sta"
+)
+
+// handPlaced builds a tiny design — two macros bridged by an 8-bit register
+// pipeline — and places it by hand, so every measured quantity has a known
+// geometry behind it.
+func handPlaced(t testing.TB) (*netlist.Design, *placement.Placement) {
+	t.Helper()
+	b := netlist.NewBuilder("hand")
+	b.SetDie(geom.RectXYWH(0, 0, 1_000_000, 1_000_000)) // 1 mm die
+	m1 := b.AddMacro("m1", 40_000, 30_000, "")
+	m2 := b.AddMacro("m2", 40_000, 30_000, "")
+	for i := 0; i < 8; i++ {
+		f := b.AddFlop(fmt.Sprintf("r[%d]", i), "")
+		b.Wire(fmt.Sprintf("a%d", i), m1, f)
+		b.Wire(fmt.Sprintf("b%d", i), f, m2)
+	}
+	d := b.MustBuild()
+	pl := placement.New(d)
+	pl.Place(m1, geom.Pt(100_000, 100_000))
+	pl.Place(m2, geom.Pt(700_000, 100_000))
+	for i := 0; i < 8; i++ {
+		f := d.CellByName(fmt.Sprintf("r[%d]", i))
+		pl.Place(f, geom.Pt(450_000, 100_000+int64(i)*2_000))
+	}
+	return d, pl
+}
+
+func TestEvaluateHandPlaced(t *testing.T) {
+	d, pl := handPlaced(t)
+	rep, err := Evaluate(context.Background(), d, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Design != "hand" {
+		t.Errorf("design = %q", rep.Design)
+	}
+	// 16 two-pin nets spanning roughly the m1→regs and regs→m2 gaps; the
+	// total must be positive and far below 16 die half-perimeters.
+	if rep.WirelengthM <= 0 || rep.WirelengthM > 16*0.002 {
+		t.Errorf("WL = %v m, want within (0, 0.032)", rep.WirelengthM)
+	}
+	if rep.CongestionPct < 0 || rep.CongestionPct > 100 {
+		t.Errorf("GRC%% = %v", rep.CongestionPct)
+	}
+	if rep.WNSPct > 0 {
+		t.Errorf("WNS%% = %v, must be <= 0", rep.WNSPct)
+	}
+	if rep.TNSns > 0 {
+		t.Errorf("TNS = %v, must be <= 0", rep.TNSns)
+	}
+	// Gseq: the macros and the clustered 8-bit register array.
+	if rep.SeqNodes != 3 {
+		t.Errorf("SeqNodes = %d, want 3 (m1, m2, r[])", rep.SeqNodes)
+	}
+	if rep.SeqEdges != 2 {
+		t.Errorf("SeqEdges = %d, want 2 (m1→r, r→m2)", rep.SeqEdges)
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	d, pl := handPlaced(t)
+	a, err := Evaluate(context.Background(), d, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(context.Background(), d, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("reports differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestEvaluateCancelled(t *testing.T) {
+	d, pl := handPlaced(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Evaluate(ctx, d, pl, Options{}); err == nil {
+		t.Error("expected context error")
+	}
+}
+
+func TestReportJSONFlat(t *testing.T) {
+	d, pl := handPlaced(t)
+	rep, err := Evaluate(context.Background(), d, pl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rep.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"design"`, `"wirelength_m"`, `"congestion_pct"`} {
+		if !strings.Contains(sb.String(), key) {
+			t.Errorf("JSON missing %s:\n%s", key, sb.String())
+		}
+	}
+}
+
+func TestCalibrateSTADeterministic(t *testing.T) {
+	d, _ := handPlaced(t)
+	a := CalibrateSTA(d, sta.Options{})
+	b := CalibrateSTA(d, sta.Options{})
+	if a != b {
+		t.Errorf("calibration nondeterministic: %+v vs %+v", a, b)
+	}
+	if a.WirePsPerDBU <= 0 {
+		t.Errorf("calibrated wire delay = %v, want > 0", a.WirePsPerDBU)
+	}
+	// The calibration anchors a ~70% half-perimeter crossing at the full
+	// wire budget; verify the fit analytically.
+	def := sta.DefaultOptions()
+	span := float64(d.Die.W + d.Die.H)
+	want := (def.ClockPs - def.IntrinsicPs) / (0.7 * span / 2)
+	if math.Abs(a.WirePsPerDBU-want) > 1e-12 {
+		t.Errorf("WirePsPerDBU = %v, want %v", a.WirePsPerDBU, want)
+	}
+	// Explicit values pass through untouched.
+	fixed := CalibrateSTA(d, sta.Options{ClockPs: 900, IntrinsicPs: 2, WirePsPerDBU: 7})
+	if fixed != (sta.Options{ClockPs: 900, IntrinsicPs: 2, WirePsPerDBU: 7}) {
+		t.Errorf("explicit options altered: %+v", fixed)
+	}
+}

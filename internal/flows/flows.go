@@ -11,6 +11,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"time"
 
@@ -25,7 +26,6 @@ import (
 	"repro/internal/place"
 	"repro/internal/placement"
 	"repro/internal/route"
-	"repro/internal/seqgraph"
 	"repro/internal/sta"
 )
 
@@ -63,6 +63,11 @@ type Options struct {
 	// (λ × restarts). Selection is deterministic either way; parallel just
 	// uses the machine's cores.
 	Sequential bool
+	// Workers caps the candidate-evaluation fan-out; 0 means
+	// runtime.GOMAXPROCS(0). Each candidate runs a full macro placement, so
+	// unbounded spawning would thrash memory and the scheduler on large
+	// candidate sets. Ignored when Sequential is set.
+	Workers int
 	// Progress, when set, receives one core.StageCandidate event per
 	// evaluated HiDaP candidate, so callers can stream status for long
 	// suite runs. Events may arrive from worker goroutines.
@@ -197,7 +202,7 @@ func runHiDaP(ctx context.Context, g *circuits.Generated, opt Options) (*placeme
 		}
 		c.wl = metrics.WirelengthMeters(c.pl)
 		if opt.SelectBy == "timing" {
-			c.wns = sta.Analyze(seqOf(g), c.pl, eval.CalibrateSTA(d, opt.STA)).WNSPct
+			c.wns = sta.Analyze(g.SeqGraph(), c.pl, eval.CalibrateSTA(d, opt.STA)).WNSPct
 		}
 		if opt.Progress != nil {
 			opt.Progress(core.Progress{
@@ -205,19 +210,40 @@ func runHiDaP(ctx context.Context, g *circuits.Generated, opt Options) (*placeme
 			})
 		}
 	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
 	if opt.Sequential || len(cands) == 1 {
+		workers = 1
+	}
+	if workers == 1 {
 		for i := range cands {
 			evalOne(i)
 		}
 	} else {
+		// Fixed-size worker pool: each candidate runs a full core.Place, so
+		// the fan-out is capped instead of spawning one goroutine per
+		// candidate. Selection below scans in fixed order, so scheduling is
+		// irrelevant to the result.
+		idx := make(chan int)
 		var wg sync.WaitGroup
-		for i := range cands {
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(i int) {
+			go func() {
 				defer wg.Done()
-				evalOne(i)
-			}(i)
+				for i := range idx {
+					evalOne(i)
+				}
+			}()
 		}
+		for i := range cands {
+			idx <- i
+		}
+		close(idx)
 		wg.Wait()
 	}
 	best := -1
@@ -254,7 +280,7 @@ func measure(ctx context.Context, g *circuits.Generated, flow Flow, pl *placemen
 	rep, err := eval.Evaluate(ctx, g.Design, pl, eval.Options{
 		Route: opt.Route,
 		STA:   opt.STA,
-		Graph: seqOf(g),
+		Graph: g.SeqGraph(),
 	})
 	if err != nil {
 		return nil, err
@@ -322,23 +348,6 @@ func Summarize(rows []*Metrics) []Summary {
 		})
 	}
 	return out
-}
-
-// seqCache avoids rebuilding Gseq for every flow of the same circuit.
-var (
-	seqCacheMu sync.Mutex
-	seqCache   = map[*netlist.Design]*seqgraph.Graph{}
-)
-
-func seqOf(g *circuits.Generated) *seqgraph.Graph {
-	seqCacheMu.Lock()
-	defer seqCacheMu.Unlock()
-	sg, ok := seqCache[g.Design]
-	if !ok {
-		sg = seqgraph.Build(g.Design, seqgraph.DefaultParams())
-		seqCache[g.Design] = sg
-	}
-	return sg
 }
 
 // WriteCSV emits the result rows as CSV (one line per circuit × flow),

@@ -217,4 +217,19 @@ func TestParallelMatchesSequential(t *testing.T) {
 		t.Errorf("parallel (%v, λ=%v) != sequential (%v, λ=%v)",
 			mp.WirelengthM, mp.Lambda, ms.WirelengthM, ms.Lambda)
 	}
+
+	// A capped worker pool (including a cap above the candidate count) must
+	// select the same winner: scheduling order is irrelevant to selection.
+	for _, workers := range []int{1, 2, 16} {
+		capped := par
+		capped.Workers = workers
+		mc, _, err := Run(context.Background(), g, FlowHiDaP, capped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc.WirelengthM != ms.WirelengthM || mc.Lambda != ms.Lambda {
+			t.Errorf("workers=%d: (%v, λ=%v) != sequential (%v, λ=%v)",
+				workers, mc.WirelengthM, mc.Lambda, ms.WirelengthM, ms.Lambda)
+		}
+	}
 }

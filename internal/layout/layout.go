@@ -121,16 +121,21 @@ func Solve(ctx context.Context, p *Problem, opt Options) *Result {
 		}
 	}
 
+	// The anneal loop runs on the incremental evaluator: every move
+	// recomposes only the slicing-tree path it touched and the steady-state
+	// Perturb/Eval cycle is allocation-free. The evaluator is bit-identical
+	// to slicing.Evaluate (differentially tested), so the final from-scratch
+	// evaluation of the best expression below agrees with the annealed costs.
 	expr := slicing.NewBalanced(nb)
+	inc := slicing.NewEvaluator(&expr, blocks, opt.Eval)
 	cost := func() float64 {
-		ev := slicing.Evaluate(&expr, blocks, p.Region, opt.Eval)
-		return wirecost(ev, p, pairs)
+		return wirecost(inc.Eval(p.Region), p, pairs)
 	}
 	best := expr.Clone()
 	anneal.Run(ctx, opt.Effort.schedule(opt.Seed),
 		cost,
 		func(rng *rand.Rand) func() {
-			undo, _ := expr.Perturb(rng)
+			undo, _ := inc.Perturb(rng)
 			return undo
 		},
 		func() { best.CopyFrom(&expr) },
@@ -173,7 +178,11 @@ func affinityPairs(p *Problem) []pair {
 	return out
 }
 
-// wirecost evaluates penalty · Σ dist · affinity for a placed level.
+// wirecost evaluates penalty · (1 + Σ dist · affinity) for a placed level.
+// The additive base keeps the penalty multiplier effective when the
+// distance sum vanishes: without it, a layout whose attraction points all
+// coincide would score zero however illegal it is, beating every legal
+// layout exactly when the penalty matters most.
 func wirecost(ev *slicing.Eval, p *Problem, pairs []pair) float64 {
 	nb := len(p.Blocks)
 	pos := func(i int) geom.Point {
@@ -187,9 +196,7 @@ func wirecost(ev *slicing.Eval, p *Problem, pairs []pair) float64 {
 		d := pos(pr.i).ManhattanDist(pos(pr.j))
 		sum += float64(d) * pr.w
 	}
-	if len(pairs) == 0 {
-		// Pure packing instance: optimize legality alone.
-		return ev.Penalty
-	}
-	return ev.Penalty * sum
+	// A pure packing instance (no pairs) degenerates to optimizing the
+	// penalty alone: sum is 0 and the cost is exactly ev.Penalty.
+	return ev.Penalty * (1 + sum)
 }

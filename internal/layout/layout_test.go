@@ -166,6 +166,41 @@ func TestSolveBeatsBadReference(t *testing.T) {
 	}
 }
 
+func TestWirecostDegenerateLayoutLoses(t *testing.T) {
+	// A layout whose only attraction distance is zero must not erase its
+	// violation penalty: the illegal zero-distance layout has to cost more
+	// than a nearby legal one. (Regression: penalty · Σ dist·aff scored the
+	// degenerate layout 0, beating every legal layout.)
+	aff := make([][]float64, 2)
+	for i := range aff {
+		aff[i] = make([]float64, 2)
+	}
+	aff[0][1], aff[1][0] = 5, 5 // block <-> center terminal
+	p := &Problem{
+		Region:    geom.RectXYWH(0, 0, 100, 100),
+		Blocks:    []BlockSpec{soft(5000)},
+		Terminals: []Terminal{{Name: "c", Pos: geom.Pt(50, 50)}},
+		Affinity:  aff,
+	}
+	pairs := affinityPairs(p)
+
+	// Illegal layout sitting exactly on the terminal: distance sum is zero.
+	illegal := &slicing.Eval{
+		Rects:          []geom.Rect{geom.RectXYWH(0, 0, 100, 100)},
+		ViolationMacro: 1,
+		Penalty:        33,
+	}
+	// Legal layout a couple of DBU off the terminal.
+	legal := &slicing.Eval{
+		Rects:   []geom.Rect{geom.RectXYWH(2, 2, 100, 100)},
+		Penalty: 1,
+	}
+	ci, cl := wirecost(illegal, p, pairs), wirecost(legal, p, pairs)
+	if ci <= cl {
+		t.Errorf("illegal zero-distance layout costs %v, must exceed legal cost %v", ci, cl)
+	}
+}
+
 func TestAffinityPairsSkipTerminalTerminal(t *testing.T) {
 	aff := make([][]float64, 3)
 	for i := range aff {

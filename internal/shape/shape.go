@@ -11,8 +11,10 @@
 package shape
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -74,14 +76,21 @@ func FromPoints(pts []Point) Curve {
 // prune sorts candidates and removes Pareto-dominated points, returning the
 // canonical corner list.
 func prune(pts []Point) []Point {
+	return thin(pruneInPlace(pts))
+}
+
+// pruneInPlace sorts candidates and removes Pareto-dominated points without
+// allocating: the returned canonical list reuses the input's backing array.
+// Unlike prune it does not thin to MaxPoints.
+func pruneInPlace(pts []Point) []Point {
 	if len(pts) == 0 {
 		return nil
 	}
-	sort.Slice(pts, func(i, j int) bool {
-		if pts[i].W != pts[j].W {
-			return pts[i].W < pts[j].W
+	slices.SortFunc(pts, func(a, b Point) int {
+		if a.W != b.W {
+			return cmp.Compare(a.W, b.W)
 		}
-		return pts[i].H < pts[j].H
+		return cmp.Compare(a.H, b.H)
 	})
 	out := pts[:0]
 	for _, p := range pts {
@@ -104,7 +113,7 @@ func prune(pts []Point) []Point {
 		out = append(out, p)
 	next:
 	}
-	return thin(out)
+	return out
 }
 
 // thin reduces the corner count to MaxPoints, always keeping both extremes
@@ -131,6 +140,26 @@ func thinTo(pts []Point, limit int) []Point {
 		}
 	}
 	return ded
+}
+
+// thinInPlace is thinTo reusing the input's backing array. The sampling
+// index i*(n-1)/(limit-1) never falls behind the write index, so reads stay
+// ahead of writes and the result equals thinTo exactly.
+func thinInPlace(pts []Point, limit int) []Point {
+	n := len(pts)
+	if n <= limit || limit < 2 {
+		return pts
+	}
+	w := 0
+	for i := 0; i < limit; i++ {
+		p := pts[i*(n-1)/(limit-1)]
+		if w > 0 && p == pts[w-1] {
+			continue
+		}
+		pts[w] = p
+		w++
+	}
+	return pts[:w]
 }
 
 // Empty reports whether the curve has no corners (nothing to place).
@@ -293,6 +322,66 @@ func CombineV(a, b Curve) Curve {
 		}
 	}
 	return Curve{pts: prune(pts)}
+}
+
+// Scratch holds reusable buffers for allocation-free curve composition in
+// annealing hot loops. The zero value is ready to use; a Scratch must not be
+// shared between goroutines.
+type Scratch struct {
+	cand []Point
+}
+
+// CombineH is CombineH(a, b).Thin(k) computed without allocating in steady
+// state: cross-product candidates go through the scratch buffer and the
+// final corners are written into dst (reusing its capacity, growing it only
+// when needed). The returned curve aliases the returned slice; both remain
+// valid until dst is reused in another call. Results are identical to the
+// allocating path corner for corner.
+func (s *Scratch) CombineH(dst []Point, a, b Curve, k int) (Curve, []Point) {
+	return s.combine(dst, a, b, k, true)
+}
+
+// CombineV is the CombineV(a, b).Thin(k) counterpart of Scratch.CombineH.
+func (s *Scratch) CombineV(dst []Point, a, b Curve, k int) (Curve, []Point) {
+	return s.combine(dst, a, b, k, false)
+}
+
+func (s *Scratch) combine(dst []Point, a, b Curve, k int, beside bool) (Curve, []Point) {
+	// Empty operands mirror CombineH/CombineV: the other curve passes
+	// through untouched (then gets the caller's Thin budget), but is copied
+	// so the result never aliases an input.
+	if a.Empty() {
+		dst = thinInPlace(append(dst[:0], b.pts...), k)
+		return Curve{pts: dst}, dst
+	}
+	if b.Empty() {
+		dst = thinInPlace(append(dst[:0], a.pts...), k)
+		return Curve{pts: dst}, dst
+	}
+	s.cand = s.cand[:0]
+	for _, pa := range a.pts {
+		for _, pb := range b.pts {
+			if beside {
+				h := pa.H
+				if pb.H > h {
+					h = pb.H
+				}
+				s.cand = append(s.cand, Point{pa.W + pb.W, h})
+			} else {
+				w := pa.W
+				if pb.W > w {
+					w = pb.W
+				}
+				s.cand = append(s.cand, Point{w, pa.H + pb.H})
+			}
+		}
+	}
+	// Replicate the two-stage reduction of the allocating path: prune thins
+	// to MaxPoints, then Thin(k) compacts to the caller's budget.
+	pts := thinInPlace(pruneInPlace(s.cand), MaxPoints)
+	pts = thinInPlace(pts, k)
+	dst = append(dst[:0], pts...)
+	return Curve{pts: dst}, dst
 }
 
 func (c Curve) String() string {

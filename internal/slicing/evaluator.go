@@ -1,0 +1,313 @@
+package slicing
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/shape"
+)
+
+// Evaluator is the incremental counterpart of Evaluate for annealing hot
+// loops. Construction thins every leaf curve once and composes the full
+// tree; each Perturb then re-parses the expression with cheap integer work,
+// diffs it against the cached tree and recomposes only the dirty nodes —
+// the moved positions and their ancestors, O(depth) curve compositions per
+// move instead of O(n). All buffers (node arena, curve storage, Rects, the
+// parse stack and the undo journal) are owned by the evaluator and reused,
+// so the steady-state Perturb/Eval cycle does not allocate.
+//
+// Results are bit-identical to Evaluate on the same expression, blocks,
+// budget and params: the evaluator reuses the same composition, split,
+// repair and penalty code paths, and a differential test enforces equality
+// across randomized move sequences.
+//
+// The undo closure returned by Perturb restores both the expression and the
+// cached tree. It is valid only until the next Perturb call and may be
+// called at most once — exactly the discipline of the anneal engine (and of
+// its calibration walk), which either undoes a move immediately or commits
+// to it. An Evaluator must not be shared between goroutines.
+type Evaluator struct {
+	expr   *Expr
+	blocks []Block
+	p      EvalParams
+
+	leaf   []shape.Curve // per-block curves, thinned once to CompactPoints
+	nodes  []enode       // one node per expression position
+	parent []int32       // parent position per node, -1 for the root
+	root   int32
+
+	scratch shape.Scratch
+	stack   []int32
+	dirty   []bool // all false between moves
+	journal []undoRecord
+	ev      Eval
+
+	move   Move
+	undoFn func()
+}
+
+// enode is one cached slicing-tree node, pinned to its expression position.
+// Composed curves are double-buffered: a recompute writes the spare buffer
+// and flips side, so the journaled previous curve stays intact for undo.
+type enode struct {
+	val         int32 // elems value: operand id, OpV or OpH
+	left, right int32 // children positions, -1 for leaves
+	at, am      int64
+	curve       shape.Curve
+	pts         [2][]shape.Point
+	side        uint8
+}
+
+// undoRecord captures one node's cached state before a recompute.
+type undoRecord struct {
+	idx         int32
+	val         int32
+	left, right int32
+	at, am      int64
+	curve       shape.Curve
+	side        uint8
+}
+
+// NewEvaluator builds the evaluator for an expression over blocks. The
+// expression stays owned by the caller but must only be perturbed through
+// Evaluator.Perturb from then on, so the cache tracks it.
+func NewEvaluator(e *Expr, blocks []Block, p EvalParams) *Evaluator {
+	if p.CompactPoints <= 0 {
+		p.CompactPoints = 12
+	}
+	ev := &Evaluator{
+		expr:   e,
+		blocks: blocks,
+		p:      p,
+		leaf:   make([]shape.Curve, len(blocks)),
+		nodes:  make([]enode, len(e.elems)),
+		parent: make([]int32, len(e.elems)),
+		stack:  make([]int32, 0, len(blocks)),
+		dirty:  make([]bool, len(e.elems)),
+		ev:     Eval{Rects: make([]geom.Rect, len(blocks)), Penalty: 1},
+	}
+	for i := range blocks {
+		ev.leaf[i] = blocks[i].Curve.Thin(p.CompactPoints)
+	}
+	for i := range ev.nodes {
+		// Poison val so the first resync sees every position as changed.
+		ev.nodes[i].val = -3
+	}
+	ev.undoFn = func() { ev.applyUndo() }
+	ev.resync()
+	ev.journal = ev.journal[:0] // construction needs no undo
+	return ev
+}
+
+// Perturb applies one random move through Expr.PerturbMove and incrementally
+// updates the cached tree. Moves that keep the tree topology (operand swaps
+// and chain inversions, two thirds of the mix) invalidate exactly the
+// touched positions and their ancestor paths; operand–operator swaps
+// re-parse and diff the whole expression with integer-only work before any
+// curve is recomposed. The returned undo restores expression and cache; see
+// the type comment for its validity rules.
+func (ev *Evaluator) Perturb(rng *rand.Rand) (undo func(), kind MoveKind) {
+	ev.expr.PerturbMove(rng, &ev.move)
+	switch {
+	case ev.move.I == ev.move.J:
+		ev.journal = ev.journal[:0] // no-op move on a trivial expression
+	case ev.move.TopologyChanged():
+		ev.resync()
+	case ev.move.Kind == MoveChainInvert:
+		ev.resyncRange(ev.move.I, ev.move.J)
+	default: // operand swap: two scattered positions, I < J
+		ev.journal = ev.journal[:0]
+		ev.markPath(ev.move.I)
+		ev.markPath(ev.move.J)
+		ev.sweep(ev.move.I)
+	}
+	return ev.undoFn, ev.move.Kind
+}
+
+// resync re-parses the expression, diffs every position against the cached
+// node and recomputes the dirty ones bottom-up (children precede parents in
+// postfix order, so one ascending pass suffices). Previous state of every
+// recomputed node is journaled for undo.
+func (ev *Evaluator) resync() {
+	ev.journal = ev.journal[:0]
+	ev.stack = ev.stack[:0]
+	for i, v := range ev.expr.elems {
+		var l, r int32 = -1, -1
+		if v < 0 {
+			r = ev.stack[len(ev.stack)-1]
+			l = ev.stack[len(ev.stack)-2]
+			ev.stack = ev.stack[:len(ev.stack)-2]
+			ev.parent[l], ev.parent[r] = int32(i), int32(i)
+		}
+		nd := &ev.nodes[i]
+		d := nd.val != v || nd.left != l || nd.right != r ||
+			(l >= 0 && (ev.dirty[l] || ev.dirty[r]))
+		ev.dirty[i] = d
+		if d {
+			ev.journal = append(ev.journal, undoRecord{
+				idx: int32(i), val: nd.val, left: nd.left, right: nd.right,
+				at: nd.at, am: nd.am, curve: nd.curve, side: nd.side,
+			})
+			nd.val, nd.left, nd.right = v, l, r
+			ev.recompute(nd)
+		}
+		ev.stack = append(ev.stack, int32(i))
+	}
+	if n := len(ev.nodes); n > 0 {
+		ev.root = int32(n - 1) // the root of a postfix expression is its last element
+		ev.parent[ev.root] = -1
+	}
+	// Restore the all-false invariant so the fast paths' upward walks
+	// terminate on genuinely-marked nodes only.
+	for i := range ev.dirty {
+		ev.dirty[i] = false
+	}
+}
+
+// resyncRange handles a topology-preserving move: values changed only in
+// [lo, hi), so the dirty set is exactly those positions plus their ancestor
+// paths. Marks, then recomputes in ascending position order (children before
+// parents). Journals every recompute for undo.
+func (ev *Evaluator) resyncRange(lo, hi int) {
+	ev.journal = ev.journal[:0]
+	for i := lo; i < hi; i++ {
+		ev.markPath(i)
+	}
+	ev.sweep(lo)
+}
+
+// markPath marks a position and its ancestors dirty, stopping at the first
+// already-marked node (paths above it are marked too, by induction).
+func (ev *Evaluator) markPath(i int) {
+	for p := int32(i); p >= 0 && !ev.dirty[p]; p = ev.parent[p] {
+		ev.dirty[p] = true
+	}
+}
+
+// sweep recomputes every marked node from position lo upward, clearing
+// marks as it goes so each node composes exactly once per move (the
+// double-buffered curve storage relies on that: a second recompute would
+// overwrite the journaled pre-move corners). Ascending order recomputes
+// children before parents.
+func (ev *Evaluator) sweep(lo int) {
+	for i := int32(lo); i <= ev.root; i++ {
+		if !ev.dirty[i] {
+			continue
+		}
+		ev.dirty[i] = false
+		nd := &ev.nodes[i]
+		ev.journal = append(ev.journal, undoRecord{
+			idx: i, val: nd.val, left: nd.left, right: nd.right,
+			at: nd.at, am: nd.am, curve: nd.curve, side: nd.side,
+		})
+		nd.val = ev.expr.elems[i]
+		ev.recompute(nd)
+	}
+}
+
+// recompute refreshes one node's cached ⟨curve, at, am⟩ from its children
+// (or its block, for leaves), writing the composed curve into the node's
+// spare buffer so the previous curve survives for undo.
+func (ev *Evaluator) recompute(nd *enode) {
+	if nd.val >= 0 {
+		b := &ev.blocks[nd.val]
+		nd.at, nd.am = b.TargetArea, b.MinArea
+		nd.curve = ev.leaf[nd.val]
+		return
+	}
+	l, r := &ev.nodes[nd.left], &ev.nodes[nd.right]
+	nd.at = l.at + r.at
+	nd.am = l.am + r.am
+	side := 1 - nd.side
+	if nd.val == OpV {
+		nd.curve, nd.pts[side] = ev.scratch.CombineH(nd.pts[side], l.curve, r.curve, ev.p.CompactPoints)
+	} else {
+		nd.curve, nd.pts[side] = ev.scratch.CombineV(nd.pts[side], l.curve, r.curve, ev.p.CompactPoints)
+	}
+	nd.side = side
+}
+
+// applyUndo reverts the last Perturb: the expression first, then every
+// journaled node, restoring cached sums and curve buffers without any
+// recomposition. A topology move also rebuilds the parent index, which the
+// journal does not cover.
+func (ev *Evaluator) applyUndo() {
+	ev.expr.UndoMove(&ev.move)
+	for k := len(ev.journal) - 1; k >= 0; k-- {
+		rec := &ev.journal[k]
+		nd := &ev.nodes[rec.idx]
+		nd.val, nd.left, nd.right = rec.val, rec.left, rec.right
+		nd.at, nd.am = rec.at, rec.am
+		nd.curve, nd.side = rec.curve, rec.side
+	}
+	ev.journal = ev.journal[:0]
+	if ev.move.TopologyChanged() {
+		ev.rebuildParents()
+	}
+}
+
+// rebuildParents rederives the parent index from the restored children
+// links after a topology move is undone.
+func (ev *Evaluator) rebuildParents() {
+	for i := range ev.nodes {
+		nd := &ev.nodes[i]
+		if nd.left >= 0 {
+			ev.parent[nd.left] = int32(i)
+			ev.parent[nd.right] = int32(i)
+		}
+	}
+	if len(ev.nodes) > 0 {
+		ev.parent[ev.root] = -1
+	}
+}
+
+// RootCurve returns the cached composed shape curve of the whole expression.
+// The curve aliases evaluator-owned buffers: it is valid until the next
+// Perturb/undo and must be copied (e.g. via Points or Union) to outlive it.
+func (ev *Evaluator) RootCurve() shape.Curve {
+	if len(ev.nodes) == 0 {
+		return shape.Curve{}
+	}
+	return ev.nodes[ev.root].curve
+}
+
+// Eval runs the top-down area-budgeting pass against the cached tree,
+// exactly as Evaluate does, and returns the evaluator-owned Eval record.
+// The record (including Rects) is overwritten by the next Eval call.
+func (ev *Evaluator) Eval(budget geom.Rect) *Eval {
+	out := &ev.ev
+	out.ViolationAt, out.ViolationAm, out.ViolationMacro = 0, 0, 0
+	out.Penalty = 1
+	if len(ev.nodes) == 0 || budget.Empty() {
+		for i := range out.Rects {
+			out.Rects[i] = geom.Rect{}
+		}
+		return out
+	}
+	ev.assign(ev.root, budget, out)
+	out.Penalty = 1 + ev.p.PenaltyAt*out.ViolationAt + ev.p.PenaltyAm*out.ViolationAm + ev.p.PenaltyMacro*out.ViolationMacro
+	return out
+}
+
+// assign mirrors Evaluate's recursive rectangle assignment over the cached
+// arena. Method recursion keeps the hot path free of closure allocations.
+func (ev *Evaluator) assign(ni int32, r geom.Rect, out *Eval) {
+	nd := &ev.nodes[ni]
+	if nd.left < 0 {
+		out.Rects[nd.val] = r
+		out.leafPenalties(&ev.blocks[nd.val], r)
+		return
+	}
+	l, rr := &ev.nodes[nd.left], &ev.nodes[nd.right]
+	if nd.val == OpV {
+		wl := splitShare(r.W, l.at, rr.at)
+		wl = out.repairSplit(wl, r.W, r.H, &l.curve, &rr.curve, true)
+		ev.assign(nd.left, geom.RectXYWH(r.X, r.Y, wl, r.H), out)
+		ev.assign(nd.right, geom.RectXYWH(r.X+wl, r.Y, r.W-wl, r.H), out)
+	} else {
+		hb := splitShare(r.H, l.at, rr.at)
+		hb = out.repairSplit(hb, r.H, r.W, &l.curve, &rr.curve, false)
+		ev.assign(nd.left, geom.RectXYWH(r.X, r.Y, r.W, hb), out)
+		ev.assign(nd.right, geom.RectXYWH(r.X, r.Y+hb, r.W, r.H-hb), out)
+	}
+}

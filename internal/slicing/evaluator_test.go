@@ -1,0 +1,202 @@
+package slicing
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/shape"
+)
+
+// randomBlocks mixes soft blocks and macro carriers the way one HiDaP level
+// does, with enough macros to exercise the repair and violation paths.
+func randomBlocks(rng *rand.Rand, n int) []Block {
+	blocks := make([]Block, n)
+	for i := range blocks {
+		at := int64(5_000 + rng.Intn(60_000))
+		blocks[i] = Block{TargetArea: at, MinArea: at / 2}
+		if i%3 == 0 {
+			w := int64(50 + rng.Intn(250))
+			h := int64(40 + rng.Intn(200))
+			blocks[i].Curve = shape.FromBoxRotatable(w, h)
+			blocks[i].MinArea = w * h
+			blocks[i].TargetArea = w * h * 3 / 2
+		}
+	}
+	return blocks
+}
+
+func evalsEqual(t *testing.T, tag string, inc, full *Eval) {
+	t.Helper()
+	if len(inc.Rects) != len(full.Rects) {
+		t.Fatalf("%s: rect count %d vs %d", tag, len(inc.Rects), len(full.Rects))
+	}
+	for i := range inc.Rects {
+		if inc.Rects[i] != full.Rects[i] {
+			t.Fatalf("%s: rect %d = %v, want %v", tag, i, inc.Rects[i], full.Rects[i])
+		}
+	}
+	if inc.ViolationAt != full.ViolationAt || inc.ViolationAm != full.ViolationAm ||
+		inc.ViolationMacro != full.ViolationMacro || inc.Penalty != full.Penalty {
+		t.Fatalf("%s: violations/penalty (%v %v %v %v) vs (%v %v %v %v)",
+			tag,
+			inc.ViolationAt, inc.ViolationAm, inc.ViolationMacro, inc.Penalty,
+			full.ViolationAt, full.ViolationAm, full.ViolationMacro, full.Penalty)
+	}
+}
+
+// TestEvaluatorMatchesEvaluate is the differential contract of the
+// incremental evaluator: across seeded random move sequences — including
+// rejected moves restored through undo and varying budgets — every Eval must
+// equal the from-scratch Evaluate of the same expression bit for bit.
+func TestEvaluatorMatchesEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for _, n := range []int{1, 2, 3, 5, 9, 16, 24} {
+		blocks := randomBlocks(rng, n)
+		expr := NewBalanced(n)
+		p := DefaultEvalParams()
+		inc := NewEvaluator(&expr, blocks, p)
+
+		budgets := []geom.Rect{
+			geom.RectXYWH(0, 0, 1500, 1200),
+			geom.RectXYWH(10, 20, 700, 900),
+			geom.RectXYWH(0, 0, 350, 300), // tight: violations accrue
+			{},                            // empty: Rects must clear, not go stale
+		}
+		// Initial state, before any move.
+		evalsEqual(t, "initial", inc.Eval(budgets[0]), Evaluate(&expr, blocks, budgets[0], p))
+
+		steps := 400
+		if n == 1 {
+			steps = 10
+		}
+		for step := 0; step < steps; step++ {
+			undo, _ := inc.Perturb(rng)
+			budget := budgets[step%len(budgets)]
+			evalsEqual(t, "after move", inc.Eval(budget), Evaluate(&expr, blocks, budget, p))
+			if rng.Intn(2) == 0 {
+				undo()
+				evalsEqual(t, "after undo", inc.Eval(budget), Evaluate(&expr, blocks, budget, p))
+			}
+		}
+	}
+}
+
+// TestEvaluatorUndoRestoresCache checks that a rejected move leaves no trace:
+// perturb+undo returns the exact pre-move evaluation without recomposition
+// (the follow-up move must also still be exact, exercising the journal).
+func TestEvaluatorUndoRestoresCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	blocks := randomBlocks(rng, 12)
+	expr := NewBalanced(12)
+	p := DefaultEvalParams()
+	inc := NewEvaluator(&expr, blocks, p)
+	budget := geom.RectXYWH(0, 0, 1000, 800)
+
+	before := expr.String()
+	ref := Evaluate(&expr, blocks, budget, p)
+	for i := 0; i < 200; i++ {
+		undo, _ := inc.Perturb(rng)
+		undo()
+		if expr.String() != before {
+			t.Fatalf("step %d: undo did not restore expression", i)
+		}
+		evalsEqual(t, "undo", inc.Eval(budget), ref)
+	}
+}
+
+// TestEvaluatorRootCurveMatchesComposition checks RootCurve against the
+// from-scratch bottom-up composition Evaluate performs, for curve-only
+// blocks (the shape-curve generation use of the evaluator).
+func TestEvaluatorRootCurveMatchesComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	parts := make([]Block, 6)
+	for i := range parts {
+		w := int64(50 + rng.Intn(200))
+		h := int64(50 + rng.Intn(200))
+		parts[i] = Block{Curve: shape.FromBoxRotatable(w, h)}
+	}
+	expr := NewBalanced(len(parts))
+	p := EvalParams{CompactPoints: 16}
+	inc := NewEvaluator(&expr, parts, p)
+
+	// Reference: replicate the exact bottom-up composition over the same
+	// expression with the allocating shape API.
+	compose := func(e *Expr) shape.Curve {
+		var stack []shape.Curve
+		for _, v := range e.Elems() {
+			if v >= 0 {
+				stack = append(stack, parts[v].Curve.Thin(p.CompactPoints))
+				continue
+			}
+			b := stack[len(stack)-1]
+			a := stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			var c shape.Curve
+			if v == OpV {
+				c = shape.CombineH(a, b)
+			} else {
+				c = shape.CombineV(a, b)
+			}
+			stack = append(stack, c.Thin(p.CompactPoints))
+		}
+		return stack[0]
+	}
+	for step := 0; step < 120; step++ {
+		undo, _ := inc.Perturb(rng)
+		want := compose(&expr)
+		got := inc.RootCurve()
+		if got.Len() != want.Len() {
+			t.Fatalf("step %d: %d corners, want %d", step, got.Len(), want.Len())
+		}
+		gp, wp := got.Points(), want.Points()
+		for i := range gp {
+			if gp[i] != wp[i] {
+				t.Fatalf("step %d corner %d: %v vs %v", step, i, gp[i], wp[i])
+			}
+		}
+		if step%3 == 0 {
+			undo()
+		}
+	}
+}
+
+func benchAnnealState(n int) ([]Block, Expr, geom.Rect, EvalParams) {
+	rng := rand.New(rand.NewSource(4242))
+	return randomBlocks(rng, n), NewBalanced(n), geom.RectXYWH(0, 0, 1500, 1200), DefaultEvalParams()
+}
+
+// BenchmarkSlicingEvaluate measures the old hot path: one full from-scratch
+// Evaluate per proposed move.
+func BenchmarkSlicingEvaluate(b *testing.B) {
+	blocks, expr, budget, p := benchAnnealState(24)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		undo, _ := expr.Perturb(rng)
+		ev := Evaluate(&expr, blocks, budget, p)
+		if i%2 == 0 {
+			undo()
+		}
+		_ = ev
+	}
+}
+
+// BenchmarkSlicingEvaluator measures the incremental path: Perturb + Eval
+// per proposed move, with half the moves rejected, as in annealing.
+func BenchmarkSlicingEvaluator(b *testing.B) {
+	blocks, expr, budget, p := benchAnnealState(24)
+	inc := NewEvaluator(&expr, blocks, p)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		undo, _ := inc.Perturb(rng)
+		ev := inc.Eval(budget)
+		if i%2 == 0 {
+			undo()
+		}
+		_ = ev
+	}
+}

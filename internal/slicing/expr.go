@@ -160,38 +160,80 @@ const (
 	MoveOperandOperatorSwap
 )
 
+// Move records one applied perturbation by the element positions it
+// touched, so incremental evaluators can invalidate precisely and undo
+// without allocating. For MoveOperandSwap and MoveOperandOperatorSwap, I
+// and J are the two swapped positions (J = I+1 for the latter); for
+// MoveChainInvert, every operator in [I, J) was complemented. A no-op move
+// (possible only when the expression has fewer than two operands) has I == J.
+type Move struct {
+	Kind MoveKind
+	I, J int
+}
+
+// TopologyChanged reports whether the move can alter the slicing-tree
+// structure rather than just the values at the touched positions. Only
+// operand–operator swaps reshape the tree; the other moves permute leaf
+// blocks or flip cut directions in place.
+func (mv *Move) TopologyChanged() bool { return mv.Kind == MoveOperandOperatorSwap }
+
 // Perturb applies one random valid move chosen uniformly among the three
 // kinds (retrying internally if the sampled M3 site is invalid) and returns
-// an undo closure together with the kind applied.
+// an undo closure together with the kind applied. Hot loops that cannot
+// afford the closure use PerturbMove directly.
 func (e *Expr) Perturb(rng *rand.Rand) (undo func(), kind MoveKind) {
+	mv := new(Move)
+	e.PerturbMove(rng, mv)
+	return func() { e.UndoMove(mv) }, mv.Kind
+}
+
+// PerturbMove is the allocation-free form of Perturb: it applies one random
+// valid move and records it in mv for UndoMove. It draws from rng exactly
+// as Perturb does.
+func (e *Expr) PerturbMove(rng *rand.Rand, mv *Move) {
 	if e.n < 2 {
-		return func() {}, MoveOperandSwap
+		*mv = Move{Kind: MoveOperandSwap}
+		return
 	}
 	for {
 		switch MoveKind(rng.Intn(3)) {
 		case MoveOperandSwap:
-			if u := e.operandSwap(rng); u != nil {
-				return u, MoveOperandSwap
+			if e.operandSwap(rng, mv) {
+				return
 			}
 		case MoveChainInvert:
-			if u := e.chainInvert(rng); u != nil {
-				return u, MoveChainInvert
+			if e.chainInvert(rng, mv) {
+				return
 			}
 		case MoveOperandOperatorSwap:
-			if u := e.operandOperatorSwap(rng); u != nil {
-				return u, MoveOperandOperatorSwap
+			if e.operandOperatorSwap(rng, mv) {
+				return
 			}
 		}
 	}
 }
 
+// UndoMove reverts a move applied by PerturbMove. Every move kind is an
+// involution on the positions it recorded, so undo replays it.
+func (e *Expr) UndoMove(mv *Move) {
+	switch {
+	case mv.I == mv.J:
+		// No-op move on a trivial expression.
+	case mv.Kind == MoveChainInvert:
+		e.flipChain(mv.I, mv.J)
+	default:
+		e.elems[mv.I], e.elems[mv.J] = e.elems[mv.J], e.elems[mv.I]
+	}
+}
+
 // operandSwap (M1): swap the k-th and (k+1)-th operands.
-func (e *Expr) operandSwap(rng *rand.Rand) func() {
+func (e *Expr) operandSwap(rng *rand.Rand, mv *Move) bool {
 	k := rng.Intn(e.n - 1)
 	i := e.operandPos(k)
 	j := e.operandPos(k + 1)
 	e.elems[i], e.elems[j] = e.elems[j], e.elems[i]
-	return func() { e.elems[i], e.elems[j] = e.elems[j], e.elems[i] }
+	*mv = Move{Kind: MoveOperandSwap, I: i, J: j}
+	return true
 }
 
 // operandPos returns the index in elems of the k-th operand (0-based).
@@ -210,11 +252,23 @@ func (e *Expr) operandPos(k int) int {
 
 // chainInvert (M2): pick one maximal operator chain and complement every
 // operator in it. Complementing preserves balloting and normalization.
-func (e *Expr) chainInvert(rng *rand.Rand) func() {
-	// Collect chain start positions.
-	var chains [][2]int
-	i := 0
-	for i < len(e.elems) {
+func (e *Expr) chainInvert(rng *rand.Rand, mv *Move) bool {
+	count := 0
+	for i := 0; i < len(e.elems); {
+		if e.elems[i] >= 0 {
+			i++
+			continue
+		}
+		for i < len(e.elems) && e.elems[i] < 0 {
+			i++
+		}
+		count++
+	}
+	if count == 0 {
+		return false
+	}
+	pick := rng.Intn(count)
+	for i := 0; i < len(e.elems); {
 		if e.elems[i] >= 0 {
 			i++
 			continue
@@ -223,29 +277,31 @@ func (e *Expr) chainInvert(rng *rand.Rand) func() {
 		for j < len(e.elems) && e.elems[j] < 0 {
 			j++
 		}
-		chains = append(chains, [2]int{i, j})
+		if pick == 0 {
+			e.flipChain(i, j)
+			*mv = Move{Kind: MoveChainInvert, I: i, J: j}
+			return true
+		}
+		pick--
 		i = j
 	}
-	if len(chains) == 0 {
-		return nil
-	}
-	c := chains[rng.Intn(len(chains))]
-	flip := func() {
-		for k := c[0]; k < c[1]; k++ {
-			if e.elems[k] == OpV {
-				e.elems[k] = OpH
-			} else {
-				e.elems[k] = OpV
-			}
+	return false // unreachable: pick < count
+}
+
+// flipChain complements every operator in [lo, hi).
+func (e *Expr) flipChain(lo, hi int) {
+	for k := lo; k < hi; k++ {
+		if e.elems[k] == OpV {
+			e.elems[k] = OpH
+		} else {
+			e.elems[k] = OpV
 		}
 	}
-	flip()
-	return flip
 }
 
 // operandOperatorSwap (M3): swap an adjacent operand/operator pair when the
 // result stays a normalized Polish expression.
-func (e *Expr) operandOperatorSwap(rng *rand.Rand) func() {
+func (e *Expr) operandOperatorSwap(rng *rand.Rand, mv *Move) bool {
 	// Candidate positions i where elems[i], elems[i+1] are operand/operator
 	// in either order and the swap keeps validity.
 	start := rng.Intn(len(e.elems) - 1)
@@ -257,11 +313,12 @@ func (e *Expr) operandOperatorSwap(rng *rand.Rand) func() {
 		}
 		e.elems[i], e.elems[i+1] = b, a
 		if e.validLocal() {
-			return func() { e.elems[i], e.elems[i+1] = a, b }
+			*mv = Move{Kind: MoveOperandOperatorSwap, I: i, J: i + 1}
+			return true
 		}
 		e.elems[i], e.elems[i+1] = a, b
 	}
-	return nil
+	return false
 }
 
 // validLocal re-checks balloting and normalization after a swap; O(len).
