@@ -64,6 +64,11 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
+// Canonical returns the spec with every defaulted field made explicit, so
+// two specs that generate the same design compare (and fingerprint) equal.
+// Generate(s) and Generate(s.Canonical()) build identical designs.
+func (s Spec) Canonical() Spec { return s.withDefaults() }
+
 // ScaledCells returns the number of standard cells the generator targets.
 func (s Spec) ScaledCells() int {
 	sc := s.withDefaults()

@@ -13,8 +13,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -45,6 +47,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base random seed")
 		outdir  = flag.String("outdir", "artifacts", "output directory for SVG/asciimap artifacts")
 		csvOut  = flag.String("csv", "", "also write per-circuit rows as CSV to this path")
+		jsonOut = flag.String("json", "", "also write rows + summary as JSON to this path ('-' for stdout), for BENCH_*.json trajectory tracking")
 	)
 	flag.Parse()
 	if !*table1 && !*table2 && !*table3 && !*fig9 {
@@ -91,6 +94,11 @@ func main() {
 			f.Close()
 			fmt.Fprintf(os.Stderr, "# wrote %s\n", *csvOut)
 		}
+		if *jsonOut != "" {
+			if err := writeBenchJSON(*jsonOut, rows, *scale, *effort, *seed); err != nil {
+				fatal(err)
+			}
+		}
 	}
 
 	if *fig9 {
@@ -103,6 +111,49 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "hidap-bench:", err)
 	os.Exit(1)
+}
+
+// benchJSON is the machine-readable benchmark record: the run parameters,
+// every Table III row and the Table II summary. Committing one of these per
+// milestone (BENCH_<date>.json) tracks the perf/quality trajectory.
+type benchJSON struct {
+	Scale   int              `json:"scale"`
+	Effort  string           `json:"effort"`
+	Seed    int64            `json:"seed"`
+	Rows    []*flows.Metrics `json:"rows"`
+	Summary []flows.Summary  `json:"summary"`
+}
+
+func writeBenchJSON(path string, rows []*flows.Metrics, scale int, effort string, seed int64) error {
+	var out io.Writer = os.Stdout
+	var f *os.File
+	if path != "-" {
+		var err error
+		if f, err = os.Create(path); err != nil {
+			return err
+		}
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	err := enc.Encode(benchJSON{
+		Scale: scale, Effort: effort, Seed: seed,
+		Rows: rows, Summary: flows.Summarize(rows),
+	})
+	if f != nil {
+		// Close errors surface buffered-writeback failures (disk full): a
+		// truncated trajectory record must not be reported as written.
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Fprintf(os.Stderr, "# wrote %s\n", path)
+	}
+	return nil
 }
 
 func selectSpecs(names string, scale int) ([]circuits.Spec, error) {

@@ -1,0 +1,395 @@
+// Command hidap-serve exposes a long-lived placement Engine over HTTP/JSON:
+// jobs are submitted asynchronously, tracked by id, cancellable, and share
+// the engine's design cache and warm annealing scratch across requests.
+//
+//	hidap-serve -addr :8080 -concurrency 8 -max-pending 256
+//
+//	POST   /v1/jobs            submit a job, returns {"id": "j1", ...}
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result measurement report (409 until finished)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /healthz             liveness + engine stats
+//
+// A job names either a synthetic suite circuit (generated and cached
+// server-side) or ships a full design in the netlist JSON interchange form:
+//
+//	{"label":"t1", "flow":"HiDaP", "seed":1, "effort":"low",
+//	 "circuit":{"name":"c1", "scale":200}}
+//
+//	{"label":"t2", "placer":"hidap", "evaluate":true,
+//	 "design":{"name":"soc", "die":[0,0,500000,500000], ...}}
+//
+// On SIGINT/SIGTERM the server stops accepting work, drains every accepted
+// job, and only aborts in-flight placements if the -grace budget expires.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/circuits"
+	"repro/hidap"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("concurrency", 0, "max concurrently running jobs (0 = GOMAXPROCS)")
+		maxPending = flag.Int("max-pending", 256, "max queued jobs before 503 (0 = unbounded)")
+		cacheSize  = flag.Int("cache", 64, "design/circuit cache entries (LRU)")
+		maxJobs    = flag.Int("max-jobs", 4096, "finished-job records kept before eviction")
+		grace      = flag.Duration("grace", 60*time.Second, "shutdown drain budget before in-flight jobs are cancelled")
+	)
+	flag.Parse()
+
+	base, cancelJobs := context.WithCancel(context.Background())
+	eng := hidap.NewEngine(nil, hidap.EngineOptions{
+		Workers:    *workers,
+		MaxPending: *maxPending,
+		CacheSize:  *cacheSize,
+	})
+	s := newServer(eng, base, *maxJobs)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("hidap-serve listening on %s (%d workers)", *addr, eng.Workers())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-errCh:
+		log.Fatalf("hidap-serve: %v", err)
+	}
+
+	log.Printf("shutting down: draining jobs (grace %s)", *grace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	drained := make(chan struct{})
+	go func() { eng.Close(); close(drained) }()
+	select {
+	case <-drained:
+		log.Printf("all jobs drained")
+	case <-shutCtx.Done():
+		log.Printf("grace expired: cancelling in-flight jobs")
+		cancelJobs()
+		<-drained
+	}
+}
+
+// server maps HTTP ids to engine tickets.
+type server struct {
+	eng     *hidap.Engine
+	base    context.Context // parents every job; outlives requests
+	maxJobs int
+
+	mu    sync.Mutex
+	jobs  map[string]*hidap.Ticket
+	order []string // submission order, for bounded retention
+}
+
+func newServer(eng *hidap.Engine, base context.Context, maxJobs int) *server {
+	if maxJobs <= 0 {
+		maxJobs = 4096
+	}
+	return &server{eng: eng, base: base, maxJobs: maxJobs, jobs: map[string]*hidap.Ticket{}}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	mux.HandleFunc("GET /healthz", s.healthz)
+	return mux
+}
+
+// jobRequest is the submission body. Exactly one of circuit/design.
+type jobRequest struct {
+	Label    string          `json:"label"`
+	Flow     string          `json:"flow"`    // circuit jobs: IndEDA | HiDaP | handFP
+	Circuit  *circuits.Spec  `json:"circuit"` // synthetic suite circuit
+	Placer   string          `json:"placer"`  // design jobs: registered placer name
+	Design   json.RawMessage `json:"design"`  // netlist JSON interchange form
+	Evaluate *bool           `json:"evaluate"`
+	Seed     int64           `json:"seed"`
+	Lambda   *float64        `json:"lambda"`
+	Effort   string          `json:"effort"` // low | medium | high
+}
+
+type jobStatus struct {
+	ID    string         `json:"id"`
+	Label string         `json:"label,omitempty"`
+	State hidap.JobState `json:"state"`
+	Error string         `json:"error,omitempty"`
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	body := http.MaxBytesReader(w, r.Body, 64<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	job, err := req.toJob()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Jobs are parented on the server's base context, not the request's:
+	// submission is asynchronous and the job outlives this request.
+	t, err := s.eng.Submit(s.base, job)
+	switch {
+	case errors.Is(err, hidap.ErrQueueFull), errors.Is(err, hidap.ErrEngineClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	id := fmt.Sprintf("j%d", t.ID())
+	s.remember(id, t)
+	w.Header().Set("Location", "/v1/jobs/"+id)
+	writeJSON(w, http.StatusAccepted, jobStatus{ID: id, Label: t.Label(), State: t.State()})
+}
+
+func (req *jobRequest) toJob() (hidap.Job, error) {
+	var opts []hidap.Option
+	opts = append(opts, hidap.WithSeed(req.Seed))
+	if req.Lambda != nil {
+		opts = append(opts, hidap.WithLambda(*req.Lambda))
+	}
+	switch strings.ToLower(req.Effort) {
+	case "", "medium":
+	case "low":
+		opts = append(opts, hidap.WithEffort(hidap.EffortLow))
+	case "high":
+		opts = append(opts, hidap.WithEffort(hidap.EffortHigh))
+	default:
+		return hidap.Job{}, fmt.Errorf("unknown effort %q", req.Effort)
+	}
+	job := hidap.Job{Label: req.Label, Config: hidap.NewConfig(opts...)}
+	switch {
+	case req.Circuit != nil && req.Design != nil:
+		return hidap.Job{}, errors.New("request sets both circuit and design")
+	case req.Circuit != nil:
+		spec, err := resolveSpec(*req.Circuit)
+		if err != nil {
+			return hidap.Job{}, err
+		}
+		job.Circuit = &spec
+		flow, err := parseFlow(req.Flow)
+		if err != nil {
+			return hidap.Job{}, err
+		}
+		job.Flow = flow
+		if req.Lambda != nil {
+			// Pin λ instead of the pipeline's best-of-three sweep.
+			job.Lambdas = []float64{*req.Lambda}
+		}
+	case req.Design != nil:
+		d, err := hidap.ReadJSON(bytes.NewReader(req.Design))
+		if err != nil {
+			return hidap.Job{}, fmt.Errorf("bad design: %w", err)
+		}
+		job.Design = d
+		job.Placer = req.Placer
+		// Job.Key is deliberately not exposed over HTTP: the key asserts
+		// content identity, and one client's assertion must not be able to
+		// poison the cache entry another client's job resolves to. The
+		// engine's content hash provides the same dedup, trustlessly.
+		job.Evaluate = req.Evaluate == nil || *req.Evaluate
+	default:
+		return hidap.Job{}, errors.New("request needs a circuit or a design")
+	}
+	return job, nil
+}
+
+// resolveSpec fills a suite-circuit reference ({"name":"c1"}) from the
+// paper's suite table, with every field the request did set overriding the
+// suite value; fully specified custom circuits (macros > 0) pass through
+// untouched. A spec that names no suite circuit and declares no macros is
+// rejected here, before it reaches a worker.
+func resolveSpec(spec circuits.Spec) (circuits.Spec, error) {
+	if spec.Macros > 0 {
+		return spec, nil
+	}
+	base, err := circuits.SuiteSpec(spec.Name)
+	if err != nil {
+		return circuits.Spec{}, fmt.Errorf("circuit %q: set macros/cells explicitly or name a suite circuit: %w", spec.Name, err)
+	}
+	if spec.Cells != 0 {
+		base.Cells = spec.Cells
+	}
+	if spec.Subsystems != 0 {
+		base.Subsystems = spec.Subsystems
+	}
+	if spec.BusWidth != 0 {
+		base.BusWidth = spec.BusWidth
+	}
+	if spec.PipelineDepth != 0 {
+		base.PipelineDepth = spec.PipelineDepth
+	}
+	if spec.Topology != "" {
+		base.Topology = spec.Topology
+	}
+	if spec.Scale != 0 {
+		base.Scale = spec.Scale
+	}
+	if spec.Utilization != 0 {
+		base.Utilization = spec.Utilization
+	}
+	if spec.Seed != 0 {
+		base.Seed = spec.Seed
+	}
+	return base, nil
+}
+
+func parseFlow(name string) (hidap.Flow, error) {
+	switch {
+	case name == "":
+		return hidap.FlowHiDaP, nil
+	case strings.EqualFold(name, string(hidap.FlowHiDaP)):
+		return hidap.FlowHiDaP, nil
+	case strings.EqualFold(name, string(hidap.FlowIndEDA)):
+		return hidap.FlowIndEDA, nil
+	case strings.EqualFold(name, string(hidap.FlowHandFP)):
+		return hidap.FlowHandFP, nil
+	}
+	return "", fmt.Errorf("unknown flow %q", name)
+}
+
+// remember indexes a ticket, evicting the oldest finished records beyond
+// the retention bound so a long-lived server does not accumulate job state
+// without limit. Live (queued/running) jobs are never evicted; finished
+// records behind a long-running head are, so one slow job cannot pin an
+// unbounded tail of fast ones.
+func (s *server) remember(id string, t *hidap.Ticket) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[id] = t
+	s.order = append(s.order, id)
+	excess := len(s.order) - s.maxJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, old := range s.order {
+		if excess > 0 {
+			if tk := s.jobs[old]; tk == nil {
+				excess--
+				continue
+			} else if _, err := tk.Result(); !errors.Is(err, hidap.ErrNotFinished) {
+				delete(s.jobs, old)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, old)
+	}
+	s.order = kept
+}
+
+func (s *server) lookup(w http.ResponseWriter, r *http.Request) (*hidap.Ticket, string, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	t := s.jobs[id]
+	s.mu.Unlock()
+	if t == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return nil, id, false
+	}
+	return t, id, true
+}
+
+func (s *server) status(w http.ResponseWriter, r *http.Request) {
+	t, id, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	st := jobStatus{ID: id, Label: t.Label(), State: t.State()}
+	if _, err := t.Result(); err != nil && !errors.Is(err, hidap.ErrNotFinished) {
+		st.Error = err.Error()
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// jobResult is the terminal payload of a successful job.
+type jobResult struct {
+	jobStatus
+	Report  *hidap.Report      `json:"report,omitempty"`
+	Metrics *hidap.FlowMetrics `json:"metrics,omitempty"`
+}
+
+func (s *server) result(w http.ResponseWriter, r *http.Request) {
+	t, id, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	res, err := t.Result()
+	switch {
+	case errors.Is(err, hidap.ErrNotFinished):
+		writeJSON(w, http.StatusConflict, jobStatus{ID: id, Label: t.Label(), State: t.State()})
+		return
+	case err != nil:
+		// Terminal-but-unsuccessful states keep a non-2xx code so scripted
+		// clients branching on status never mistake them for a result:
+		// cancelled jobs are Gone, failed jobs are a server error.
+		code := http.StatusInternalServerError
+		if t.State() == hidap.JobCanceled {
+			code = http.StatusGone
+		}
+		writeJSON(w, code, jobStatus{ID: id, Label: t.Label(), State: t.State(), Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, jobResult{
+		jobStatus: jobStatus{ID: id, Label: t.Label(), State: t.State()},
+		Report:    res.Report,
+		Metrics:   res.Metrics,
+	})
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	t, id, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	t.Cancel()
+	writeJSON(w, http.StatusAccepted, jobStatus{ID: id, Label: t.Label(), State: t.State()})
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string            `json:"status"`
+		Engine hidap.EngineStats `json:"engine"`
+	}{"ok", s.eng.Stats()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("hidap-serve: encode response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

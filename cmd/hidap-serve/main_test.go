@@ -1,0 +1,230 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/circuits"
+	"repro/hidap"
+)
+
+func newTestServer(t *testing.T, workers int) (*server, *httptest.Server, *hidap.Engine) {
+	t.Helper()
+	eng := hidap.NewEngine(
+		hidap.NewConfig(hidap.WithEffort(hidap.EffortLow)),
+		hidap.EngineOptions{Workers: workers},
+	)
+	s := newServer(eng, context.Background(), 64)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts, eng
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (jobStatus, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) jobStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitState(t *testing.T, ts *httptest.Server, id string, want hidap.JobState) {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := getStatus(t, ts, id); st.State == want {
+			return
+		} else if st.State == hidap.JobFailed {
+			t.Fatalf("job %s failed: %s", id, st.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached state %q", id, want)
+}
+
+// TestServeJobRoundTrip drives a circuit job through the full HTTP surface:
+// submit, poll, fetch the measurement result, and check /healthz.
+func TestServeJobRoundTrip(t *testing.T) {
+	_, ts, eng := newTestServer(t, 2)
+	defer eng.Close()
+
+	st, code := postJob(t, ts, `{
+		"label": "rt1", "flow": "HiDaP", "seed": 1, "effort": "low",
+		"circuit": {"name": "t", "cells": 300000, "macros": 8, "subsystems": 2,
+		            "buswidth": 32, "pipelinedepth": 2, "scale": 300, "seed": 5}
+	}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	if st.ID == "" || (st.State != hidap.JobQueued && st.State != hidap.JobRunning) {
+		t.Fatalf("submit response = %+v", st)
+	}
+	waitState(t, ts, st.ID, hidap.JobDone)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status = %d", resp.StatusCode)
+	}
+	var res jobResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Report == nil || res.Report.WirelengthM <= 0 {
+		t.Fatalf("result report = %+v", res.Report)
+	}
+	if res.Metrics == nil || res.Metrics.Circuit != "t" || res.Report.Label != "rt1" {
+		t.Errorf("metrics/label wrong: %+v", res.Metrics)
+	}
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	var health struct {
+		Status string            `json:"status"`
+		Engine hidap.EngineStats `json:"engine"`
+	}
+	if err := json.NewDecoder(hz.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Engine.Completed == 0 {
+		t.Errorf("healthz = %+v", health)
+	}
+}
+
+// TestServeDesignJobAndCancel ships a design in the netlist JSON form to a
+// deliberately blocking placer, then cancels it over HTTP.
+func TestServeDesignJobAndCancel(t *testing.T) {
+	started := make(chan struct{}, 4)
+	hidap.MustRegister(hidap.PlacerFunc("test-serve-block",
+		func(ctx context.Context, d *hidap.Design, cfg *hidap.Config) (*hidap.Placement, hidap.Stats, error) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			<-ctx.Done()
+			return nil, hidap.Stats{}, ctx.Err()
+		}))
+	_, ts, eng := newTestServer(t, 1)
+	defer eng.Close()
+
+	var sb strings.Builder
+	if err := hidap.WriteJSON(&sb, circuits.ABCDX().Design); err != nil {
+		t.Fatal(err)
+	}
+	st, code := postJob(t, ts, fmt.Sprintf(
+		`{"label": "blk", "placer": "test-serve-block", "design": %s}`, sb.String()))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never started")
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel status = %d", resp.StatusCode)
+	}
+	waitState(t, ts, st.ID, hidap.JobCanceled)
+	rr, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusGone {
+		t.Errorf("cancelled result status = %d, want 410", rr.StatusCode)
+	}
+}
+
+// TestServeShutdownDrains submits a real job and closes the engine: the
+// accepted job must finish (drain), and later submissions must be refused.
+func TestServeShutdownDrains(t *testing.T) {
+	_, ts, eng := newTestServer(t, 2)
+
+	var sb strings.Builder
+	if err := hidap.WriteJSON(&sb, circuits.ABCDX().Design); err != nil {
+		t.Fatal(err)
+	}
+	st, code := postJob(t, ts, fmt.Sprintf(
+		`{"label": "drain", "placer": "indeda", "evaluate": false, "design": %s}`, sb.String()))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+
+	eng.Close() // graceful shutdown path: must block until the job is done
+
+	if got := getStatus(t, ts, st.ID); got.State != hidap.JobDone {
+		t.Errorf("job after drain = %+v, want done", got)
+	}
+	if _, code := postJob(t, ts, fmt.Sprintf(`{"placer": "indeda", "design": %s}`, sb.String())); code != http.StatusServiceUnavailable {
+		t.Errorf("submit after close status = %d, want 503", code)
+	}
+}
+
+// TestServeValidation covers the 400/404 surface.
+func TestServeValidation(t *testing.T) {
+	_, ts, eng := newTestServer(t, 1)
+	defer eng.Close()
+
+	for name, body := range map[string]string{
+		"empty":       `{}`,
+		"bad json":    `{not json`,
+		"bad effort":  `{"effort": "turbo", "circuit": {"name": "x"}}`,
+		"bad flow":    `{"flow": "nope", "circuit": {"name": "x"}}`,
+		"bad design":  `{"design": {"die": "not-a-rect"}}`,
+		"no macros":   `{"circuit": {"name": "not-a-suite-circuit"}}`,
+		"both inputs": `{"circuit": {"name": "x"}, "design": {"name": "y"}}`,
+	} {
+		if _, code := postJob(t, ts, body); code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, code)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status = %d, want 404", resp.StatusCode)
+	}
+}

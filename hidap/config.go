@@ -2,6 +2,8 @@ package hidap
 
 import (
 	"repro/internal/core"
+	"repro/internal/seqgraph"
+	"repro/internal/slicing"
 )
 
 // Progress aliases: the per-level / per-candidate events delivered to a
@@ -48,6 +50,13 @@ type Config struct {
 	// Progress, when set, streams per-level (and, in harness runs,
 	// per-candidate) events so a server can report status for long runs.
 	Progress ProgressFunc
+
+	// seqGraph and pool are warm-cache plumbing set by an Engine before it
+	// hands the config to a placer: a prebuilt Gseq for the job's design
+	// and the engine's shared annealing-scratch pool. Never set on configs
+	// built by callers.
+	seqGraph *seqgraph.Graph
+	pool     *slicing.EvaluatorPool
 }
 
 // Option mutates a Config under construction.
@@ -102,5 +111,7 @@ func (c *Config) coreOptions() core.Options {
 	opt.Trace = c.Trace
 	opt.Flat = c.Flat
 	opt.Progress = c.Progress
+	opt.SeqGraph = c.seqGraph
+	opt.Pool = c.pool
 	return opt
 }

@@ -1,0 +1,922 @@
+package hidap
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"repro/circuits"
+	"repro/internal/eval"
+	"repro/internal/flows"
+	"repro/internal/netlist"
+	"repro/internal/seqgraph"
+	"repro/internal/slicing"
+)
+
+// Flow harness aliases: the suite pipeline (Tables II/III) surfaced through
+// the public API so a serving engine can fan a whole evaluation through its
+// worker pool.
+type (
+	// Flow names a macro-placement flow of the paper's evaluation.
+	Flow = flows.Flow
+	// FlowMetrics is one Table III row: circuit, flow, Report, WLnorm.
+	FlowMetrics = flows.Metrics
+	// FlowSummary is one Table II row.
+	FlowSummary = flows.Summary
+	// CircuitSpec parameterizes one synthetic suite design.
+	CircuitSpec = circuits.Spec
+)
+
+// Evaluation flows.
+const (
+	FlowIndEDA = flows.FlowIndEDA
+	FlowHiDaP  = flows.FlowHiDaP
+	FlowHandFP = flows.FlowHandFP
+)
+
+// Engine errors.
+var (
+	// ErrEngineClosed is returned by Submit/Run after Close.
+	ErrEngineClosed = errors.New("hidap: engine closed")
+	// ErrQueueFull is returned by Submit when MaxPending jobs are queued.
+	ErrQueueFull = errors.New("hidap: engine queue full")
+	// ErrNotFinished is returned by Ticket.Result before the job completes.
+	ErrNotFinished = errors.New("hidap: job not finished")
+)
+
+// JobState is the lifecycle phase of a submitted job.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Job describes one unit of work for an Engine. Exactly one of Design or
+// Circuit must be set:
+//
+//   - Design jobs run a registered Placer on the given netlist. The engine
+//     deduplicates designs by content hash (or by Key when set), so repeated
+//     jobs on the same design share one parsed instance and one cached Gseq.
+//   - Circuit jobs generate (and cache) a synthetic suite circuit and run
+//     the full flow pipeline of the paper's evaluation on it — macro
+//     placement, standard-cell placement, measurement — yielding a
+//     FlowMetrics row.
+type Job struct {
+	// Design is the netlist to place (design jobs).
+	Design *Design
+	// Key optionally names the design in the engine cache, skipping the
+	// content hash. Two jobs with equal keys assert content-identical
+	// designs and share one canonical instance.
+	Key string
+	// Placer selects the registered flow for design jobs ("hidap" when
+	// empty).
+	Placer string
+	// Evaluate, for design jobs, runs the shared standard-cell placer and
+	// measurement pipeline after macro placement and attaches a Report.
+	Evaluate bool
+
+	// Circuit selects a synthetic suite circuit (circuit jobs). The
+	// generated design is cached by canonical spec.
+	Circuit *CircuitSpec
+	// Flow selects the pipeline for circuit jobs (FlowHiDaP when empty).
+	Flow Flow
+	// Lambdas overrides the HiDaP λ sweep for circuit jobs (default: the
+	// paper's {0.2, 0.5, 0.8}, best wirelength wins). A single value pins
+	// λ. Circuit jobs otherwise take only Seed and Effort from the Config;
+	// the remaining flow knobs are the pipeline's defaults.
+	Lambdas []float64
+
+	// Config overrides the engine's default Config for this job.
+	Config *Config
+	// Label is an opaque tag echoed on the result and its Report.
+	Label string
+
+	// placer carries a pre-resolved Placer (set by Placer.Place wrappers),
+	// so placers that were never registered still run through the engine.
+	placer Placer
+}
+
+// JobResult is the outcome of a finished job.
+type JobResult struct {
+	// Label echoes Job.Label.
+	Label string
+	// Placement is the physical result (macros, and standard cells when the
+	// job evaluated).
+	Placement *Placement
+	// Stats is the placer bookkeeping.
+	Stats Stats
+	// Report is the measurement record (design jobs with Evaluate, and all
+	// circuit jobs).
+	Report *Report
+	// Metrics is the Table III row (circuit jobs only).
+	Metrics *FlowMetrics
+}
+
+// Ticket tracks one submitted job. Wait blocks for the result; Cancel
+// aborts the job whether queued or running.
+type Ticket struct {
+	id     uint64
+	label  string
+	job    Job
+	eng    *Engine
+	cd     *cachedDesign
+	cc     *cachedCircuit
+	placer Placer
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	phase  atomic.Int32 // 0 queued, 1 running
+	done   chan struct{}
+	res    *JobResult
+	err    error
+}
+
+// ID is the engine-unique job id.
+func (t *Ticket) ID() uint64 { return t.id }
+
+// Label echoes Job.Label.
+func (t *Ticket) Label() string { return t.label }
+
+// Done is closed when the job finishes (successfully or not).
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Cancel aborts the job. A still-queued job is removed from the queue
+// immediately — its MaxPending slot frees and Wait returns
+// context.Canceled without a worker touching it; a running job stops
+// between annealing moves. Cancel after completion is a no-op.
+func (t *Ticket) Cancel() {
+	t.cancel()
+	if t.eng != nil {
+		t.eng.dequeue(t)
+	}
+}
+
+// State reports the job's lifecycle phase.
+func (t *Ticket) State() JobState {
+	select {
+	case <-t.done:
+		switch {
+		case t.err == nil:
+			return JobDone
+		case errors.Is(t.err, context.Canceled) || errors.Is(t.err, context.DeadlineExceeded):
+			return JobCanceled
+		default:
+			return JobFailed
+		}
+	default:
+		if t.phase.Load() == 1 {
+			return JobRunning
+		}
+		return JobQueued
+	}
+}
+
+// Wait blocks until the job finishes or ctx is done. The wait context is
+// independent of the job: an expired wait does not cancel the job.
+func (t *Ticket) Wait(ctx context.Context) (*JobResult, error) {
+	select {
+	case <-t.done:
+		return t.res, t.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Result returns the outcome without blocking; ErrNotFinished while the job
+// is queued or running.
+func (t *Ticket) Result() (*JobResult, error) {
+	select {
+	case <-t.done:
+		return t.res, t.err
+	default:
+		return nil, ErrNotFinished
+	}
+}
+
+// EngineOptions sizes an Engine.
+type EngineOptions struct {
+	// Workers bounds the number of concurrently running jobs; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// MaxPending bounds the queued-but-not-running jobs; Submit returns
+	// ErrQueueFull beyond it. <= 0 means unbounded.
+	MaxPending int
+	// CacheSize bounds each design/circuit cache (LRU eviction); <= 0
+	// means 64 entries.
+	CacheSize int
+}
+
+// EngineStats is a point-in-time snapshot of an Engine.
+type EngineStats struct {
+	Queued         int    `json:"queued"`
+	Running        int    `json:"running"`
+	Completed      uint64 `json:"completed"`
+	CachedDesigns  int    `json:"cached_designs"`
+	CachedCircuits int    `json:"cached_circuits"`
+}
+
+// Engine is the long-lived run model of the package: a bounded worker pool
+// fed by Submit/SubmitBatch, a per-engine circuit cache (parsed designs and
+// their sequential graphs, keyed by content hash) and pooled annealing
+// scratch, so back-to-back jobs on the same design run allocation-warm.
+// One Engine serves concurrent callers; all methods are safe for concurrent
+// use. Placer.Place is a thin wrapper over a shared single-job engine, so
+// the one-shot registry API inherits the same caches.
+type Engine struct {
+	cfg        *Config
+	workers    int
+	maxPending int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []*Ticket
+	closed  bool
+	quit    chan struct{} // closed at Close: unblocks stream sends
+	wg      sync.WaitGroup
+	runs    sync.WaitGroup // inline Engine.Run executions, drained by Close
+
+	pool    *slicing.EvaluatorPool
+	designs *lruCache[*cachedDesign]
+	gens    *lruCache[*cachedCircuit]
+
+	nextID    atomic.Uint64
+	running   atomic.Int32
+	completed atomic.Uint64
+
+	resultsMu     sync.Mutex
+	results       chan *Ticket
+	resultsClosed bool
+}
+
+// NewEngine builds an engine whose jobs default to cfg (nil means
+// NewConfig() defaults) and starts its worker pool. Close releases it.
+func NewEngine(cfg *Config, opt EngineOptions) *Engine {
+	return newEngine(cfg, opt, true)
+}
+
+// newEngine optionally skips spawning the worker pool: the shared engine
+// behind Placer.Place only ever executes inline through Run, so it keeps no
+// parked goroutines.
+func newEngine(cfg *Config, opt EngineOptions, spawnWorkers bool) *Engine {
+	if cfg == nil {
+		cfg = NewConfig()
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cache := opt.CacheSize
+	if cache <= 0 {
+		cache = 64
+	}
+	e := &Engine{
+		cfg:        cfg,
+		workers:    workers,
+		maxPending: opt.MaxPending,
+		quit:       make(chan struct{}),
+		pool:       &slicing.EvaluatorPool{},
+		designs:    newLRU[*cachedDesign](cache),
+		gens:       newLRU[*cachedCircuit](cache),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	if spawnWorkers {
+		for i := 0; i < workers; i++ {
+			e.wg.Add(1)
+			go e.worker()
+		}
+	}
+	return e
+}
+
+// Workers reports the concurrency bound of the pool.
+func (e *Engine) Workers() int { return e.workers }
+
+// FlushCaches empties the design and circuit caches, releasing every
+// retained netlist and sequential graph. Jobs in flight keep the entries
+// they already resolved; subsequent jobs repopulate the caches. Use it when
+// a long-lived engine has served a working set it will not see again.
+func (e *Engine) FlushCaches() {
+	e.designs.flush()
+	e.gens.flush()
+}
+
+// Stats snapshots the engine's queue and cache occupancy.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	queued := len(e.pending)
+	e.mu.Unlock()
+	return EngineStats{
+		Queued:         queued,
+		Running:        int(e.running.Load()),
+		Completed:      e.completed.Load(),
+		CachedDesigns:  e.designs.len(),
+		CachedCircuits: e.gens.len(),
+	}
+}
+
+// Submit enqueues a job. ctx parents the job's run context: cancelling it
+// (or Ticket.Cancel) aborts the job whether queued or running, so a server
+// passes a long-lived context here, not a per-request one. Submit itself
+// never blocks: it returns ErrQueueFull when MaxPending jobs are already
+// queued and ErrEngineClosed after Close.
+func (e *Engine) Submit(ctx context.Context, job Job) (*Ticket, error) {
+	return e.submit(ctx, job, false)
+}
+
+// submit enqueues one job. Bulk submissions (SubmitBatch) bypass the
+// MaxPending bound: that bound sheds load from a request-at-a-time
+// endpoint, while a batch is one deliberate operation whose size is known
+// up front — rejecting its tail nondeterministically would make bounded
+// engines unable to run any realistically sized suite.
+func (e *Engine) submit(ctx context.Context, job Job, bulk bool) (*Ticket, error) {
+	// Reject overload/shutdown before prepare: an engine refusing work must
+	// not pay the content hash nor let rejected traffic churn warm cache
+	// entries out of the LRU. The check repeats under the lock below for
+	// the (rare) race where the queue fills during prepare.
+	if err := e.acceptable(bulk); err != nil {
+		return nil, err
+	}
+	t, err := e.prepare(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	switch {
+	case e.closed:
+		e.mu.Unlock()
+		t.cancel()
+		return nil, ErrEngineClosed
+	case !bulk && e.maxPending > 0 && len(e.pending) >= e.maxPending:
+		e.mu.Unlock()
+		t.cancel()
+		return nil, ErrQueueFull
+	}
+	e.pending = append(e.pending, t)
+	e.cond.Signal()
+	e.mu.Unlock()
+	// Watch the job context while the ticket waits: a context cancelled
+	// during the queued phase dequeues the ticket immediately (freeing its
+	// MaxPending slot and unblocking Wait), exactly like Ticket.Cancel. The
+	// watcher exits as soon as the job finishes by any path.
+	go func() {
+		select {
+		case <-t.ctx.Done():
+			e.dequeue(t)
+		case <-t.done:
+		}
+	}()
+	return t, nil
+}
+
+func (e *Engine) acceptable(bulk bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch {
+	case e.closed:
+		return ErrEngineClosed
+	case !bulk && e.maxPending > 0 && len(e.pending) >= e.maxPending:
+		return ErrQueueFull
+	}
+	return nil
+}
+
+// Run executes one job synchronously on the caller's goroutine, outside the
+// worker pool but inside the engine's caches and scratch pool. It is the
+// single-job path behind Placer.Place.
+func (e *Engine) Run(ctx context.Context, job Job) (*JobResult, error) {
+	t, err := e.prepare(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	defer t.cancel()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrEngineClosed
+	}
+	// Registered under the engine lock so Close (which flips closed under
+	// the same lock before waiting) cannot miss an in-flight Run.
+	e.runs.Add(1)
+	e.mu.Unlock()
+	defer e.runs.Done()
+	t.phase.Store(1)
+	e.running.Add(1)
+	res, err := e.execute(t)
+	e.running.Add(-1)
+	e.completed.Add(1)
+	return res, err
+}
+
+// Results returns the completion stream: tickets finished by the worker
+// pool after the first Results call are delivered in completion order, at
+// most once each. Consumers should drain the channel until it closes (at
+// Close); a stalled consumer applies backpressure to the pool, never to
+// Close — completions that race shutdown are dropped from the stream
+// (Ticket.Wait/Result still return them). Tickets finished before the
+// first call, cancelled while queued, or run inline are not streamed.
+func (e *Engine) Results() <-chan *Ticket {
+	e.resultsMu.Lock()
+	defer e.resultsMu.Unlock()
+	if e.results == nil {
+		e.results = make(chan *Ticket, 16)
+		if e.resultsClosed {
+			close(e.results)
+		}
+	}
+	return e.results
+}
+
+// Close stops accepting jobs, drains every queued and running job —
+// including jobs executing inline through Run — then closes the Results
+// stream. It is idempotent and safe to call concurrently; all calls block
+// until the drain completes.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.quit) // release workers parked on a stalled Results consumer
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	e.runs.Wait()
+	e.resultsMu.Lock()
+	if !e.resultsClosed {
+		e.resultsClosed = true
+		if e.results != nil {
+			close(e.results)
+		}
+	}
+	e.resultsMu.Unlock()
+}
+
+// Suite describes a SubmitBatch fan-out: the cross product of circuits,
+// flows and seeds, one job each.
+type Suite struct {
+	// Circuits are the synthetic designs to evaluate.
+	Circuits []CircuitSpec
+	// Flows to run per circuit; nil means all three paper flows.
+	Flows []Flow
+	// Seeds per (circuit, flow); nil means the base config's seed.
+	Seeds []int64
+	// Config is the base per-job config (effort, λ defaults); the seed is
+	// overridden per job. Nil means the engine default.
+	Config *Config
+}
+
+// Batch tracks the tickets of one SubmitBatch call.
+type Batch struct {
+	// Tickets in submit order: circuits × flows × seeds, innermost seeds.
+	Tickets []*Ticket
+
+	// seeds holds each ticket's seed so Wait can normalize per seed group.
+	seeds []int64
+}
+
+// SuiteResult aggregates a finished batch through the shared evaluation
+// pipeline: normalized Table III rows plus the Table II summary.
+type SuiteResult struct {
+	Rows      []*FlowMetrics `json:"rows"`
+	Summaries []FlowSummary  `json:"summary"`
+}
+
+// SubmitBatch fans a suite through the worker pool, one job per
+// (circuit, flow, seed). Repeated circuits across jobs share one cached
+// design and sequential graph. ctx parents every job. A batch is exempt
+// from the MaxPending bound: the whole suite is accepted atomically and
+// drains through the Workers-bounded pool.
+func (e *Engine) SubmitBatch(ctx context.Context, s Suite) (*Batch, error) {
+	if len(s.Circuits) == 0 {
+		return nil, errors.New("hidap: SubmitBatch needs at least one circuit")
+	}
+	fl := s.Flows
+	if len(fl) == 0 {
+		fl = []Flow{FlowIndEDA, FlowHiDaP, FlowHandFP}
+	}
+	base := s.Config
+	if base == nil {
+		base = e.cfg
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{base.Seed}
+	}
+	b := &Batch{}
+	for _, spec := range s.Circuits {
+		for _, f := range fl {
+			for _, seed := range seeds {
+				cfg := *base
+				cfg.Seed = seed
+				spec := spec
+				t, err := e.submit(ctx, Job{
+					Circuit: &spec,
+					Flow:    f,
+					Config:  &cfg,
+					Label:   fmt.Sprintf("%s/%s/seed%d", spec.Name, f, seed),
+				}, true)
+				if err != nil {
+					b.Cancel()
+					return nil, err
+				}
+				b.Tickets = append(b.Tickets, t)
+				b.seeds = append(b.seeds, seed)
+			}
+		}
+	}
+	return b, nil
+}
+
+// Cancel aborts every job of the batch.
+func (b *Batch) Cancel() {
+	for _, t := range b.Tickets {
+		t.Cancel()
+	}
+}
+
+// Wait blocks until every job finishes, then aggregates the rows through
+// flows.Normalize/Summarize. Normalization runs per seed group, so with
+// multiple seeds every row is normalized against its own seed's handFP
+// reference (each handFP row is exactly 1.0) instead of cross-seed
+// contamination. The first job *failure* cancels the remainder and is
+// returned; an expired wait context merely returns its error — the jobs
+// keep running and a later Wait picks them up.
+func (b *Batch) Wait(ctx context.Context) (*SuiteResult, error) {
+	rows := make([]*FlowMetrics, 0, len(b.Tickets))
+	bySeed := map[int64][]*FlowMetrics{}
+	for i, t := range b.Tickets {
+		res, err := t.Wait(ctx)
+		if err != nil {
+			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+				return nil, err // the wait expired, not the batch
+			}
+			b.Cancel()
+			return nil, fmt.Errorf("hidap: batch job %q: %w", t.Label(), err)
+		}
+		rows = append(rows, res.Metrics)
+		bySeed[b.seeds[i]] = append(bySeed[b.seeds[i]], res.Metrics)
+	}
+	for _, group := range bySeed {
+		flows.Normalize(group)
+	}
+	return &SuiteResult{Rows: rows, Summaries: flows.Summarize(rows)}, nil
+}
+
+// prepare validates a job, interns its design/circuit in the engine caches
+// and wraps it in a ticket.
+func (e *Engine) prepare(ctx context.Context, job Job) (*Ticket, error) {
+	t := &Ticket{
+		id:    e.nextID.Add(1),
+		label: job.Label,
+		job:   job,
+		eng:   e,
+		done:  make(chan struct{}),
+	}
+	switch {
+	case job.Design != nil && job.Circuit != nil:
+		return nil, errors.New("hidap: job sets both Design and Circuit")
+	case job.Design != nil:
+		t.placer = job.placer
+		if t.placer == nil {
+			name := job.Placer
+			if name == "" {
+				name = "hidap"
+			}
+			p, err := Lookup(name)
+			if err != nil {
+				return nil, err
+			}
+			t.placer = p
+		}
+		key := job.Key
+		if key == "" {
+			var err error
+			key, err = hashDesign(job.Design)
+			if err != nil {
+				// An unhashable design is served uncached under a unique key.
+				key = fmt.Sprintf("unhashed:%d", t.id)
+			}
+		}
+		d := job.Design
+		t.cd = e.designs.getOrCreate("design:"+key, func() *cachedDesign {
+			return &cachedDesign{d: d}
+		})
+	case job.Circuit != nil:
+		spec := job.Circuit.Canonical()
+		if spec.Macros <= 0 {
+			return nil, fmt.Errorf("hidap: circuit spec %q has no macros (use circuits.SuiteSpec for the paper suite)", spec.Name)
+		}
+		t.cc = e.gens.getOrCreate(fmt.Sprintf("circuit:%#v", spec), func() *cachedCircuit {
+			return &cachedCircuit{spec: spec}
+		})
+	default:
+		return nil, errors.New("hidap: job needs a Design or a Circuit")
+	}
+	t.ctx, t.cancel = context.WithCancel(ctx)
+	return t, nil
+}
+
+// worker drains the queue until Close and the queue is empty, so shutdown
+// finishes every accepted job.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		t := e.next()
+		if t == nil {
+			return
+		}
+		t.phase.Store(1)
+		e.running.Add(1)
+		t.res, t.err = e.execute(t)
+		e.running.Add(-1)
+		e.completed.Add(1)
+		t.cancel()
+		close(t.done)
+		if ch := e.resultsStream(); ch != nil {
+			// A stalled consumer applies backpressure to the pool, but it
+			// must never wedge Close: once shutdown starts, undelivered
+			// completions are dropped from the stream (Wait/Result still
+			// return them). The non-blocking attempt first keeps delivery
+			// reliable for a consumer that is keeping up even while quit is
+			// already closed — the two-ready-cases select would otherwise
+			// drop randomly during a graceful drain.
+			select {
+			case ch <- t:
+			default:
+				select {
+				case ch <- t:
+				case <-e.quit:
+				}
+			}
+		}
+	}
+}
+
+// dequeue removes a cancelled ticket from the pending queue and finalizes
+// it without a worker: its MaxPending slot frees immediately and Wait
+// unblocks with the cancellation error. A ticket already popped (or
+// finished) is left to the worker path; the queue lock makes the two
+// exclusive. Cancelled-while-queued tickets are not delivered to the
+// Results stream, which carries worker-completed jobs only.
+func (e *Engine) dequeue(t *Ticket) {
+	e.mu.Lock()
+	found := false
+	for i, p := range e.pending {
+		if p == t {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			found = true
+			break
+		}
+	}
+	e.mu.Unlock()
+	if !found {
+		return
+	}
+	t.err = t.ctx.Err()
+	if t.err == nil {
+		t.err = context.Canceled
+	}
+	e.completed.Add(1)
+	close(t.done)
+}
+
+func (e *Engine) next() *Ticket {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.pending) == 0 && !e.closed {
+		e.cond.Wait()
+	}
+	if len(e.pending) == 0 {
+		return nil
+	}
+	t := e.pending[0]
+	e.pending[0] = nil
+	e.pending = e.pending[1:]
+	return t
+}
+
+func (e *Engine) resultsStream() chan *Ticket {
+	e.resultsMu.Lock()
+	defer e.resultsMu.Unlock()
+	return e.results
+}
+
+// execute runs one job on the caller's goroutine. A panicking job (a
+// degenerate design tripping an internal invariant) is converted into a job
+// error: one bad job must not take down the engine or a server built on it.
+func (e *Engine) execute(t *Ticket) (res *JobResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("hidap: job %d (%q) panicked: %v\n%s", t.id, t.label, r, debug.Stack())
+		}
+	}()
+	ctx := t.ctx
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := t.job.Config
+	if cfg == nil {
+		cfg = e.cfg
+	}
+	cc := *cfg // shallow copy: the job must not see engine plumbing twice
+	if t.cc != nil {
+		return e.runCircuitJob(ctx, t, &cc)
+	}
+	return e.runDesignJob(ctx, t, &cc)
+}
+
+// runDesignJob places (and optionally evaluates) a cached design with a
+// registered placer, warm: the cached Gseq and the engine scratch pool ride
+// in on the config.
+func (e *Engine) runDesignJob(ctx context.Context, t *Ticket, cfg *Config) (*JobResult, error) {
+	d := t.cd.d
+	if t.placer.Name() == "hidap" {
+		// Only the paper's flow consumes Gseq during placement; building it
+		// for indeda/handfp jobs would charge them work they never did
+		// before the engine existed. (Evaluate below builds it on demand —
+		// cachedDesign.graph is once-per-design either way.)
+		cfg.seqGraph = t.cd.graph()
+	}
+	cfg.pool = e.pool
+	pl, stats, err := placerRun(ctx, t.placer, d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &JobResult{Label: t.job.Label, Placement: pl, Stats: stats}
+	if t.job.Evaluate {
+		if err := PlaceStdCells(ctx, pl); err != nil {
+			return nil, err
+		}
+		rep, err := eval.Evaluate(ctx, d, pl, eval.Options{Graph: t.cd.graph()})
+		if err != nil {
+			return nil, err
+		}
+		stats.Annotate(rep)
+		rep.Label = t.job.Label
+		res.Report = rep
+	}
+	return res, nil
+}
+
+// runCircuitJob generates (once) a synthetic circuit and runs the full flow
+// pipeline, yielding one Table III row.
+func (e *Engine) runCircuitJob(ctx context.Context, t *Ticket, cfg *Config) (*JobResult, error) {
+	g := t.cc.gen()
+	fl := t.job.Flow
+	if fl == "" {
+		fl = FlowHiDaP
+	}
+	fopt := flows.DefaultOptions()
+	fopt.Seed = cfg.Seed
+	fopt.Effort = cfg.Effort
+	fopt.Pool = e.pool
+	if len(t.job.Lambdas) > 0 {
+		fopt.Lambdas = t.job.Lambdas
+	}
+	// Candidates run sequentially inside one worker slot so the engine's
+	// Workers bound is the whole story of its parallelism.
+	fopt.Sequential = true
+	m, pl, err := flows.Run(ctx, g, fl, fopt)
+	if err != nil {
+		return nil, err
+	}
+	m.Label = t.job.Label
+	return &JobResult{
+		Label:     t.job.Label,
+		Placement: pl,
+		Stats:     Stats{Placer: string(fl), MacroSeconds: m.MacroSeconds, Lambda: m.Lambda},
+		Report:    &m.Report,
+		Metrics:   m,
+	}, nil
+}
+
+// placerRun dispatches to a placer's implementation. Built-in flows (and
+// any Placer built with PlacerFunc) are unwrapped to their raw function:
+// their Place method routes through the shared engine, and unwrapping here
+// is what keeps that loop open instead of recursive.
+func placerRun(ctx context.Context, p Placer, d *Design, cfg *Config) (*Placement, Stats, error) {
+	if pf, ok := p.(placerFunc); ok {
+		return pf.fn(ctx, d, cfg)
+	}
+	return p.Place(ctx, d, cfg)
+}
+
+// cachedDesign is one design cache entry: the canonical parsed instance and
+// its lazily built sequential graph, shared read-only by every job that
+// references the design.
+type cachedDesign struct {
+	d    *Design
+	once sync.Once
+	sg   *seqgraph.Graph
+}
+
+func (c *cachedDesign) graph() *seqgraph.Graph {
+	c.once.Do(func() {
+		c.sg = seqgraph.Build(c.d, seqgraph.DefaultParams())
+	})
+	return c.sg
+}
+
+// cachedCircuit is one synthetic-circuit cache entry, generated on first
+// use. Generated caches its own Gseq.
+type cachedCircuit struct {
+	spec circuits.Spec
+	once sync.Once
+	g    *circuits.Generated
+}
+
+func (c *cachedCircuit) gen() *circuits.Generated {
+	c.once.Do(func() {
+		c.g = circuits.Generate(c.spec)
+	})
+	return c.g
+}
+
+// hashDesign content-addresses a design via its canonical JSON form.
+func hashDesign(d *Design) (string, error) {
+	h := sha256.New()
+	if err := netlist.WriteJSON(h, d); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12]), nil
+}
+
+// lruCache is a small mutex-guarded LRU of cache entries. Creation inserts
+// a cheap shell; heavy initialization happens lazily inside the entry (via
+// sync.Once), so the cache lock is never held across design parsing or
+// graph construction. Evicted entries stay valid for jobs already holding
+// them.
+type lruCache[V any] struct {
+	mu  sync.Mutex
+	max int
+	m   map[string]*list.Element
+	l   *list.List
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+func newLRU[V any](max int) *lruCache[V] {
+	return &lruCache[V]{max: max, m: make(map[string]*list.Element), l: list.New()}
+}
+
+func (c *lruCache[V]) getOrCreate(key string, mk func() V) V {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.l.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val
+	}
+	v := mk()
+	c.m[key] = c.l.PushFront(&lruEntry[V]{key: key, val: v})
+	for c.l.Len() > c.max {
+		last := c.l.Back()
+		c.l.Remove(last)
+		delete(c.m, last.Value.(*lruEntry[V]).key)
+	}
+	return v
+}
+
+func (c *lruCache[V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.l.Len()
+}
+
+func (c *lruCache[V]) flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[string]*list.Element)
+	c.l.Init()
+}
+
+// sharedEngine is the process-wide single-job engine behind Placer.Place:
+// one-shot callers inherit its scratch pool and a small design cache
+// without managing an Engine themselves. It spawns no worker goroutines
+// (Place executes inline through Run) and its cache is deliberately small —
+// Place retains at most the last 16 distinct designs (keyed by pointer
+// identity, see placerFunc.Place), a bounded warm set rather than an
+// accumulating one.
+var (
+	sharedOnce sync.Once
+	sharedInst *Engine
+)
+
+func sharedEngine() *Engine {
+	sharedOnce.Do(func() {
+		sharedInst = newEngine(nil, EngineOptions{CacheSize: 16}, false)
+	})
+	return sharedInst
+}

@@ -1,0 +1,537 @@
+package hidap_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/circuits"
+	"repro/hidap"
+)
+
+// loadSpecA/B are tiny suite-shaped circuits for engine tests: small enough
+// for low-effort runs, structured enough that every flow has real work.
+func loadSpecA() circuits.Spec {
+	return circuits.Spec{
+		Name: "engA", Cells: 300_000, Macros: 8, Subsystems: 2,
+		BusWidth: 32, PipelineDepth: 2, Scale: 300, Seed: 5,
+	}
+}
+
+func loadSpecB() circuits.Spec {
+	return circuits.Spec{
+		Name: "engB", Cells: 250_000, Macros: 6, Subsystems: 2,
+		BusWidth: 32, PipelineDepth: 2, Scale: 300, Seed: 9,
+	}
+}
+
+func fastCfg(seed int64) *hidap.Config {
+	return hidap.NewConfig(hidap.WithEffort(hidap.EffortLow), hidap.WithSeed(seed))
+}
+
+// TestEngineConcurrentLoad floods one engine with mixed concurrent jobs —
+// repeated designs, all three flows, several seeds — and checks that every
+// job completes with a correct Report, that identical jobs stay
+// deterministic under concurrency, and that the caches were actually shared
+// (run under -race in CI to prove the sharing is race-free).
+func TestEngineConcurrentLoad(t *testing.T) {
+	gA := circuits.Generate(loadSpecA())
+	gB := circuits.Generate(loadSpecB())
+
+	eng := hidap.NewEngine(fastCfg(1), hidap.EngineOptions{Workers: 8})
+	defer eng.Close()
+
+	ctx := context.Background()
+	var tickets []*hidap.Ticket
+	submit := func(job hidap.Job) {
+		t.Helper()
+		tk, err := eng.Submit(ctx, job)
+		if err != nil {
+			t.Fatalf("Submit(%q): %v", job.Label, err)
+		}
+		tickets = append(tickets, tk)
+	}
+
+	// 10 design jobs over two distinct designs (so the design cache must
+	// dedup), mixed placers and seeds, including two identical jobs whose
+	// results must match bit for bit.
+	for i := 0; i < 5; i++ {
+		submit(hidap.Job{
+			Design: gA.Design, Placer: "hidap", Evaluate: true,
+			Config: fastCfg(int64(i % 3)), Label: fmt.Sprintf("dA-hidap-%d", i%3),
+		})
+	}
+	for i := 0; i < 3; i++ {
+		submit(hidap.Job{
+			Design: gB.Design, Placer: "hidap", Evaluate: true,
+			Config: fastCfg(2), Label: "dB-hidap",
+		})
+	}
+	submit(hidap.Job{Design: gA.Design, Placer: "indeda", Evaluate: true, Config: fastCfg(1), Label: "dA-indeda"})
+	submit(hidap.Job{Design: gB.Design, Placer: "indeda", Evaluate: true, Config: fastCfg(1), Label: "dB-indeda"})
+
+	// 6 circuit jobs: two specs × three flows through the full pipeline.
+	for _, spec := range []circuits.Spec{loadSpecA(), loadSpecB()} {
+		for _, f := range []hidap.Flow{hidap.FlowIndEDA, hidap.FlowHiDaP, hidap.FlowHandFP} {
+			spec := spec
+			submit(hidap.Job{
+				Circuit: &spec, Flow: f, Config: fastCfg(1),
+				Label: fmt.Sprintf("%s/%s", spec.Name, f),
+			})
+		}
+	}
+	if len(tickets) < 16 {
+		t.Fatalf("load test submitted %d jobs, want >= 16", len(tickets))
+	}
+
+	wlByLabel := map[string][]float64{}
+	for _, tk := range tickets {
+		res, err := tk.Wait(ctx)
+		if err != nil {
+			t.Fatalf("job %q: %v", tk.Label(), err)
+		}
+		if tk.State() != hidap.JobDone {
+			t.Errorf("job %q state = %q, want done", tk.Label(), tk.State())
+		}
+		if res.Report == nil || res.Report.WirelengthM <= 0 {
+			t.Errorf("job %q: bad report %+v", tk.Label(), res.Report)
+		}
+		if res.Report.Label != tk.Label() {
+			t.Errorf("job %q: report label %q", tk.Label(), res.Report.Label)
+		}
+		if res.Placement == nil || !res.Placement.AllMacrosPlaced() {
+			t.Errorf("job %q: macros unplaced", tk.Label())
+		}
+		wlByLabel[tk.Label()] = append(wlByLabel[tk.Label()], res.Report.WirelengthM)
+	}
+	// Identical jobs (same design, placer, seed) must agree exactly even
+	// when raced against the rest of the load.
+	for label, wls := range wlByLabel {
+		for _, wl := range wls[1:] {
+			if wl != wls[0] {
+				t.Errorf("job %q nondeterministic under load: %v", label, wls)
+			}
+		}
+	}
+
+	st := eng.Stats()
+	if st.CachedDesigns != 2 {
+		t.Errorf("cached designs = %d, want 2 (content-hash dedup)", st.CachedDesigns)
+	}
+	if st.CachedCircuits != 2 {
+		t.Errorf("cached circuits = %d, want 2", st.CachedCircuits)
+	}
+	if st.Completed != uint64(len(tickets)) {
+		t.Errorf("completed = %d, want %d", st.Completed, len(tickets))
+	}
+}
+
+// TestEngineWarmCacheAllocs submits the same design twice to a single-worker
+// engine and requires the second job to allocate measurably less: the warm
+// path skips seqgraph construction and reuses pooled annealing scratch.
+func TestEngineWarmCacheAllocs(t *testing.T) {
+	g := circuits.Generate(circuits.Spec{
+		Name: "warm", Cells: 400_000, Macros: 6, Subsystems: 2,
+		BusWidth: 48, PipelineDepth: 2, Scale: 100, Seed: 3,
+	})
+	eng := hidap.NewEngine(fastCfg(1), hidap.EngineOptions{Workers: 1})
+	defer eng.Close()
+
+	job := hidap.Job{Design: g.Design, Key: "warm", Placer: "hidap", Config: fastCfg(1)}
+	// Run executes on this goroutine, so ReadMemStats brackets exactly the
+	// job's own allocations — no racing worker to under- or over-count.
+	mallocs := func() uint64 {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		if _, err := eng.Run(context.Background(), job); err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs
+	}
+	cold := mallocs()
+	warm := mallocs()
+	t.Logf("cold job: %d mallocs, warm job: %d mallocs (%.1f%%)",
+		cold, warm, 100*float64(warm)/float64(cold))
+	if warm >= cold {
+		t.Errorf("warm job allocated %d >= cold %d: cache not warm", warm, cold)
+	}
+	if float64(warm) > 0.9*float64(cold) {
+		t.Errorf("warm job allocated %d vs cold %d: saving < 10%%, not measurable", warm, cold)
+	}
+}
+
+// BenchmarkEngineSameDesign contrasts the cold path (fresh engine per job)
+// with the warm path (one long-lived engine): allocs/op is the headline.
+func BenchmarkEngineSameDesign(b *testing.B) {
+	g := circuits.Generate(circuits.Spec{
+		Name: "warmb", Cells: 400_000, Macros: 6, Subsystems: 2,
+		BusWidth: 48, PipelineDepth: 2, Scale: 100, Seed: 3,
+	})
+	job := hidap.Job{Design: g.Design, Key: "warmb", Placer: "hidap", Config: fastCfg(1)}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := hidap.NewEngine(fastCfg(1), hidap.EngineOptions{Workers: 1})
+			if _, err := eng.Run(context.Background(), job); err != nil {
+				b.Fatal(err)
+			}
+			eng.Close()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		eng := hidap.NewEngine(fastCfg(1), hidap.EngineOptions{Workers: 1})
+		defer eng.Close()
+		if _, err := eng.Run(context.Background(), job); err != nil {
+			b.Fatal(err) // prime the caches outside the timed loop
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(context.Background(), job); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// blockingPlacer parks until its context is cancelled; tests use it to hold
+// a worker slot deterministically. started receives one token per run.
+func blockingPlacer(name string, started chan struct{}) hidap.Placer {
+	return hidap.PlacerFunc(name, func(ctx context.Context, d *hidap.Design, cfg *hidap.Config) (*hidap.Placement, hidap.Stats, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-ctx.Done()
+		return nil, hidap.Stats{}, ctx.Err()
+	})
+}
+
+func TestEngineCancelAndQueueFull(t *testing.T) {
+	started := make(chan struct{}, 4)
+	hidap.MustRegister(blockingPlacer("test-engine-block", started))
+	g := circuits.ABCDX()
+
+	eng := hidap.NewEngine(nil, hidap.EngineOptions{Workers: 1, MaxPending: 1})
+	defer eng.Close()
+	ctx := context.Background()
+
+	running, err := eng.Submit(ctx, hidap.Job{Design: g.Design, Placer: "test-engine-block"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("blocking job never started")
+	}
+	if running.State() != hidap.JobRunning {
+		t.Errorf("state = %q, want running", running.State())
+	}
+
+	queued, err := eng.Submit(ctx, hidap.Job{Design: g.Design, Placer: "test-engine-block"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queued.State() != hidap.JobQueued {
+		t.Errorf("state = %q, want queued", queued.State())
+	}
+	if _, err := eng.Submit(ctx, hidap.Job{Design: g.Design, Placer: "test-engine-block"}); !errors.Is(err, hidap.ErrQueueFull) {
+		t.Errorf("third submit err = %v, want ErrQueueFull", err)
+	}
+
+	// Cancel the queued job: its MaxPending slot must free immediately,
+	// without a worker touching it.
+	queued.Cancel()
+	if _, err := queued.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued cancel err = %v, want context.Canceled", err)
+	}
+	refill, err := eng.Submit(ctx, hidap.Job{Design: g.Design, Placer: "test-engine-block"})
+	if err != nil {
+		t.Fatalf("submit after cancelling queued job: %v (slot not freed)", err)
+	}
+	refill.Cancel()
+	running.Cancel()
+	for _, tk := range []*hidap.Ticket{running, queued, refill} {
+		if _, err := tk.Wait(ctx); !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+		if tk.State() != hidap.JobCanceled {
+			t.Errorf("state = %q, want canceled", tk.State())
+		}
+	}
+}
+
+// TestEngineCloseWaitsForRun: Close's drain contract covers jobs executing
+// inline through Run (the Placer.Place path), not only pool workers.
+func TestEngineCloseWaitsForRun(t *testing.T) {
+	started := make(chan struct{}, 4)
+	hidap.MustRegister(blockingPlacer("test-engine-run-block", started))
+	g := circuits.ABCDX()
+	eng := hidap.NewEngine(nil, hidap.EngineOptions{Workers: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		_, _ = eng.Run(ctx, hidap.Job{Design: g.Design, Placer: "test-engine-run-block"})
+	}()
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("inline run never started")
+	}
+
+	closeDone := make(chan struct{})
+	go func() { eng.Close(); close(closeDone) }()
+	select {
+	case <-closeDone:
+		t.Fatal("Close returned while an inline Run was still executing")
+	case <-time.After(100 * time.Millisecond):
+	}
+	cancel() // release the blocked job; Close must now complete
+	select {
+	case <-closeDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close never finished after the inline run ended")
+	}
+	<-runDone
+}
+
+// TestEngineLambdaPin: Job.Lambdas overrides the circuit pipeline's λ sweep.
+func TestEngineLambdaPin(t *testing.T) {
+	eng := hidap.NewEngine(fastCfg(1), hidap.EngineOptions{Workers: 1})
+	defer eng.Close()
+	spec := loadSpecA()
+	tk, err := eng.Submit(context.Background(), hidap.Job{
+		Circuit: &spec, Flow: hidap.FlowHiDaP, Lambdas: []float64{0.8}, Config: fastCfg(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Lambda != 0.8 {
+		t.Errorf("lambda = %v, want pinned 0.8", res.Metrics.Lambda)
+	}
+}
+
+func TestEngineCloseDrainsAndRejects(t *testing.T) {
+	g := circuits.ABCDX()
+	eng := hidap.NewEngine(fastCfg(1), hidap.EngineOptions{Workers: 2})
+	ctx := context.Background()
+	var tickets []*hidap.Ticket
+	for i := 0; i < 4; i++ {
+		tk, err := eng.Submit(ctx, hidap.Job{Design: g.Design, Placer: "indeda", Config: fastCfg(int64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	eng.Close() // must drain all four accepted jobs
+	for i, tk := range tickets {
+		res, err := tk.Result()
+		if err != nil {
+			t.Errorf("job %d after Close: %v", i, err)
+			continue
+		}
+		if res.Placement == nil || !res.Placement.AllMacrosPlaced() {
+			t.Errorf("job %d: incomplete placement after drain", i)
+		}
+	}
+	if _, err := eng.Submit(ctx, hidap.Job{Design: g.Design}); !errors.Is(err, hidap.ErrEngineClosed) {
+		t.Errorf("submit after close err = %v, want ErrEngineClosed", err)
+	}
+	if _, err := eng.Run(ctx, hidap.Job{Design: g.Design}); !errors.Is(err, hidap.ErrEngineClosed) {
+		t.Errorf("run after close err = %v, want ErrEngineClosed", err)
+	}
+	eng.Close() // idempotent
+}
+
+func TestEngineResultsStream(t *testing.T) {
+	g := circuits.ABCDX()
+	eng := hidap.NewEngine(fastCfg(1), hidap.EngineOptions{Workers: 2})
+	results := eng.Results() // enable the stream before submitting
+	ctx := context.Background()
+	const n = 5
+	for i := 0; i < n; i++ {
+		if _, err := eng.Submit(ctx, hidap.Job{Design: g.Design, Placer: "indeda", Config: fastCfg(int64(i)), Label: "s"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case tk := <-results:
+			if res, err := tk.Result(); err != nil || res.Placement == nil {
+				t.Errorf("streamed job %d: %v", i, err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("completion %d never streamed", i)
+		}
+	}
+	eng.Close()
+	if _, open := <-results; open {
+		t.Error("results stream still open after Close")
+	}
+}
+
+func TestEngineSubmitBatch(t *testing.T) {
+	eng := hidap.NewEngine(fastCfg(1), hidap.EngineOptions{Workers: 4})
+	defer eng.Close()
+	batch, err := eng.SubmitBatch(context.Background(), hidap.Suite{
+		Circuits: []circuits.Spec{loadSpecA(), loadSpecB()},
+		Config:   fastCfg(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Tickets) != 6 {
+		t.Fatalf("tickets = %d, want 2 circuits x 3 flows", len(batch.Tickets))
+	}
+	res, err := batch.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 || len(res.Summaries) != 3 {
+		t.Fatalf("rows = %d, summaries = %d", len(res.Rows), len(res.Summaries))
+	}
+	for _, r := range res.Rows {
+		if r.WLnorm <= 0 {
+			t.Errorf("%s/%s: WLnorm = %v after Normalize", r.Circuit, r.Flow, r.WLnorm)
+		}
+		if r.Flow == hidap.FlowHandFP && r.WLnorm != 1 {
+			t.Errorf("%s handFP norm = %v, want 1", r.Circuit, r.WLnorm)
+		}
+	}
+	for _, s := range res.Summaries {
+		if s.WLGeoMean <= 0 {
+			t.Errorf("%s: geomean = %v", s.Flow, s.WLGeoMean)
+		}
+	}
+}
+
+// TestEnginePanicIsolated: a job that panics (degenerate design tripping an
+// internal invariant) must fail alone — the worker, the engine and later
+// jobs survive.
+func TestEnginePanicIsolated(t *testing.T) {
+	hidap.MustRegister(hidap.PlacerFunc("test-engine-panic",
+		func(ctx context.Context, d *hidap.Design, cfg *hidap.Config) (*hidap.Placement, hidap.Stats, error) {
+			panic("boom")
+		}))
+	g := circuits.ABCDX()
+	eng := hidap.NewEngine(fastCfg(1), hidap.EngineOptions{Workers: 1})
+	defer eng.Close()
+	ctx := context.Background()
+
+	tk, err := eng.Submit(ctx, hidap.Job{Design: g.Design, Placer: "test-engine-panic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(ctx); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want panic converted to error", err)
+	}
+	if tk.State() != hidap.JobFailed {
+		t.Errorf("state = %q, want failed", tk.State())
+	}
+	// The engine keeps serving.
+	tk2, err := eng.Submit(ctx, hidap.Job{Design: g.Design, Placer: "indeda", Config: fastCfg(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := tk2.Wait(ctx); err != nil || !res.Placement.AllMacrosPlaced() {
+		t.Fatalf("job after panic: %v", err)
+	}
+}
+
+// TestEngineBatchBypassesMaxPending: a batch is one deliberate bulk
+// operation — it must be accepted whole even when it exceeds the
+// request-endpoint queue bound, and an expired wait context must not
+// cancel it.
+func TestEngineBatchBypassesMaxPending(t *testing.T) {
+	eng := hidap.NewEngine(fastCfg(1), hidap.EngineOptions{Workers: 1, MaxPending: 1})
+	defer eng.Close()
+	batch, err := eng.SubmitBatch(context.Background(), hidap.Suite{
+		Circuits: []circuits.Spec{loadSpecA()},
+		Config:   fastCfg(1),
+	})
+	if err != nil {
+		t.Fatalf("batch larger than MaxPending rejected: %v", err)
+	}
+	if len(batch.Tickets) != 3 {
+		t.Fatalf("tickets = %d, want 3", len(batch.Tickets))
+	}
+	// An expired wait returns its own error and leaves the batch running.
+	expired, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := batch.Wait(expired); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired wait err = %v", err)
+	}
+	res, err := batch.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("re-Wait after expired wait: %v (batch must not be cancelled)", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+}
+
+// TestEngineBatchMultiSeed: with several seeds, every row must be
+// normalized against its own seed's handFP reference — each handFP row is
+// exactly 1.0, never a cross-seed ratio.
+func TestEngineBatchMultiSeed(t *testing.T) {
+	eng := hidap.NewEngine(fastCfg(1), hidap.EngineOptions{Workers: 4})
+	defer eng.Close()
+	batch, err := eng.SubmitBatch(context.Background(), hidap.Suite{
+		Circuits: []circuits.Spec{loadSpecA()},
+		Flows:    []hidap.Flow{hidap.FlowHiDaP, hidap.FlowHandFP},
+		Seeds:    []int64{1, 2},
+		Config:   fastCfg(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := batch.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 1 circuit x 2 flows x 2 seeds", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Flow == hidap.FlowHandFP && r.WLnorm != 1 {
+			t.Errorf("handFP row %q: WLnorm = %v, want exactly 1 per seed group", r.Label, r.WLnorm)
+		}
+		if r.WLnorm <= 0 {
+			t.Errorf("row %q: WLnorm = %v", r.Label, r.WLnorm)
+		}
+	}
+}
+
+func TestEngineJobValidation(t *testing.T) {
+	eng := hidap.NewEngine(nil, hidap.EngineOptions{Workers: 1})
+	defer eng.Close()
+	ctx := context.Background()
+	g := circuits.ABCDX()
+	spec := loadSpecA()
+	if _, err := eng.Submit(ctx, hidap.Job{}); err == nil {
+		t.Error("empty job must fail")
+	}
+	if _, err := eng.Submit(ctx, hidap.Job{Design: g.Design, Circuit: &spec}); err == nil {
+		t.Error("job with both Design and Circuit must fail")
+	}
+	if _, err := eng.Submit(ctx, hidap.Job{Design: g.Design, Placer: "no-such-placer"}); err == nil {
+		t.Error("unknown placer must fail at submit")
+	}
+	macroless := circuits.Spec{Name: "empty"}
+	if _, err := eng.Submit(ctx, hidap.Job{Circuit: &macroless}); err == nil {
+		t.Error("macro-less circuit spec must fail at submit, not panic a worker")
+	}
+}

@@ -1,6 +1,8 @@
 // Package hidap is the public API of the HiDaP reproduction: RTL-aware,
 // dataflow-driven macro placement after Vidal-Obiols et al. (DATE 2019).
 //
+// # One-shot placement
+//
 // Every flow sits behind the Placer interface and a name registry, with one
 // evaluation pipeline for the results:
 //
@@ -18,6 +20,29 @@
 // hidap.WithProgress, and are deterministic for a fixed seed. Third-party
 // flows join the registry with hidap.Register without touching this
 // package.
+//
+// # Engine: the long-lived run model
+//
+// Placement is a batch workload — many jobs over few designs — so the
+// package's run model is the Engine: a long-lived object owning a bounded
+// worker pool, a content-hash design cache (parsed netlists plus their
+// sequential graphs) and pooled annealing scratch. Back-to-back jobs on the
+// same design run allocation-warm; concurrent jobs share the caches
+// race-free:
+//
+//	eng := hidap.NewEngine(cfg, hidap.EngineOptions{Workers: 8})
+//	defer eng.Close()
+//	t, _ := eng.Submit(ctx, hidap.Job{Design: d, Placer: "hidap", Evaluate: true})
+//	res, err := t.Wait(ctx)             // res.Report is the JSON-ready record
+//
+// Engine.SubmitBatch fans a whole evaluation suite (circuits × flows ×
+// seeds) through the pool and aggregates it with the Tables II/III
+// pipeline; Engine.Results streams completions for serving layers (see
+// cmd/hidap-serve for the HTTP surface). Placer.Place is itself a thin
+// wrapper over a single job on a shared package-level engine, so the
+// one-shot API above inherits the same caches.
+//
+// # Interchange and deprecated surface
 //
 // The package also re-exports the stable subset of the internal machinery:
 // netlist construction, the Verilog front end, metric models, interchange

@@ -62,7 +62,13 @@ type Placer interface {
 	Place(ctx context.Context, d *Design, cfg *Config) (*Placement, Stats, error)
 }
 
-// PlacerFunc adapts a placement function to the Placer interface.
+// PlacerFunc adapts a placement function to the Placer interface. The
+// returned placer's Place method is a thin wrapper over a single-job run on
+// the package's shared Engine, so one-shot callers inherit its design cache
+// and warm annealing scratch; fn itself is invoked by the engine. The
+// shared cache retains at most the 16 most recently placed designs (with
+// their sequential graphs) for warm reuse; callers that manage placement
+// memory explicitly should run their own Engine and use FlushCaches.
 func PlacerFunc(name string, fn func(ctx context.Context, d *Design, cfg *Config) (*Placement, Stats, error)) Placer {
 	return placerFunc{name: name, fn: fn}
 }
@@ -78,7 +84,20 @@ func (p placerFunc) Place(ctx context.Context, d *Design, cfg *Config) (*Placeme
 	if cfg == nil {
 		cfg = NewConfig()
 	}
-	return p.fn(ctx, d, cfg)
+	// Key by pointer identity: repeated Place calls on one design hit the
+	// warm path without the content hash's full-netlist serialization.
+	// Safe because the cache entry retains d, so the address cannot be
+	// reused while the key is live; a different pointer to equal content
+	// simply misses (exactly the pre-engine behavior). Designs are frozen
+	// after Build; the structural counts in the key additionally miss the
+	// cache if a caller grows one anyway, rather than serving a placement
+	// against a stale cached Gseq.
+	key := fmt.Sprintf("ptr:%p:%d:%d", d, len(d.Cells), len(d.Nets))
+	res, err := sharedEngine().Run(ctx, Job{Design: d, Key: key, Placer: p.name, Config: cfg, placer: p})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return res.Placement, res.Stats, nil
 }
 
 var (

@@ -249,7 +249,7 @@ func TestShapeCurveLeafRotatable(t *testing.T) {
 func TestComposePartsTwo(t *testing.T) {
 	a := shape.FromBox(10, 20)
 	b := shape.FromBox(30, 5)
-	c := composeParts(context.Background(), []shape.Curve{a, b}, 1)
+	c := composeParts(context.Background(), []shape.Curve{a, b}, 1, nil)
 	// H composition: 40 x 20; V composition: 30 x 25.
 	if !c.Fits(40, 20) || !c.Fits(30, 25) {
 		t.Errorf("compose missing realizations: %v", c)

@@ -63,6 +63,15 @@ type Options struct {
 	Decluster hier.Params
 	// Seq sets Gseq construction parameters.
 	Seq seqgraph.Params
+	// SeqGraph optionally supplies a prebuilt sequential graph for the
+	// design; the flow then skips seqgraph.Build. The caller asserts the
+	// graph was built from the same design with the same Seq parameters
+	// (a serving engine caches one graph per design and reuses it across
+	// jobs; the graph is read-only during placement, so sharing is safe).
+	SeqGraph *seqgraph.Graph
+	// Pool optionally shares annealing scratch (incremental slicing
+	// evaluators) across levels and runs; see layout.Options.Pool.
+	Pool *slicing.EvaluatorPool
 	// Effort selects the annealing budget per level.
 	Effort layout.Effort
 	// Eval sets the slicing evaluation penalties.
@@ -157,10 +166,14 @@ func Place(ctx context.Context, d *netlist.Design, opt Options) (*Result, error)
 		opt.Eval = slicing.DefaultEvalParams()
 	}
 
+	sg := opt.SeqGraph
+	if sg == nil {
+		sg = seqgraph.Build(d, opt.Seq)
+	}
 	st := &flowState{
 		d:      d,
 		tree:   hier.New(d),
-		sg:     seqgraph.Build(d, opt.Seq),
+		sg:     sg,
 		bp:     graph.BipartiteFromDesign(d),
 		pl:     placement.New(d),
 		opt:    opt,
@@ -168,7 +181,7 @@ func Place(ctx context.Context, d *netlist.Design, opt Options) (*Result, error)
 		approx: make([]geom.Point, len(d.Cells)),
 		hasApx: make([]bool, len(d.Cells)),
 	}
-	st.sc = GenerateShapeCurves(ctx, st.tree, opt.Seed)
+	st.sc = generateShapeCurves(ctx, st.tree, opt.Seed, opt.Pool)
 	st.res.SeqStats = st.sg.Stats()
 
 	var err error
@@ -244,7 +257,7 @@ func (st *flowState) recurse(ctx context.Context, nh netlist.HierID, region geom
 		})
 	}
 
-	opt := layout.Options{Seed: st.opt.Seed + int64(nh)*7919, Effort: st.opt.Effort, Eval: st.opt.Eval}
+	opt := layout.Options{Seed: st.opt.Seed + int64(nh)*7919, Effort: st.opt.Effort, Eval: st.opt.Eval, Pool: st.opt.Pool}
 	sol := layout.Solve(ctx, prob, opt)
 	if err := ctx.Err(); err != nil {
 		return err
@@ -352,7 +365,7 @@ func (st *flowState) flatPlace(ctx context.Context, region geom.Rect) error {
 			Pos:  st.terminalPos(gdf, i),
 		})
 	}
-	sol := layout.Solve(ctx, prob, layout.Options{Seed: st.opt.Seed, Effort: st.opt.Effort, Eval: st.opt.Eval})
+	sol := layout.Solve(ctx, prob, layout.Options{Seed: st.opt.Seed, Effort: st.opt.Effort, Eval: st.opt.Eval, Pool: st.opt.Pool})
 	if err := ctx.Err(); err != nil {
 		return err
 	}

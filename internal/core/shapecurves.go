@@ -32,6 +32,13 @@ type ShapeCurves struct {
 // area-minimizing anneal over slicing structures, and the union of every
 // composition visited forms the node's Pareto set.
 func GenerateShapeCurves(ctx context.Context, tree *hier.Tree, seed int64) *ShapeCurves {
+	return generateShapeCurves(ctx, tree, seed, nil)
+}
+
+// generateShapeCurves is GenerateShapeCurves with an optional evaluator
+// pool: the per-node composition anneals draw their scratch from it, so a
+// long-lived engine re-deriving curves for many jobs stays allocation-warm.
+func generateShapeCurves(ctx context.Context, tree *hier.Tree, seed int64, pool *slicing.EvaluatorPool) *ShapeCurves {
 	d := tree.D
 	sc := &ShapeCurves{
 		ByNode:  make(map[netlist.HierID]shape.Curve),
@@ -60,7 +67,7 @@ func GenerateShapeCurves(ctx context.Context, tree *hier.Tree, seed int64) *Shap
 				parts = append(parts, sc.ByNode[ch])
 			}
 		}
-		sc.ByNode[hid] = composeParts(ctx, parts, seed+int64(id))
+		sc.ByNode[hid] = composeParts(ctx, parts, seed+int64(id), pool)
 	}
 	return sc
 }
@@ -85,7 +92,7 @@ const composeCompact = 16
 // composition. Two parts are enumerated exactly; more parts run a short
 // area-optimization anneal (paper §IV-A), accumulating the Pareto union of
 // every slicing structure visited.
-func composeParts(ctx context.Context, parts []shape.Curve, seed int64) shape.Curve {
+func composeParts(ctx context.Context, parts []shape.Curve, seed int64, pool *slicing.EvaluatorPool) shape.Curve {
 	switch len(parts) {
 	case 0:
 		return shape.Curve{}
@@ -106,7 +113,13 @@ func composeParts(ctx context.Context, parts []shape.Curve, seed int64) shape.Cu
 		blocks[i] = slicing.Block{Curve: parts[i]}
 	}
 	expr := slicing.NewBalanced(len(parts))
-	inc := slicing.NewEvaluator(&expr, blocks, slicing.EvalParams{CompactPoints: composeCompact})
+	var inc *slicing.Evaluator
+	if pool != nil {
+		inc = pool.Get(&expr, blocks, slicing.EvalParams{CompactPoints: composeCompact})
+		defer pool.Put(inc)
+	} else {
+		inc = slicing.NewEvaluator(&expr, blocks, slicing.EvalParams{CompactPoints: composeCompact})
+	}
 	acc := shape.Curve{}
 	cost := func() float64 {
 		c := inc.RootCurve()

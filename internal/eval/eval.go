@@ -25,6 +25,9 @@ import (
 type Report struct {
 	// Design is the netlist name.
 	Design string `json:"design,omitempty"`
+	// Label is an opaque caller tag (job label on a serving engine),
+	// echoed untouched so batch results can be correlated.
+	Label string `json:"label,omitempty"`
 	// Placer names the flow that produced the placement, when known.
 	Placer string `json:"placer,omitempty"`
 	// WirelengthM is the total half-perimeter wirelength in meters.

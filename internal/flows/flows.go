@@ -26,6 +26,7 @@ import (
 	"repro/internal/place"
 	"repro/internal/placement"
 	"repro/internal/route"
+	"repro/internal/slicing"
 	"repro/internal/sta"
 )
 
@@ -72,6 +73,10 @@ type Options struct {
 	// evaluated HiDaP candidate, so callers can stream status for long
 	// suite runs. Events may arrive from worker goroutines.
 	Progress core.ProgressFunc
+	// Pool, when set, shares annealing scratch (incremental slicing
+	// evaluators) across candidates and runs; a serving engine passes its
+	// per-engine pool here so back-to-back jobs run allocation-warm.
+	Pool *slicing.EvaluatorPool
 	// Place configures the shared standard-cell placer.
 	Place place.Options
 	// Route configures the congestion model.
@@ -95,12 +100,12 @@ func DefaultOptions() Options {
 // Metrics is one row of Table III: the uniform eval.Report of the run plus
 // the suite bookkeeping (circuit, flow, normalized wirelength).
 type Metrics struct {
-	Circuit string
-	Flow    Flow
+	Circuit string `json:"circuit"`
+	Flow    Flow   `json:"flow"`
 	eval.Report
 	// WLnorm is WirelengthM normalized to the circuit's handFP flow (set
-	// by Normalize).
-	WLnorm float64
+	// by Normalize; 0 when the circuit has no handFP reference row).
+	WLnorm float64 `json:"wl_norm,omitempty"`
 }
 
 // CalibrateSTA scales the wire-delay coefficient to the die.
@@ -190,6 +195,11 @@ func runHiDaP(ctx context.Context, g *circuits.Generated, opt Options) (*placeme
 		coreOpt.Lambda = c.lambda
 		coreOpt.Seed = opt.Seed + int64(i/len(opt.Lambdas))*1_000_003
 		coreOpt.Effort = opt.Effort
+		// Every candidate places the same design: reuse the circuit's cached
+		// Gseq (built under default params, matching coreOpt.Seq) and the
+		// shared scratch pool instead of rebuilding per candidate.
+		coreOpt.SeqGraph = g.SeqGraph()
+		coreOpt.Pool = opt.Pool
 		res, err := core.Place(ctx, d, coreOpt)
 		if err != nil {
 			c.err = err
@@ -307,13 +317,14 @@ func Normalize(rows []*Metrics) {
 
 // Summary is one row of Table II.
 type Summary struct {
-	Flow Flow
-	// WLGeoMean is the geometric mean of WLnorm over the suite.
-	WLGeoMean float64
+	Flow Flow `json:"flow"`
+	// WLGeoMean is the geometric mean of WLnorm over the circuits that have
+	// a handFP reference (0 when none do).
+	WLGeoMean float64 `json:"wl_geomean"`
 	// WNSMean is the arithmetic mean of WNS% over the suite.
-	WNSMean float64
+	WNSMean float64 `json:"wns_mean_pct"`
 	// Effort describes the solution cost (paper wording plus measured CPU).
-	Effort string
+	Effort string `json:"effort"`
 }
 
 // Summarize aggregates per-circuit rows into Table II.
@@ -332,7 +343,13 @@ func Summarize(rows []*Metrics) []Summary {
 			if r.Flow != f {
 				continue
 			}
-			norms = append(norms, r.WLnorm)
+			// A circuit without a handFP reference row leaves WLnorm unset
+			// (0). Feeding that zero into the geometric mean would collapse
+			// the whole aggregate to 0, so unset norms are skipped; the row
+			// still contributes to the WNS mean and CPU totals.
+			if r.WLnorm > 0 {
+				norms = append(norms, r.WLnorm)
+			}
 			wnsSum += r.WNSPct
 			secs += r.MacroSeconds
 			n++

@@ -142,6 +142,87 @@ func TestNormalizeWithoutHandFP(t *testing.T) {
 	}
 }
 
+func TestNormalizeEmptyRows(t *testing.T) {
+	Normalize(nil) // must not panic
+	Normalize([]*Metrics{})
+}
+
+// TestSummarizeSkipsUnsetNorms is the regression test for the geomean
+// collapse: a circuit without a handFP reference row leaves WLnorm at 0,
+// and Summarize used to feed that zero into metrics.GeoMean, flattening
+// the whole aggregate to 0. Unset norms must be skipped instead.
+func TestSummarizeSkipsUnsetNorms(t *testing.T) {
+	rows := []*Metrics{
+		// Circuit "a" has a reference; "b" does not.
+		{Circuit: "a", Flow: FlowHiDaP, Report: eval.Report{WirelengthM: 2, WNSPct: -4}},
+		{Circuit: "a", Flow: FlowHandFP, Report: eval.Report{WirelengthM: 1}},
+		{Circuit: "b", Flow: FlowHiDaP, Report: eval.Report{WirelengthM: 3, WNSPct: -8}},
+	}
+	Normalize(rows)
+	if rows[0].WLnorm != 2 || rows[2].WLnorm != 0 {
+		t.Fatalf("norms = %v, %v; want 2, 0", rows[0].WLnorm, rows[2].WLnorm)
+	}
+	for _, s := range Summarize(rows) {
+		if s.Flow != FlowHiDaP {
+			continue
+		}
+		// Geomean over the referenced circuit only: exactly 2, not 0.
+		if s.WLGeoMean != 2 {
+			t.Errorf("WLGeoMean = %v, want 2 (unset norm must be skipped)", s.WLGeoMean)
+		}
+		// The unreferenced row still counts toward the WNS mean.
+		if want := (-4.0 + -8.0) / 2; s.WNSMean != want {
+			t.Errorf("WNSMean = %v, want %v", s.WNSMean, want)
+		}
+	}
+}
+
+func TestSummarizeAllNormsUnset(t *testing.T) {
+	rows := []*Metrics{
+		{Circuit: "x", Flow: FlowHiDaP, Report: eval.Report{WirelengthM: 2, WNSPct: -1}},
+	}
+	Normalize(rows)
+	sums := Summarize(rows)
+	if len(sums) != 1 {
+		t.Fatalf("sums = %+v", sums)
+	}
+	// No reference anywhere: the geomean is reported as 0 (unknown), and
+	// must not panic or fabricate a value.
+	if sums[0].WLGeoMean != 0 || sums[0].WNSMean != -1 {
+		t.Errorf("summary = %+v", sums[0])
+	}
+}
+
+func TestSummarizeEmptyRows(t *testing.T) {
+	if sums := Summarize(nil); len(sums) != 0 {
+		t.Errorf("summaries of no rows = %+v", sums)
+	}
+}
+
+func TestWriteCSVEmptyRows(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "circuit,flow,") {
+		t.Errorf("empty CSV = %q, want header only", sb.String())
+	}
+}
+
+func TestWriteCSVMissingReference(t *testing.T) {
+	rows := []*Metrics{{Circuit: "x", Flow: FlowHiDaP, Report: eval.Report{WirelengthM: 2}}}
+	Normalize(rows)
+	var sb strings.Builder
+	if err := WriteCSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[1], ",0.0000,") {
+		t.Errorf("unset norm should serialize as 0.0000: %q", sb.String())
+	}
+}
+
 func TestSummarizeSkipsMissingFlows(t *testing.T) {
 	rows := []*Metrics{
 		{Circuit: "x", Flow: FlowHiDaP, WLnorm: 1.1, Report: eval.Report{WNSPct: -10}},

@@ -71,6 +71,12 @@ type Options struct {
 	Seed   int64
 	Effort Effort
 	Eval   slicing.EvalParams
+	// Pool, when set, supplies the incremental evaluator from a shared
+	// arena pool and returns it after the solve, so repeated solves (the
+	// recursion levels of one placement, or back-to-back jobs on a serving
+	// engine) reuse annealing scratch instead of reallocating it. Results
+	// are identical with or without a pool.
+	Pool *slicing.EvaluatorPool
 }
 
 // DefaultOptions returns medium effort with the standard penalties.
@@ -127,7 +133,13 @@ func Solve(ctx context.Context, p *Problem, opt Options) *Result {
 	// to slicing.Evaluate (differentially tested), so the final from-scratch
 	// evaluation of the best expression below agrees with the annealed costs.
 	expr := slicing.NewBalanced(nb)
-	inc := slicing.NewEvaluator(&expr, blocks, opt.Eval)
+	var inc *slicing.Evaluator
+	if opt.Pool != nil {
+		inc = opt.Pool.Get(&expr, blocks, opt.Eval)
+		defer opt.Pool.Put(inc)
+	} else {
+		inc = slicing.NewEvaluator(&expr, blocks, opt.Eval)
+	}
 	cost := func() float64 {
 		return wirecost(inc.Eval(p.Region), p, pairs)
 	}
@@ -141,9 +153,14 @@ func Solve(ctx context.Context, p *Problem, opt Options) *Result {
 		func() { best.CopyFrom(&expr) },
 	)
 
-	ev := slicing.Evaluate(&best, blocks, p.Region, opt.Eval)
+	// Final evaluation of the winner reuses the incremental evaluator's
+	// arena (Reset + Eval is bit-identical to a from-scratch Evaluate, per
+	// the differential tests), so the tail of the solve is warm too. Rects
+	// are copied out because the evaluator owns its record.
+	inc.Reset(&best, blocks, opt.Eval)
+	ev := inc.Eval(p.Region)
 	return &Result{
-		Rects:   ev.Rects,
+		Rects:   append([]geom.Rect(nil), ev.Rects...),
 		Expr:    best,
 		Cost:    wirecost(ev, p, pairs),
 		Penalty: ev.Penalty,

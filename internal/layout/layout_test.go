@@ -2,6 +2,7 @@ package layout
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/geom"
@@ -217,5 +218,49 @@ func TestAffinityPairsSkipTerminalTerminal(t *testing.T) {
 	pairs := affinityPairs(p)
 	if len(pairs) != 1 || pairs[0].i != 0 || pairs[0].j != 1 {
 		t.Errorf("pairs = %+v, want only block-terminal", pairs)
+	}
+}
+
+// TestSolvePoolMatchesUnpooled is the Options.Pool contract: solving with a
+// shared (and reused) evaluator pool returns exactly the solution of the
+// pool-free path, across several problem sizes through the same pool.
+func TestSolvePoolMatchesUnpooled(t *testing.T) {
+	pool := &slicing.EvaluatorPool{}
+	for _, nb := range []int{2, 7, 4, 12} {
+		p := &Problem{Region: geom.RectXYWH(0, 0, 200_000, 160_000)}
+		for i := 0; i < nb; i++ {
+			w := int64(20_000 + 3_000*(i%5))
+			h := int64(15_000 + 2_000*(i%4))
+			p.Blocks = append(p.Blocks, BlockSpec{
+				Name:  fmt.Sprintf("b%d", i),
+				Block: slicing.Block{Curve: shape.FromBoxRotatable(w, h), MinArea: w * h, TargetArea: w * h * 3 / 2},
+			})
+		}
+		p.Terminals = []Terminal{{Name: "t", Pos: geom.Pt(0, 0)}}
+		aff := make([][]float64, nb+1)
+		for i := range aff {
+			aff[i] = make([]float64, nb+1)
+		}
+		for i := 0; i+1 < nb; i++ {
+			aff[i][i+1] = 1 + float64(i)
+		}
+		aff[0][nb] = 2 // block 0 pulled to the terminal
+		p.Affinity = aff
+
+		opt := DefaultOptions()
+		opt.Seed = int64(nb)
+		plain := Solve(context.Background(), p, opt)
+		opt.Pool = pool
+		pooled := Solve(context.Background(), p, opt)
+
+		if plain.Cost != pooled.Cost || plain.Penalty != pooled.Penalty || plain.Legal != pooled.Legal {
+			t.Fatalf("nb=%d: pooled (%v %v %v) != plain (%v %v %v)",
+				nb, pooled.Cost, pooled.Penalty, pooled.Legal, plain.Cost, plain.Penalty, plain.Legal)
+		}
+		for i := range plain.Rects {
+			if plain.Rects[i] != pooled.Rects[i] {
+				t.Fatalf("nb=%d: rect %d = %v, want %v", nb, i, pooled.Rects[i], plain.Rects[i])
+			}
+		}
 	}
 }

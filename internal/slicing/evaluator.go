@@ -72,31 +72,56 @@ type undoRecord struct {
 // expression stays owned by the caller but must only be perturbed through
 // Evaluator.Perturb from then on, so the cache tracks it.
 func NewEvaluator(e *Expr, blocks []Block, p EvalParams) *Evaluator {
+	ev := &Evaluator{}
+	ev.undoFn = func() { ev.applyUndo() }
+	ev.Reset(e, blocks, p)
+	return ev
+}
+
+// Reset retargets the evaluator at a new expression/blocks pair, reusing
+// every arena the previous instance grew (node cache, curve buffers, parse
+// stack, undo journal, Rects). After Reset the evaluator behaves exactly as
+// a freshly constructed one; back-to-back solves through a pooled evaluator
+// therefore run allocation-warm. The previous expression is released.
+func (ev *Evaluator) Reset(e *Expr, blocks []Block, p EvalParams) {
 	if p.CompactPoints <= 0 {
 		p.CompactPoints = 12
 	}
-	ev := &Evaluator{
-		expr:   e,
-		blocks: blocks,
-		p:      p,
-		leaf:   make([]shape.Curve, len(blocks)),
-		nodes:  make([]enode, len(e.elems)),
-		parent: make([]int32, len(e.elems)),
-		stack:  make([]int32, 0, len(blocks)),
-		dirty:  make([]bool, len(e.elems)),
-		ev:     Eval{Rects: make([]geom.Rect, len(blocks)), Penalty: 1},
-	}
+	ev.expr, ev.blocks, ev.p = e, blocks, p
+	n := len(e.elems)
+	ev.leaf = resizeSlice(ev.leaf, len(blocks))
+	ev.nodes = resizeSlice(ev.nodes, n)
+	ev.parent = resizeSlice(ev.parent, n)
+	ev.dirty = resizeSlice(ev.dirty, n)
+	ev.stack = ev.stack[:0]
+	ev.journal = ev.journal[:0]
+	ev.move = Move{}
+	ev.ev.Rects = resizeSlice(ev.ev.Rects, len(blocks))
+	ev.ev.ViolationAt, ev.ev.ViolationAm, ev.ev.ViolationMacro = 0, 0, 0
+	ev.ev.Penalty = 1
 	for i := range blocks {
 		ev.leaf[i] = blocks[i].Curve.Thin(p.CompactPoints)
 	}
 	for i := range ev.nodes {
 		// Poison val so the first resync sees every position as changed.
+		// (Curve/point buffers inside reused nodes stay allocated and are
+		// overwritten by recompute.)
 		ev.nodes[i].val = -3
 	}
-	ev.undoFn = func() { ev.applyUndo() }
 	ev.resync()
 	ev.journal = ev.journal[:0] // construction needs no undo
-	return ev
+}
+
+// resizeSlice returns s with length n, reusing its backing array when the
+// capacity suffices. A shrink keeps the tail's buffers alive inside the
+// capacity for later re-growth within cap.
+func resizeSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		grown := make([]T, n)
+		copy(grown, s) // keep warm buffers (curve corner storage) of the prefix
+		return grown
+	}
+	return s[:n]
 }
 
 // Perturb applies one random move through Expr.PerturbMove and incrementally
