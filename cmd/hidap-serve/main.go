@@ -8,7 +8,8 @@
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/result measurement report (409 until finished)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
-//	GET    /healthz             liveness + engine stats
+//	GET    /healthz             liveness + engine stats + job counts
+//	GET    /metrics             Prometheus text exposition of the same
 //
 // A job names either a synthetic suite circuit (generated and cached
 // server-side) or ships a full design in the netlist JSON interchange form:
@@ -36,6 +37,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -99,6 +101,8 @@ type server struct {
 	base    context.Context // parents every job; outlives requests
 	maxJobs int
 
+	accepted atomic.Uint64 // jobs accepted by POST /v1/jobs
+
 	mu    sync.Mutex
 	jobs  map[string]*hidap.Ticket
 	order []string // submission order, for bounded retention
@@ -118,6 +122,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /metrics", s.metrics)
 	return mux
 }
 
@@ -131,7 +136,8 @@ type jobRequest struct {
 	Evaluate *bool           `json:"evaluate"`
 	Seed     int64           `json:"seed"`
 	Lambda   *float64        `json:"lambda"`
-	Effort   string          `json:"effort"` // low | medium | high
+	Effort   string          `json:"effort"`   // low | medium | high
+	Restarts int             `json:"restarts"` // annealing chains per level (best wins)
 }
 
 type jobStatus struct {
@@ -164,6 +170,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.accepted.Add(1)
 	id := fmt.Sprintf("j%d", t.ID())
 	s.remember(id, t)
 	w.Header().Set("Location", "/v1/jobs/"+id)
@@ -175,6 +182,12 @@ func (req *jobRequest) toJob() (hidap.Job, error) {
 	opts = append(opts, hidap.WithSeed(req.Seed))
 	if req.Lambda != nil {
 		opts = append(opts, hidap.WithLambda(*req.Lambda))
+	}
+	if req.Restarts < 0 {
+		return hidap.Job{}, fmt.Errorf("negative restarts %d", req.Restarts)
+	}
+	if req.Restarts > 0 {
+		opts = append(opts, hidap.WithRestarts(req.Restarts))
 	}
 	switch strings.ToLower(req.Effort) {
 	case "", "medium":
@@ -377,9 +390,45 @@ func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
-		Status string            `json:"status"`
-		Engine hidap.EngineStats `json:"engine"`
-	}{"ok", s.eng.Stats()})
+		Status   string            `json:"status"`
+		Accepted uint64            `json:"accepted"`
+		Engine   hidap.EngineStats `json:"engine"`
+	}{"ok", s.accepted.Load(), s.eng.Stats()})
+}
+
+// metrics exposes the job and cache counters in the Prometheus text
+// exposition format, so a scraper needs no JSON mapping.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	util := 0.0
+	if st.Workers > 0 {
+		util = float64(st.Running) / float64(st.Workers)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("hidap_jobs_accepted_total", "Jobs accepted by POST /v1/jobs.", s.accepted.Load())
+	counter("hidap_jobs_completed_total", "Jobs reaching a terminal state.", st.Completed)
+	counter("hidap_jobs_failed_total", "Jobs that finished with a non-cancellation error.", st.Failed)
+	counter("hidap_jobs_canceled_total", "Jobs canceled before finishing.", st.Canceled)
+	gauge("hidap_queue_depth", "Jobs queued but not yet running.", float64(st.Queued))
+	gauge("hidap_jobs_running", "Jobs currently executing.", float64(st.Running))
+	gauge("hidap_workers", "Worker pool size.", float64(st.Workers))
+	gauge("hidap_worker_utilization", "Running jobs over pool size.", util)
+	gauge("hidap_design_cache_entries", "Designs retained in the LRU cache.", float64(st.CachedDesigns))
+	counter("hidap_design_cache_hits_total", "Design cache hits at submit.", st.DesignCacheHits)
+	counter("hidap_design_cache_misses_total", "Design cache misses at submit.", st.DesignCacheMisses)
+	gauge("hidap_circuit_cache_entries", "Circuits retained in the LRU cache.", float64(st.CachedCircuits))
+	counter("hidap_circuit_cache_hits_total", "Circuit cache hits at submit.", st.CircuitCacheHits)
+	counter("hidap_circuit_cache_misses_total", "Circuit cache misses at submit.", st.CircuitCacheMisses)
+	if _, err := w.Write([]byte(b.String())); err != nil {
+		log.Printf("hidap-serve: write metrics: %v", err)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

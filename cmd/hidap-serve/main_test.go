@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -226,5 +227,70 @@ func TestServeValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown job status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServeMetricsEndpoint runs one job to completion and checks that
+// /metrics exposes the job and cache counters in Prometheus text form, and
+// that /healthz carries the same counts in JSON.
+func TestServeMetricsEndpoint(t *testing.T) {
+	_, ts, eng := newTestServer(t, 2)
+	defer eng.Close()
+
+	st, code := postJob(t, ts, `{"label":"m1","circuit":{"name":"c1","scale":400},"effort":"low","restarts":2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitState(t, ts, st.ID, hidap.JobDone)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	buf := new(strings.Builder)
+	if _, err := io.Copy(buf, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"hidap_jobs_accepted_total 1",
+		"hidap_jobs_completed_total 1",
+		"hidap_jobs_failed_total 0",
+		"hidap_queue_depth 0",
+		"hidap_jobs_running 0",
+		"hidap_workers 2",
+		"hidap_circuit_cache_misses_total 1",
+		"# TYPE hidap_worker_utilization gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var health struct {
+		Status   string            `json:"status"`
+		Accepted uint64            `json:"accepted"`
+		Engine   hidap.EngineStats `json:"engine"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Accepted != 1 {
+		t.Errorf("healthz = %+v, want ok with 1 accepted", health)
+	}
+	if health.Engine.Completed != 1 || health.Engine.Workers != 2 {
+		t.Errorf("healthz engine counts = %+v", health.Engine)
 	}
 }

@@ -44,6 +44,7 @@ func main() {
 		lambda   = flag.Float64("lambda", 0.5, "block-flow vs macro-flow blend λ")
 		k        = flag.Float64("k", 2, "latency decay exponent")
 		effort   = flag.String("effort", "medium", "annealing effort: low|medium|high")
+		restarts = flag.Int("restarts", 1, "independent annealing chains per level (best layout wins)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		cells    = flag.Bool("cells", false, "also run standard-cell placement and report metrics")
 		jsonOut  = flag.Bool("json", false, "with -cells: print the evaluation report as JSON")
@@ -98,6 +99,7 @@ func main() {
 		hidap.WithLambda(*lambda),
 		hidap.WithK(*k),
 		hidap.WithSeed(*seed),
+		hidap.WithRestarts(*restarts),
 	}
 	switch *effort {
 	case "low":

@@ -2,6 +2,8 @@ package hidap
 
 import (
 	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hier"
 	"repro/internal/seqgraph"
 	"repro/internal/slicing"
 )
@@ -37,6 +39,14 @@ type Config struct {
 	K float64
 	// Effort selects the annealing budget.
 	Effort Effort
+	// Restarts runs this many independent annealing chains per
+	// floorplanning level, keeping the best layout (<= 1 means one chain).
+	// The placement is a pure function of (Seed, Restarts) regardless of
+	// RestartWorkers.
+	Restarts int
+	// RestartWorkers caps the concurrency of the per-level chains; <= 0
+	// uses all cores. It trades wall time only, never the result.
+	RestartWorkers int
 	// Seed drives all stochastic steps; equal seeds give equal placements.
 	Seed int64
 	// Trace records the per-level block floorplans (Fig. 1 evolution) into
@@ -51,12 +61,15 @@ type Config struct {
 	// per-candidate) events so a server can report status for long runs.
 	Progress ProgressFunc
 
-	// seqGraph and pool are warm-cache plumbing set by an Engine before it
-	// hands the config to a placer: a prebuilt Gseq for the job's design
-	// and the engine's shared annealing-scratch pool. Never set on configs
-	// built by callers.
-	seqGraph *seqgraph.Graph
-	pool     *slicing.EvaluatorPool
+	// seqGraph, tree, bipartite and pool are warm-cache plumbing set by an
+	// Engine before it hands the config to a placer: prebuilt per-design
+	// artifacts (Gseq, hierarchy tree, cell–net bipartite graph) and the
+	// engine's shared annealing-scratch pool. Never set on configs built by
+	// callers.
+	seqGraph  *seqgraph.Graph
+	tree      *hier.Tree
+	bipartite *graph.Bipartite
+	pool      *slicing.EvaluatorPool
 }
 
 // Option mutates a Config under construction.
@@ -86,6 +99,14 @@ func WithEffort(e Effort) Option { return func(c *Config) { c.Effort = e } }
 // WithSeed seeds every stochastic step of the run.
 func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
 
+// WithRestarts runs k independent annealing chains per floorplanning level
+// and keeps the best layout. The result is a pure function of (seed, k).
+func WithRestarts(k int) Option { return func(c *Config) { c.Restarts = k } }
+
+// WithRestartWorkers caps the concurrency of per-level restart chains. It
+// affects wall time only; the placement never depends on it.
+func WithRestartWorkers(n int) Option { return func(c *Config) { c.RestartWorkers = n } }
+
 // WithTrace records the per-level block floorplans into Stats.Trace.
 func WithTrace() Option { return func(c *Config) { c.Trace = true } }
 
@@ -107,11 +128,15 @@ func (c *Config) coreOptions() core.Options {
 		opt.K = c.K
 	}
 	opt.Effort = c.Effort
+	opt.Restarts = c.Restarts
+	opt.RestartWorkers = c.RestartWorkers
 	opt.Seed = c.Seed
 	opt.Trace = c.Trace
 	opt.Flat = c.Flat
 	opt.Progress = c.Progress
 	opt.SeqGraph = c.seqGraph
+	opt.Tree = c.tree
+	opt.Bipartite = c.bipartite
 	opt.Pool = c.pool
 	return opt
 }

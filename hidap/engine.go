@@ -15,6 +15,8 @@ import (
 	"repro/circuits"
 	"repro/internal/eval"
 	"repro/internal/flows"
+	"repro/internal/graph"
+	"repro/internal/hier"
 	"repro/internal/netlist"
 	"repro/internal/seqgraph"
 	"repro/internal/slicing"
@@ -217,13 +219,23 @@ type EngineOptions struct {
 	CacheSize int
 }
 
-// EngineStats is a point-in-time snapshot of an Engine.
+// EngineStats is a point-in-time snapshot of an Engine. Completed counts
+// every terminal job; Failed and Canceled break it down (the remainder
+// succeeded). Cache hits and misses count Submit-time lookups in the
+// design and circuit caches.
 type EngineStats struct {
-	Queued         int    `json:"queued"`
-	Running        int    `json:"running"`
-	Completed      uint64 `json:"completed"`
-	CachedDesigns  int    `json:"cached_designs"`
-	CachedCircuits int    `json:"cached_circuits"`
+	Queued             int    `json:"queued"`
+	Running            int    `json:"running"`
+	Workers            int    `json:"workers"`
+	Completed          uint64 `json:"completed"`
+	Failed             uint64 `json:"failed"`
+	Canceled           uint64 `json:"canceled"`
+	CachedDesigns      int    `json:"cached_designs"`
+	CachedCircuits     int    `json:"cached_circuits"`
+	DesignCacheHits    uint64 `json:"design_cache_hits"`
+	DesignCacheMisses  uint64 `json:"design_cache_misses"`
+	CircuitCacheHits   uint64 `json:"circuit_cache_hits"`
+	CircuitCacheMisses uint64 `json:"circuit_cache_misses"`
 }
 
 // Engine is the long-lived run model of the package: a bounded worker pool
@@ -253,6 +265,8 @@ type Engine struct {
 	nextID    atomic.Uint64
 	running   atomic.Int32
 	completed atomic.Uint64
+	failed    atomic.Uint64
+	canceled  atomic.Uint64
 
 	resultsMu     sync.Mutex
 	results       chan *Ticket
@@ -311,17 +325,26 @@ func (e *Engine) FlushCaches() {
 	e.gens.flush()
 }
 
-// Stats snapshots the engine's queue and cache occupancy.
+// Stats snapshots the engine's queue, outcome counters and cache occupancy.
 func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	queued := len(e.pending)
 	e.mu.Unlock()
+	dLen, dHits, dMisses := e.designs.stats()
+	cLen, cHits, cMisses := e.gens.stats()
 	return EngineStats{
-		Queued:         queued,
-		Running:        int(e.running.Load()),
-		Completed:      e.completed.Load(),
-		CachedDesigns:  e.designs.len(),
-		CachedCircuits: e.gens.len(),
+		Queued:             queued,
+		Running:            int(e.running.Load()),
+		Workers:            e.workers,
+		Completed:          e.completed.Load(),
+		Failed:             e.failed.Load(),
+		Canceled:           e.canceled.Load(),
+		CachedDesigns:      dLen,
+		CachedCircuits:     cLen,
+		DesignCacheHits:    dHits,
+		DesignCacheMisses:  dMisses,
+		CircuitCacheHits:   cHits,
+		CircuitCacheMisses: cMisses,
 	}
 }
 
@@ -414,8 +437,20 @@ func (e *Engine) Run(ctx context.Context, job Job) (*JobResult, error) {
 	e.running.Add(1)
 	res, err := e.execute(t)
 	e.running.Add(-1)
-	e.completed.Add(1)
+	e.finish(err)
 	return res, err
+}
+
+// finish tallies one terminal job outcome.
+func (e *Engine) finish(err error) {
+	e.completed.Add(1)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		e.canceled.Add(1)
+	default:
+		e.failed.Add(1)
+	}
 }
 
 // Results returns the completion stream: tickets finished by the worker
@@ -639,7 +674,7 @@ func (e *Engine) worker() {
 		e.running.Add(1)
 		t.res, t.err = e.execute(t)
 		e.running.Add(-1)
-		e.completed.Add(1)
+		e.finish(t.err)
 		t.cancel()
 		close(t.done)
 		if ch := e.resultsStream(); ch != nil {
@@ -686,7 +721,7 @@ func (e *Engine) dequeue(t *Ticket) {
 	if t.err == nil {
 		t.err = context.Canceled
 	}
-	e.completed.Add(1)
+	e.finish(t.err)
 	close(t.done)
 }
 
@@ -729,6 +764,15 @@ func (e *Engine) execute(t *Ticket) (res *JobResult, err error) {
 		cfg = e.cfg
 	}
 	cc := *cfg // shallow copy: the job must not see engine plumbing twice
+	if e.workers > 1 && cc.RestartWorkers <= 0 {
+		// The engine's worker pool is the outer parallelism layer: a job's
+		// per-level restart chains must not default to all cores on top of
+		// it, or concurrent jobs multiply into Workers × GOMAXPROCS busy
+		// goroutines. Chains run sequentially unless the job asks for more;
+		// results are identical either way (layout.Solve is worker-count
+		// independent).
+		cc.RestartWorkers = 1
+	}
 	if t.cc != nil {
 		return e.runCircuitJob(ctx, t, &cc)
 	}
@@ -741,11 +785,13 @@ func (e *Engine) execute(t *Ticket) (res *JobResult, err error) {
 func (e *Engine) runDesignJob(ctx context.Context, t *Ticket, cfg *Config) (*JobResult, error) {
 	d := t.cd.d
 	if t.placer.Name() == "hidap" {
-		// Only the paper's flow consumes Gseq during placement; building it
-		// for indeda/handfp jobs would charge them work they never did
-		// before the engine existed. (Evaluate below builds it on demand —
-		// cachedDesign.graph is once-per-design either way.)
+		// Only the paper's flow consumes these during placement; building
+		// them for indeda/handfp jobs would charge them work they never did
+		// before the engine existed. (Evaluate below builds Gseq on demand —
+		// every cachedDesign artifact is once-per-design either way.)
 		cfg.seqGraph = t.cd.graph()
+		cfg.tree = t.cd.hierTree()
+		cfg.bipartite = t.cd.bipartite()
 	}
 	cfg.pool = e.pool
 	pl, stats, err := placerRun(ctx, t.placer, d, cfg)
@@ -779,6 +825,8 @@ func (e *Engine) runCircuitJob(ctx context.Context, t *Ticket, cfg *Config) (*Jo
 	fopt := flows.DefaultOptions()
 	fopt.Seed = cfg.Seed
 	fopt.Effort = cfg.Effort
+	fopt.LevelRestarts = cfg.Restarts
+	fopt.LevelWorkers = cfg.RestartWorkers
 	fopt.Pool = e.pool
 	if len(t.job.Lambdas) > 0 {
 		fopt.Lambdas = t.job.Lambdas
@@ -812,12 +860,17 @@ func placerRun(ctx context.Context, p Placer, d *Design, cfg *Config) (*Placemen
 }
 
 // cachedDesign is one design cache entry: the canonical parsed instance and
-// its lazily built sequential graph, shared read-only by every job that
-// references the design.
+// its lazily built derived artifacts — sequential graph, hierarchy tree and
+// cell–net bipartite graph — each built once and shared read-only by every
+// job that references the design.
 type cachedDesign struct {
-	d    *Design
-	once sync.Once
-	sg   *seqgraph.Graph
+	d        *Design
+	once     sync.Once
+	sg       *seqgraph.Graph
+	treeOnce sync.Once
+	tree     *hier.Tree
+	bpOnce   sync.Once
+	bp       *graph.Bipartite
 }
 
 func (c *cachedDesign) graph() *seqgraph.Graph {
@@ -825,6 +878,20 @@ func (c *cachedDesign) graph() *seqgraph.Graph {
 		c.sg = seqgraph.Build(c.d, seqgraph.DefaultParams())
 	})
 	return c.sg
+}
+
+func (c *cachedDesign) hierTree() *hier.Tree {
+	c.treeOnce.Do(func() {
+		c.tree = hier.New(c.d)
+	})
+	return c.tree
+}
+
+func (c *cachedDesign) bipartite() *graph.Bipartite {
+	c.bpOnce.Do(func() {
+		c.bp = graph.BipartiteFromDesign(c.d)
+	})
+	return c.bp
 }
 
 // cachedCircuit is one synthetic-circuit cache entry, generated on first
@@ -857,10 +924,12 @@ func hashDesign(d *Design) (string, error) {
 // graph construction. Evicted entries stay valid for jobs already holding
 // them.
 type lruCache[V any] struct {
-	mu  sync.Mutex
-	max int
-	m   map[string]*list.Element
-	l   *list.List
+	mu     sync.Mutex
+	max    int
+	m      map[string]*list.Element
+	l      *list.List
+	hits   uint64
+	misses uint64
 }
 
 type lruEntry[V any] struct {
@@ -876,9 +945,11 @@ func (c *lruCache[V]) getOrCreate(key string, mk func() V) V {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
+		c.hits++
 		c.l.MoveToFront(el)
 		return el.Value.(*lruEntry[V]).val
 	}
+	c.misses++
 	v := mk()
 	c.m[key] = c.l.PushFront(&lruEntry[V]{key: key, val: v})
 	for c.l.Len() > c.max {
@@ -889,10 +960,10 @@ func (c *lruCache[V]) getOrCreate(key string, mk func() V) V {
 	return v
 }
 
-func (c *lruCache[V]) len() int {
+func (c *lruCache[V]) stats() (length int, hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.l.Len()
+	return c.l.Len(), c.hits, c.misses
 }
 
 func (c *lruCache[V]) flush() {

@@ -535,3 +535,122 @@ func TestEngineJobValidation(t *testing.T) {
 		t.Error("macro-less circuit spec must fail at submit, not panic a worker")
 	}
 }
+
+// TestEngineConcurrentMultiStart exercises per-level multi-start inside
+// concurrent engine jobs: several identical jobs run WithRestarts(3) on a
+// shared cached design (shared Gseq, hierarchy tree and bipartite graph)
+// with their restart chains fanned out WithRestartWorkers(2), and every
+// result must be identical — the multi-start selection is deterministic
+// regardless of worker scheduling. Run under -race in CI, this also proves
+// the restart fan-out and the shared artifacts are race-free.
+func TestEngineConcurrentMultiStart(t *testing.T) {
+	g := circuits.Generate(loadSpecA())
+	eng := hidap.NewEngine(nil, hidap.EngineOptions{Workers: 4})
+	defer eng.Close()
+
+	cfg := hidap.NewConfig(
+		hidap.WithEffort(hidap.EffortLow),
+		hidap.WithSeed(7),
+		hidap.WithRestarts(3),
+		hidap.WithRestartWorkers(2),
+	)
+	const jobs = 6
+	var tickets []*hidap.Ticket
+	for i := 0; i < jobs; i++ {
+		tk, err := eng.Submit(context.Background(), hidap.Job{
+			Design: g.Design, Placer: "hidap", Config: cfg,
+			Label: fmt.Sprintf("ms-%d", i),
+		})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		tickets = append(tickets, tk)
+	}
+	var want string
+	for i, tk := range tickets {
+		res, err := tk.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		var sb strings.Builder
+		for _, m := range g.Design.Macros() {
+			fmt.Fprintf(&sb, "%v/%v;", res.Placement.Rect(m), res.Placement.Orient[m])
+		}
+		if i == 0 {
+			want = sb.String()
+		} else if sb.String() != want {
+			t.Fatalf("job %d placement differs from job 0 under concurrent multi-start", i)
+		}
+	}
+	st := eng.Stats()
+	if st.DesignCacheHits < jobs-1 {
+		t.Errorf("design cache hits = %d, want >= %d (jobs must share one cached design)", st.DesignCacheHits, jobs-1)
+	}
+	if st.Completed != jobs || st.Failed != 0 || st.Canceled != 0 {
+		t.Errorf("stats = %+v, want %d clean completions", st, jobs)
+	}
+}
+
+// TestEngineRestartsReachSolver pins the engine's restart plumbing end to
+// end: across a handful of seeds, a job WithRestarts(4) must place
+// differently from the single-chain run for at least one of them (the knob
+// reaches the level solver), identically at any RestartWorkers value, and
+// exactly like a direct Placer.Place call with the same config.
+func TestEngineRestartsReachSolver(t *testing.T) {
+	// Bigger levels than loadSpecA/B: on tiny levels every chain converges
+	// to the same optimum and the divergence check below would be vacuous.
+	g := circuits.Generate(circuits.Spec{
+		Name: "engMS", Cells: 400_000, Macros: 18, Subsystems: 3,
+		BusWidth: 32, PipelineDepth: 2, Scale: 300, Seed: 11,
+	})
+	eng := hidap.NewEngine(nil, hidap.EngineOptions{Workers: 2})
+	defer eng.Close()
+
+	run := func(cfg *hidap.Config) *hidap.JobResult {
+		t.Helper()
+		res, err := eng.Run(context.Background(), hidap.Job{Design: g.Design, Placer: "hidap", Config: cfg})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	// Scan a few seeds: for at least one, the best of 4 chains must differ
+	// from chain 0 alone. If the Restarts plumbing were dropped anywhere in
+	// the chain, every seed would match.
+	differs := false
+	for seed := int64(1); seed <= 6 && !differs; seed++ {
+		single := run(hidap.NewConfig(hidap.WithEffort(hidap.EffortLow), hidap.WithSeed(seed)))
+		multi := run(hidap.NewConfig(hidap.WithEffort(hidap.EffortLow), hidap.WithSeed(seed), hidap.WithRestarts(4)))
+		for _, m := range g.Design.Macros() {
+			if multi.Placement.Rect(m) != single.Placement.Rect(m) {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("WithRestarts(4) placed identically to the single-chain run for every seed: the knob did not reach the level solver")
+	}
+
+	multiA := run(hidap.NewConfig(hidap.WithEffort(hidap.EffortLow), hidap.WithSeed(3), hidap.WithRestarts(4)))
+	multiB := run(hidap.NewConfig(hidap.WithEffort(hidap.EffortLow), hidap.WithSeed(3), hidap.WithRestarts(4), hidap.WithRestartWorkers(4)))
+	for _, m := range g.Design.Macros() {
+		if multiA.Placement.Rect(m) != multiB.Placement.Rect(m) {
+			t.Fatalf("macro %d: restart placement depends on RestartWorkers", m)
+		}
+	}
+
+	p, err := hidap.Lookup("hidap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _, err := p.Place(context.Background(),
+		g.Design, hidap.NewConfig(hidap.WithEffort(hidap.EffortLow), hidap.WithSeed(3), hidap.WithRestarts(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range g.Design.Macros() {
+		if direct.Rect(m) != multiA.Placement.Rect(m) {
+			t.Fatalf("macro %d: engine job and direct Place disagree under restarts", m)
+		}
+	}
+}

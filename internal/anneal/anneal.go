@@ -1,9 +1,10 @@
 // Package anneal provides the deterministic simulated-annealing engine
 // shared by shape-curve generation and layout generation. The engine is
-// callback-based: the caller owns the state, supplies a cost function and a
-// perturbation that returns an undo closure, and snapshots its best state
-// when notified. All randomness comes from a caller-seeded source, so every
-// run is reproducible.
+// state-agnostic: the caller owns the state and exposes it either through
+// the delta-aware Model interface (propose → cost → accept/undo, the hot
+// path of incremental evaluators) or through the legacy closure triple of
+// Run. All randomness comes from a caller-seeded source, so every run is
+// reproducible.
 package anneal
 
 import (
@@ -65,47 +66,54 @@ type Result struct {
 	Canceled bool
 }
 
+// Model is the delta-aware annealing interface. The caller owns the state;
+// the engine only sequences moves:
+//
+//   - Cost returns the objective of the current state. It is called at the
+//     start of a run (and once more after calibration) and must agree bit
+//     for bit with the values Propose maintains incrementally — a full
+//     recompute re-synchronizing any cached partial sums is the usual
+//     implementation.
+//   - Propose applies one random move and returns the resulting cost. A
+//     delta-aware model updates only the cost terms the move touched.
+//   - Undo reverts the last proposal. The engine guarantees a strict move
+//     discipline, in the main loop and in the calibration walk alike: Undo
+//     is invoked at most once per proposal, always before the next Propose,
+//     or not at all. Incremental evaluators depend on this to keep a
+//     single-move undo journal instead of full snapshots.
+//   - Snapshot is invoked whenever the current state improves on the best
+//     seen so far, so the model can record it. The engine never restores
+//     state itself: when the run ends the model's state is whatever the
+//     walk last accepted, and the snapshot holds the best.
+type Model interface {
+	Cost() float64
+	Propose(rng *rand.Rand) float64
+	Undo()
+	Snapshot()
+}
+
 // ctxCheckMoves bounds how many moves run between cancellation checks, so a
 // cancelled context stops a schedule within a fraction of one round.
 const ctxCheckMoves = 16
 
-// Run minimizes the caller's objective.
-//
-//   - cost returns the objective for the current state;
-//   - perturb applies one random move and returns a closure undoing it;
-//   - onBest (optional) is invoked whenever the current state improves on
-//     the best seen so far, so the caller can snapshot it. The engine never
-//     restores state itself: when the run ends the caller's state is
-//     whatever the walk last accepted, and the snapshot holds the best.
-//
-// The engine guarantees a strict move discipline, in the main loop and in
-// the calibration walk alike: each undo closure is invoked at most once,
-// always before the next perturb call, or not at all. Incremental
-// evaluators (slicing.Evaluator) depend on this to keep a single-move undo
-// journal instead of full snapshots; perturb implementations may therefore
-// return the same closure every call.
-//
+// RunModel minimizes a Model's objective under the configured schedule.
 // Cancelling ctx stops the schedule within a few moves; the caller should
 // propagate ctx.Err() after checking Result.Canceled.
-func Run(ctx context.Context, opt Options, cost func() float64, perturb func(rng *rand.Rand) func(), onBest func()) Result {
+func RunModel(ctx context.Context, opt Options, m Model) Result {
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed))
 
-	cur := cost()
+	cur := m.Cost()
 	best := cur
-	if onBest != nil {
-		onBest()
-	}
+	m.Snapshot()
 
 	temp := opt.InitialTemp
 	if temp <= 0 {
-		temp = calibrate(rng, opt, cost, perturb)
-		cur = cost() // calibration leaves the state perturbed; re-read
+		temp = calibrate(rng, opt, m)
+		cur = m.Cost() // calibration leaves the state perturbed; re-read
 		if cur < best {
 			best = cur
-			if onBest != nil {
-				onBest()
-			}
+			m.Snapshot()
 		}
 	}
 	finalTemp := opt.FinalTemp
@@ -118,15 +126,14 @@ func Run(ctx context.Context, opt Options, cost func() float64, perturb func(rng
 	for round := 0; round < opt.MaxRounds && temp > finalTemp; round++ {
 		res.Rounds++
 		improvedThisRound := false
-		for m := 0; m < opt.MovesPerRound; m++ {
-			if m%ctxCheckMoves == 0 && ctx.Err() != nil {
+		for mv := 0; mv < opt.MovesPerRound; mv++ {
+			if mv%ctxCheckMoves == 0 && ctx.Err() != nil {
 				res.Canceled = true
 				res.BestCost = best
 				res.FinalTemp = temp
 				return res
 			}
-			undo := perturb(rng)
-			next := cost()
+			next := m.Propose(rng)
 			delta := next - cur
 			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
 				cur = next
@@ -134,12 +141,10 @@ func Run(ctx context.Context, opt Options, cost func() float64, perturb func(rng
 				if cur < best {
 					best = cur
 					improvedThisRound = true
-					if onBest != nil {
-						onBest()
-					}
+					m.Snapshot()
 				}
 			} else {
-				undo()
+				m.Undo()
 				res.Rejected++
 			}
 		}
@@ -155,20 +160,60 @@ func Run(ctx context.Context, opt Options, cost func() float64, perturb func(rng
 	return res
 }
 
+// Run is the legacy closure entry point, kept for callers whose state does
+// not warrant a Model implementation:
+//
+//   - cost returns the objective for the current state;
+//   - perturb applies one random move and returns a closure undoing it;
+//   - onBest (optional) is invoked whenever the current state improves on
+//     the best seen so far, so the caller can snapshot it.
+//
+// It wraps the triple in a Model and defers to RunModel, drawing from the
+// random source exactly as RunModel does, so the two entry points produce
+// identical runs for the same schedule and equivalent state. The move
+// discipline documented on Model holds here too: each undo closure is
+// invoked at most once, always before the next perturb call, or not at all;
+// perturb implementations may therefore return the same closure every call.
+func Run(ctx context.Context, opt Options, cost func() float64, perturb func(rng *rand.Rand) func(), onBest func()) Result {
+	return RunModel(ctx, opt, &closureModel{cost: cost, perturb: perturb, onBest: onBest})
+}
+
+// closureModel adapts the legacy closure triple to the Model interface.
+type closureModel struct {
+	cost    func() float64
+	perturb func(rng *rand.Rand) func()
+	onBest  func()
+	undo    func()
+}
+
+func (c *closureModel) Cost() float64 { return c.cost() }
+
+func (c *closureModel) Propose(rng *rand.Rand) float64 {
+	c.undo = c.perturb(rng)
+	return c.cost()
+}
+
+func (c *closureModel) Undo() { c.undo() }
+
+func (c *closureModel) Snapshot() {
+	if c.onBest != nil {
+		c.onBest()
+	}
+}
+
 // calibrate estimates an initial temperature from the uphill deltas of a
 // short random walk: T0 = mean(Δ⁺) / ln(1/p0).
-func calibrate(rng *rand.Rand, opt Options, cost func() float64, perturb func(rng *rand.Rand) func()) float64 {
+func calibrate(rng *rand.Rand, opt Options, m Model) float64 {
 	const samples = 32
-	cur := cost()
+	cur := m.Cost()
 	var upSum float64
 	upCount := 0
 	for i := 0; i < samples; i++ {
-		undo := perturb(rng)
-		next := cost()
+		next := m.Propose(rng)
 		if d := next - cur; d > 0 {
 			upSum += d
 			upCount++
-			undo()
+			m.Undo()
 		} else {
 			cur = next // keep downhill moves; they cost nothing
 		}

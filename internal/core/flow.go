@@ -69,11 +69,26 @@ type Options struct {
 	// (a serving engine caches one graph per design and reuses it across
 	// jobs; the graph is read-only during placement, so sharing is safe).
 	SeqGraph *seqgraph.Graph
+	// Tree optionally supplies the prebuilt hierarchy tree of the design,
+	// skipping hier.New. Same contract as SeqGraph: built from this design,
+	// shared read-only.
+	Tree *hier.Tree
+	// Bipartite optionally supplies the prebuilt cell–net bipartite graph
+	// of the design, skipping graph.BipartiteFromDesign. Same contract as
+	// SeqGraph.
+	Bipartite *graph.Bipartite
 	// Pool optionally shares annealing scratch (incremental slicing
 	// evaluators) across levels and runs; see layout.Options.Pool.
 	Pool *slicing.EvaluatorPool
 	// Effort selects the annealing budget per level.
 	Effort layout.Effort
+	// Restarts runs this many independent annealing chains per level solve,
+	// keeping the best (see layout.Options.Restarts; <= 1 means one chain).
+	Restarts int
+	// RestartWorkers caps the concurrency of per-level restart chains
+	// (layout.Options.Workers); the placement is a pure function of
+	// (Seed, Restarts) regardless of this value.
+	RestartWorkers int
 	// Eval sets the slicing evaluation penalties.
 	Eval slicing.EvalParams
 	// Seed drives all stochastic steps; equal seeds give equal floorplans.
@@ -170,11 +185,19 @@ func Place(ctx context.Context, d *netlist.Design, opt Options) (*Result, error)
 	if sg == nil {
 		sg = seqgraph.Build(d, opt.Seq)
 	}
+	tree := opt.Tree
+	if tree == nil {
+		tree = hier.New(d)
+	}
+	bp := opt.Bipartite
+	if bp == nil {
+		bp = graph.BipartiteFromDesign(d)
+	}
 	st := &flowState{
 		d:      d,
-		tree:   hier.New(d),
+		tree:   tree,
 		sg:     sg,
-		bp:     graph.BipartiteFromDesign(d),
+		bp:     bp,
 		pl:     placement.New(d),
 		opt:    opt,
 		res:    &Result{},
@@ -257,7 +280,10 @@ func (st *flowState) recurse(ctx context.Context, nh netlist.HierID, region geom
 		})
 	}
 
-	opt := layout.Options{Seed: st.opt.Seed + int64(nh)*7919, Effort: st.opt.Effort, Eval: st.opt.Eval, Pool: st.opt.Pool}
+	opt := layout.Options{
+		Seed: st.opt.Seed + int64(nh)*7919, Effort: st.opt.Effort, Eval: st.opt.Eval, Pool: st.opt.Pool,
+		Restarts: st.opt.Restarts, Workers: st.opt.RestartWorkers,
+	}
 	sol := layout.Solve(ctx, prob, opt)
 	if err := ctx.Err(); err != nil {
 		return err
@@ -365,7 +391,10 @@ func (st *flowState) flatPlace(ctx context.Context, region geom.Rect) error {
 			Pos:  st.terminalPos(gdf, i),
 		})
 	}
-	sol := layout.Solve(ctx, prob, layout.Options{Seed: st.opt.Seed, Effort: st.opt.Effort, Eval: st.opt.Eval, Pool: st.opt.Pool})
+	sol := layout.Solve(ctx, prob, layout.Options{
+		Seed: st.opt.Seed, Effort: st.opt.Effort, Eval: st.opt.Eval, Pool: st.opt.Pool,
+		Restarts: st.opt.Restarts, Workers: st.opt.RestartWorkers,
+	})
 	if err := ctx.Err(); err != nil {
 		return err
 	}

@@ -55,6 +55,16 @@ type Options struct {
 	// wirelength (default 1). A cheap robustness extension beyond the
 	// paper's best-of-three-λ policy.
 	Restarts int
+	// LevelRestarts runs this many independent annealing chains per
+	// floorplanning level inside each HiDaP placement, keeping the best
+	// (core.Options.Restarts). Orthogonal to Restarts, which restarts whole
+	// placements.
+	LevelRestarts int
+	// LevelWorkers caps the concurrency of per-level restart chains
+	// (core.Options.RestartWorkers); results do not depend on it. When 0
+	// and the candidate sweep itself runs in parallel, chains run
+	// sequentially so the two layers do not multiply goroutines.
+	LevelWorkers int
 	// SelectBy chooses among HiDaP candidates: "wl" (paper default) keeps
 	// the best wirelength; "timing" keeps the best WNS, breaking ties by
 	// wirelength — the timing-driven selection the paper's conclusions
@@ -186,6 +196,26 @@ func runHiDaP(ctx context.Context, g *circuits.Generated, opt Options) (*placeme
 			cands = append(cands, candidate{lambda: lambda})
 		}
 	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if opt.Sequential || len(cands) == 1 {
+		workers = 1
+	}
+	// Per-level restart chains are the innermost parallelism layer. When
+	// the candidate sweep above them already fans out, an unset
+	// LevelWorkers must not multiply into candidates × GOMAXPROCS
+	// goroutines — the cores are spoken for, so nested chains run
+	// sequentially unless the caller asks otherwise. Results are identical
+	// either way (layout.Solve is worker-count independent).
+	levelWorkers := opt.LevelWorkers
+	if levelWorkers <= 0 && workers > 1 {
+		levelWorkers = 1
+	}
 	evalOne := func(i int) {
 		c := &cands[i]
 		if c.err = ctx.Err(); c.err != nil {
@@ -195,6 +225,8 @@ func runHiDaP(ctx context.Context, g *circuits.Generated, opt Options) (*placeme
 		coreOpt.Lambda = c.lambda
 		coreOpt.Seed = opt.Seed + int64(i/len(opt.Lambdas))*1_000_003
 		coreOpt.Effort = opt.Effort
+		coreOpt.Restarts = opt.LevelRestarts
+		coreOpt.RestartWorkers = levelWorkers
 		// Every candidate places the same design: reuse the circuit's cached
 		// Gseq (built under default params, matching coreOpt.Seq) and the
 		// shared scratch pool instead of rebuilding per candidate.
@@ -219,16 +251,6 @@ func runHiDaP(ctx context.Context, g *circuits.Generated, opt Options) (*placeme
 				Stage: core.StageCandidate, Candidate: i + 1, Candidates: len(cands), Lambda: c.lambda,
 			})
 		}
-	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(cands) {
-		workers = len(cands)
-	}
-	if opt.Sequential || len(cands) == 1 {
-		workers = 1
 	}
 	if workers == 1 {
 		for i := range cands {

@@ -63,3 +63,38 @@ func BenchmarkLayoutSolve(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLayoutSolve24 is the same level at twice the block count, where
+// the incremental assign and delta wirecost pay for themselves: each move
+// touches O(depth + degree) state instead of the whole level.
+func BenchmarkLayoutSolve24(b *testing.B) {
+	p := benchProblem(24)
+	opt := DefaultOptions()
+	opt.Seed = 7
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := Solve(context.Background(), p, opt)
+		if len(r.Rects) != len(p.Blocks) {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkLayoutSolveRestarts measures the multi-start fan-out: four
+// independent chains on pooled evaluators, all cores available.
+func BenchmarkLayoutSolveRestarts(b *testing.B) {
+	p := benchProblem(12)
+	opt := DefaultOptions()
+	opt.Seed = 7
+	opt.Restarts = 4
+	opt.Pool = &slicing.EvaluatorPool{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := Solve(context.Background(), p, opt)
+		if len(r.Rects) != len(p.Blocks) {
+			b.Fatal("bad result")
+		}
+	}
+}

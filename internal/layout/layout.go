@@ -9,11 +9,22 @@
 // multiplier comes from the top-down area-budgeting evaluation and forbids
 // macro overlaps while letting the search pass through mildly illegal
 // solutions.
+//
+// The annealing hot path is fully incremental: the slicing evaluator
+// recomposes and re-assigns only the tree path a move touched, and the
+// wirelength term is maintained as per-pair contributions under a
+// fixed-shape summation tree, so one proposal costs O(depth + degree of the
+// moved blocks) instead of O(n + pairs). Solve optionally runs several
+// independent annealing chains (Options.Restarts) on pooled scratch and
+// keeps the best, deterministically for a fixed seed regardless of
+// Options.Workers.
 package layout
 
 import (
 	"context"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/anneal"
 	"repro/internal/geom"
@@ -77,6 +88,15 @@ type Options struct {
 	// engine) reuse annealing scratch instead of reallocating it. Results
 	// are identical with or without a pool.
 	Pool *slicing.EvaluatorPool
+	// Restarts runs this many independent annealing chains from distinct
+	// seeds derived from Seed and keeps the lowest-cost result (<= 1 means
+	// one chain, seeded with Seed exactly — the single-chain behavior).
+	Restarts int
+	// Workers caps the concurrency of the restart chains; <= 0 means
+	// runtime.GOMAXPROCS(0). The returned result is a pure function of
+	// (Seed, Restarts): chains are seeded by index and compared in index
+	// order, so Workers affects wall time only, never the solution.
+	Workers int
 }
 
 // DefaultOptions returns medium effort with the standard penalties.
@@ -98,7 +118,7 @@ type Result struct {
 	Legal bool
 }
 
-// Solve floorplans one level. A cancelled ctx stops the annealing schedule
+// Solve floorplans one level. A cancelled ctx stops the annealing schedules
 // early and returns the best layout reached so far; the caller is expected
 // to check ctx.Err() and abandon the result.
 func Solve(ctx context.Context, p *Problem, opt Options) *Result {
@@ -109,64 +129,166 @@ func Solve(ctx context.Context, p *Problem, opt Options) *Result {
 	if opt.Eval.CompactPoints == 0 {
 		opt.Eval = slicing.DefaultEvalParams()
 	}
-	blocks := make([]slicing.Block, nb)
-	for i := range p.Blocks {
-		blocks[i] = p.Blocks[i].Block
-	}
-	pairs := affinityPairs(p)
 
 	if nb == 1 {
+		blocks := []slicing.Block{p.Blocks[0].Block}
 		e := slicing.NewBalanced(1)
 		ev := slicing.Evaluate(&e, blocks, p.Region, opt.Eval)
 		return &Result{
 			Rects:   ev.Rects,
 			Expr:    e,
-			Cost:    wirecost(ev, p, pairs),
+			Cost:    wirecost(ev, p, affinityPairs(p)),
 			Penalty: ev.Penalty,
 			Legal:   ev.Legal(),
 		}
 	}
 
-	// The anneal loop runs on the incremental evaluator: every move
-	// recomposes only the slicing-tree path it touched and the steady-state
-	// Perturb/Eval cycle is allocation-free. The evaluator is bit-identical
-	// to slicing.Evaluate (differentially tested), so the final from-scratch
-	// evaluation of the best expression below agrees with the annealed costs.
-	expr := slicing.NewBalanced(nb)
+	restarts := opt.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	if restarts == 1 {
+		return solveChain(ctx, p, opt, opt.Seed, nil)
+	}
+
+	// Multi-start: independent chains, each with its own pooled solver and
+	// evaluator, seeded by chain index. The pair index (pairs + adjacency)
+	// is a pure function of the problem, so it is built once here and
+	// shared read-only by every chain. The results slice is indexed and the
+	// best is picked by a strict-< scan in chain order, so the outcome does
+	// not depend on which worker ran which chain.
+	var shared pairIndex
+	shared.build(p)
+	results := make([]*Result, restarts)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > restarts {
+		workers = restarts
+	}
+	if workers <= 1 {
+		for i := range results {
+			results[i] = solveChain(ctx, p, opt, chainSeed(opt.Seed, i), &shared)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i] = solveChain(ctx, p, opt, chainSeed(opt.Seed, i), &shared)
+				}
+			}()
+		}
+		for i := range results {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.Cost < best.Cost {
+			best = r
+		}
+	}
+	return best
+}
+
+// chainSeed derives the seed of one restart chain. Chain 0 uses the
+// caller's seed unchanged, so Restarts=1 reproduces the single-chain run.
+func chainSeed(seed int64, chain int) int64 {
+	if chain == 0 {
+		return seed
+	}
+	return seed + int64(chain)*-0x61c8864680b583eb // golden-ratio stride, wraps deterministically
+}
+
+// solver is the per-chain annealing scratch: the block slice, the delta
+// cost state and the expression pair. Pooled so repeated level solves (and
+// restart chains) reuse the buffers instead of reallocating them.
+type solver struct {
+	blocks []slicing.Block
+	cost   costState
+	expr   slicing.Expr
+	best   slicing.Expr
+}
+
+var solverPool = sync.Pool{New: func() any { return new(solver) }}
+
+// solveChain anneals one chain from the given seed and evaluates its best
+// expression from scratch (bit-identical to the annealed costs, per the
+// evaluator's differential contract). A non-nil idx supplies a prebuilt
+// pair index shared read-only with other chains.
+func solveChain(ctx context.Context, p *Problem, opt Options, seed int64, idx *pairIndex) *Result {
+	s := solverPool.Get().(*solver)
+	defer solverPool.Put(s)
+	nb := len(p.Blocks)
+	s.blocks = resizeSlice(s.blocks, nb)
+	for i := range p.Blocks {
+		s.blocks[i] = p.Blocks[i].Block
+	}
+	s.cost.init(p, idx)
+	s.expr.SetBalanced(nb)
+
 	var inc *slicing.Evaluator
 	if opt.Pool != nil {
-		inc = opt.Pool.Get(&expr, blocks, opt.Eval)
+		inc = opt.Pool.Get(&s.expr, s.blocks, opt.Eval)
 		defer opt.Pool.Put(inc)
 	} else {
-		inc = slicing.NewEvaluator(&expr, blocks, opt.Eval)
+		inc = slicing.NewEvaluator(&s.expr, s.blocks, opt.Eval)
 	}
-	cost := func() float64 {
-		return wirecost(inc.Eval(p.Region), p, pairs)
-	}
-	best := expr.Clone()
-	anneal.Run(ctx, opt.Effort.schedule(opt.Seed),
-		cost,
-		func(rng *rand.Rand) func() {
-			undo, _ := inc.Perturb(rng)
-			return undo
-		},
-		func() { best.CopyFrom(&expr) },
-	)
+	m := mover{inc: inc, cs: &s.cost, region: p.Region, expr: &s.expr, best: &s.best}
+	anneal.RunModel(ctx, opt.Effort.schedule(seed), &m)
 
 	// Final evaluation of the winner reuses the incremental evaluator's
 	// arena (Reset + Eval is bit-identical to a from-scratch Evaluate, per
 	// the differential tests), so the tail of the solve is warm too. Rects
 	// are copied out because the evaluator owns its record.
-	inc.Reset(&best, blocks, opt.Eval)
+	inc.Reset(&s.best, s.blocks, opt.Eval)
 	ev := inc.Eval(p.Region)
 	return &Result{
 		Rects:   append([]geom.Rect(nil), ev.Rects...),
-		Expr:    best,
-		Cost:    wirecost(ev, p, pairs),
+		Expr:    s.best.Clone(),
+		Cost:    ev.Penalty * (1 + s.cost.rebuild(ev.Rects)),
 		Penalty: ev.Penalty,
 		Legal:   ev.Legal(),
 	}
 }
+
+// mover adapts one annealing chain to the delta-aware anneal.Model: a
+// proposal perturbs the incremental evaluator, re-assigns only the dirty
+// tree path, and re-sums only the affinity pairs incident to the blocks
+// whose rectangles actually moved.
+type mover struct {
+	inc    *slicing.Evaluator
+	cs     *costState
+	region geom.Rect
+	expr   *slicing.Expr
+	best   *slicing.Expr
+	undoEv func()
+}
+
+func (m *mover) Cost() float64 {
+	ev := m.inc.Eval(m.region)
+	return ev.Penalty * (1 + m.cs.rebuild(ev.Rects))
+}
+
+func (m *mover) Propose(rng *rand.Rand) float64 {
+	m.undoEv, _ = m.inc.Perturb(rng)
+	ev := m.inc.Eval(m.region)
+	return ev.Penalty * (1 + m.cs.update(ev.Rects, m.inc.Changed()))
+}
+
+func (m *mover) Undo() {
+	m.cs.undo()
+	m.undoEv()
+}
+
+func (m *mover) Snapshot() { m.best.CopyFrom(m.expr) }
 
 // pair is one nonzero affinity entry with at least one movable endpoint.
 type pair struct {
@@ -174,9 +296,217 @@ type pair struct {
 	w    float64
 }
 
+// pairIndex is the immutable half of the cost model: the nonzero affinity
+// pairs of a problem and their CSR adjacency by block. It is a pure
+// function of the Problem, so restart chains share one instance read-only.
+type pairIndex struct {
+	pairs   []pair
+	adjOff  []int32
+	adjPair []int32
+	cursor  []int32 // CSR fill scratch
+}
+
+// build extracts the pairs (matching affinityPairs) and the adjacency,
+// reusing the receiver's buffers.
+func (px *pairIndex) build(p *Problem) {
+	nb := len(p.Blocks)
+	n := nb + len(p.Terminals)
+	px.pairs = px.pairs[:0]
+	for i := 0; i < n && i < len(p.Affinity); i++ {
+		row := p.Affinity[i]
+		for j := i + 1; j < n && j < len(row); j++ {
+			if i >= nb && j >= nb {
+				continue
+			}
+			if row[j] != 0 {
+				px.pairs = append(px.pairs, pair{i, j, row[j]})
+			}
+		}
+	}
+	px.adjOff = resizeSlice(px.adjOff, nb+1)
+	for i := range px.adjOff {
+		px.adjOff[i] = 0
+	}
+	for _, pr := range px.pairs {
+		if pr.i < nb {
+			px.adjOff[pr.i+1]++
+		}
+		if pr.j < nb {
+			px.adjOff[pr.j+1]++
+		}
+	}
+	for i := 1; i <= nb; i++ {
+		px.adjOff[i] += px.adjOff[i-1]
+	}
+	px.adjPair = resizeSlice(px.adjPair, int(px.adjOff[nb]))
+	cursor := resizeSlice(px.cursor, nb)
+	px.cursor = cursor
+	copy(cursor, px.adjOff[:nb])
+	for k, pr := range px.pairs {
+		if pr.i < nb {
+			px.adjPair[cursor[pr.i]] = int32(k)
+			cursor[pr.i]++
+		}
+		if pr.j < nb {
+			px.adjPair[cursor[pr.j]] = int32(k)
+			cursor[pr.j]++
+		}
+	}
+}
+
+// costState maintains Σ dist·affinity incrementally: per-pair
+// contributions in a flat array, re-derived only for the pairs incident to
+// blocks whose centers moved, plus a fixed left-to-right summation over the
+// array. Because the summation order never changes and untouched entries
+// keep their exact bits, the total equals a full recompute bit for bit
+// (differentially tested) — the expensive part per pair is the distance
+// term, not the addition, so delta updates pay off long before the sum
+// itself would need a tree. An undo journal mirrors the evaluator's: one
+// move deep, restoring centers and contributions exactly.
+type costState struct {
+	nb  int
+	idx *pairIndex   // shared read-only across the chains of one Solve
+	own pairIndex    // backing storage when no shared index is supplied
+	pts []geom.Point // block centers, then fixed terminal positions
+
+	contrib []float64 // per-pair dist·weight
+
+	pairGen []uint32 // dedups pairs touched within one update
+	gen     uint32
+
+	jPair    []int32 // undo journal: pair contributions…
+	jContrib []float64
+	jBlock   []int32 // …and block centers
+	jCenter  []geom.Point
+}
+
+// init rebuilds the state for one problem, reusing every buffer. A non-nil
+// idx supplies the prebuilt pair index (multi-start); otherwise the state
+// builds its own.
+func (cs *costState) init(p *Problem, idx *pairIndex) {
+	nb := len(p.Blocks)
+	n := nb + len(p.Terminals)
+	cs.nb = nb
+	if idx == nil {
+		cs.own.build(p)
+		idx = &cs.own
+	}
+	cs.idx = idx
+	cs.pts = resizeSlice(cs.pts, n)
+	for i := range p.Terminals {
+		cs.pts[nb+i] = p.Terminals[i].Pos
+	}
+
+	np := len(idx.pairs)
+	cs.contrib = resizeSlice(cs.contrib, np)
+	cs.pairGen = resizeSlice(cs.pairGen, np)
+	for i := range cs.pairGen {
+		cs.pairGen[i] = 0
+	}
+	cs.gen = 0
+	cs.jPair, cs.jContrib = cs.jPair[:0], cs.jContrib[:0]
+	cs.jBlock, cs.jCenter = cs.jBlock[:0], cs.jCenter[:0]
+}
+
+// pairContrib computes one pair's dist·weight term from current positions.
+func (cs *costState) pairContrib(k int) float64 {
+	pr := &cs.idx.pairs[k]
+	d := cs.pts[pr.i].ManhattanDist(cs.pts[pr.j])
+	return float64(d) * pr.w
+}
+
+// sum folds the contribution array under one fixed association — four
+// strided accumulators combined as (s0+s1)+(s2+s3) — shared by the delta
+// and full-recompute paths, so both produce identical bits. The strided
+// form breaks the serial FP-add latency chain a naive fold would carry.
+func (cs *costState) sum() float64 {
+	var s0, s1, s2, s3 float64
+	c := cs.contrib
+	i := 0
+	for ; i+4 <= len(c); i += 4 {
+		s0 += c[i]
+		s1 += c[i+1]
+		s2 += c[i+2]
+		s3 += c[i+3]
+	}
+	for ; i < len(c); i++ {
+		s0 += c[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// rebuild re-derives every contribution from the given block rectangles and
+// returns the total. It both initializes the state and re-synchronizes it
+// (anneal.Model.Cost), and is the full-recompute reference the delta path
+// must match bit for bit.
+func (cs *costState) rebuild(rects []geom.Rect) float64 {
+	for b := 0; b < cs.nb; b++ {
+		cs.pts[b] = rects[b].Center()
+	}
+	for k := range cs.contrib {
+		cs.contrib[k] = cs.pairContrib(k)
+	}
+	return cs.sum()
+}
+
+// update applies one move's delta: every changed block whose center moved
+// is journaled and refreshed, then the incident pairs' contributions
+// recompute (deduplicated — a pair between two moved blocks recomputes
+// once, after both centers are current) and the array re-sums.
+func (cs *costState) update(rects []geom.Rect, changed []int32) float64 {
+	cs.jPair, cs.jContrib = cs.jPair[:0], cs.jContrib[:0]
+	cs.jBlock, cs.jCenter = cs.jBlock[:0], cs.jCenter[:0]
+	cs.gen++
+	for _, b := range changed {
+		c := rects[b].Center()
+		if c == cs.pts[b] {
+			continue // resized in place: no distance term moved
+		}
+		cs.jBlock = append(cs.jBlock, b)
+		cs.jCenter = append(cs.jCenter, cs.pts[b])
+		cs.pts[b] = c
+		for _, pi := range cs.idx.adjPair[cs.idx.adjOff[b]:cs.idx.adjOff[b+1]] {
+			if cs.pairGen[pi] == cs.gen {
+				continue
+			}
+			cs.pairGen[pi] = cs.gen
+			cs.jPair = append(cs.jPair, pi)
+			cs.jContrib = append(cs.jContrib, cs.contrib[pi])
+		}
+	}
+	for _, pi := range cs.jPair {
+		cs.contrib[pi] = cs.pairContrib(int(pi))
+	}
+	return cs.sum()
+}
+
+// undo reverts the last update: centers and contributions restore from the
+// journal to their exact previous bits.
+func (cs *costState) undo() {
+	for k := len(cs.jBlock) - 1; k >= 0; k-- {
+		cs.pts[cs.jBlock[k]] = cs.jCenter[k]
+	}
+	for k := len(cs.jPair) - 1; k >= 0; k-- {
+		cs.contrib[cs.jPair[k]] = cs.jContrib[k]
+	}
+	cs.jPair, cs.jContrib = cs.jPair[:0], cs.jContrib[:0]
+	cs.jBlock, cs.jCenter = cs.jBlock[:0], cs.jCenter[:0]
+}
+
+// resizeSlice returns s with length n, reusing its backing array when the
+// capacity suffices.
+func resizeSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // affinityPairs extracts the nonzero upper-triangle affinity entries,
 // dropping terminal–terminal pairs (they contribute a layout-independent
-// constant that would only dilute the penalty gradient).
+// constant that would only dilute the penalty gradient). It is the
+// allocating reference form of costState.init's pair extraction, kept for
+// the single-block path and the differential tests.
 func affinityPairs(p *Problem) []pair {
 	nb := len(p.Blocks)
 	n := nb + len(p.Terminals)
@@ -195,11 +525,14 @@ func affinityPairs(p *Problem) []pair {
 	return out
 }
 
-// wirecost evaluates penalty · (1 + Σ dist · affinity) for a placed level.
-// The additive base keeps the penalty multiplier effective when the
-// distance sum vanishes: without it, a layout whose attraction points all
-// coincide would score zero however illegal it is, beating every legal
-// layout exactly when the penalty matters most.
+// wirecost evaluates penalty · (1 + Σ dist · affinity) for a placed level
+// with a plain left-to-right pair sweep. The additive base keeps the
+// penalty multiplier effective when the distance sum vanishes: without it,
+// a layout whose attraction points all coincide would score zero however
+// illegal it is, beating every legal layout exactly when the penalty
+// matters most. The annealing loop maintains the same sum under a
+// fixed-shape summation tree instead (costState); the two agree to within
+// summation-order rounding.
 func wirecost(ev *slicing.Eval, p *Problem, pairs []pair) float64 {
 	nb := len(p.Blocks)
 	pos := func(i int) geom.Point {

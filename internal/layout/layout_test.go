@@ -3,6 +3,8 @@ package layout
 import (
 	"context"
 	"fmt"
+	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/geom"
@@ -262,5 +264,99 @@ func TestSolvePoolMatchesUnpooled(t *testing.T) {
 				t.Fatalf("nb=%d: rect %d = %v, want %v", nb, i, pooled.Rects[i], plain.Rects[i])
 			}
 		}
+	}
+}
+
+// TestDeltaCostMatchesFullRecompute is the differential contract of the
+// delta wirecost: across 10k random accepted and rejected moves, the
+// incrementally maintained sum must equal a from-scratch costState rebuild
+// bit for bit (both fold the contribution array under the same fixed
+// association), and track the plain left-to-right wirecost reference to
+// within summation-order rounding.
+func TestDeltaCostMatchesFullRecompute(t *testing.T) {
+	p := benchProblem(14)
+	nb := len(p.Blocks)
+	blocks := make([]slicing.Block, nb)
+	for i := range p.Blocks {
+		blocks[i] = p.Blocks[i].Block
+	}
+	pairs := affinityPairs(p)
+	expr := slicing.NewBalanced(nb)
+	inc := slicing.NewEvaluator(&expr, blocks, slicing.DefaultEvalParams())
+	var cs, ref costState
+	cs.init(p, nil)
+	ev := inc.Eval(p.Region)
+	sum := cs.rebuild(ev.Rects)
+
+	rng := rand.New(rand.NewSource(42))
+	for step := 0; step < 10_000; step++ {
+		undo, _ := inc.Perturb(rng)
+		ev := inc.Eval(p.Region)
+		sum = cs.update(ev.Rects, inc.Changed())
+		ref.init(p, nil)
+		want := ref.rebuild(ev.Rects)
+		if sum != want {
+			t.Fatalf("step %d: delta sum %v != full rebuild %v (bit mismatch)", step, sum, want)
+		}
+		plain := wirecost(ev, p, pairs) // penalty·(1+sum) with left-to-right fold
+		got := ev.Penalty * (1 + sum)
+		if diff := math.Abs(got - plain); diff > 1e-9*math.Abs(plain) {
+			t.Fatalf("step %d: tree cost %v vs plain wirecost %v beyond rounding", step, got, plain)
+		}
+		if rng.Intn(2) == 0 {
+			cs.undo()
+			undo()
+			ev2 := inc.Eval(p.Region)
+			ref.init(p, nil)
+			if got, want := cs.sum(), ref.rebuild(ev2.Rects); got != want {
+				t.Fatalf("step %d: after undo, delta sum %v != full rebuild %v", step, got, want)
+			}
+		}
+	}
+}
+
+// TestSolveRestartsDeterministicAcrossWorkers is the multi-start contract:
+// a seeded Solve with Restarts=4 must return byte-identical results whether
+// the chains run on one worker or several.
+func TestSolveRestartsDeterministicAcrossWorkers(t *testing.T) {
+	p := benchProblem(10)
+	solve := func(workers int) *Result {
+		opt := DefaultOptions()
+		opt.Seed = 21
+		opt.Effort = EffortLow
+		opt.Restarts = 4
+		opt.Workers = workers
+		return Solve(context.Background(), p, opt)
+	}
+	a := solve(1)
+	for _, w := range []int{2, 4} {
+		b := solve(w)
+		if math.Float64bits(a.Cost) != math.Float64bits(b.Cost) ||
+			math.Float64bits(a.Penalty) != math.Float64bits(b.Penalty) ||
+			a.Legal != b.Legal || a.Expr.String() != b.Expr.String() {
+			t.Fatalf("workers=%d: result differs: cost %v/%v expr %s/%s",
+				w, a.Cost, b.Cost, a.Expr.String(), b.Expr.String())
+		}
+		for i := range a.Rects {
+			if a.Rects[i] != b.Rects[i] {
+				t.Fatalf("workers=%d: rect %d = %v, want %v", w, i, b.Rects[i], a.Rects[i])
+			}
+		}
+	}
+}
+
+// TestSolveRestartsNeverWorse pins the selection rule: chain 0 reproduces
+// the single-chain run, so the best of K restarts can never cost more than
+// Restarts=1 with the same seed.
+func TestSolveRestartsNeverWorse(t *testing.T) {
+	p := benchProblem(9)
+	opt := DefaultOptions()
+	opt.Seed = 8
+	opt.Effort = EffortLow
+	single := Solve(context.Background(), p, opt)
+	opt.Restarts = 5
+	multi := Solve(context.Background(), p, opt)
+	if multi.Cost > single.Cost {
+		t.Fatalf("restarts=5 cost %v worse than single-chain %v", multi.Cost, single.Cost)
 	}
 }

@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"math"
 	"slices"
-	"sort"
 	"strings"
 )
 
@@ -175,6 +174,10 @@ func (c Curve) Points() []Point {
 	return out
 }
 
+// Corner returns the i-th Pareto corner without copying; hot loops pair it
+// with Len instead of allocating through Points.
+func (c Curve) Corner(i int) Point { return c.pts[i] }
+
 // MinWidth returns the smallest feasible width (0 for the empty curve).
 func (c Curve) MinWidth() int64 {
 	if c.Empty() {
@@ -193,14 +196,19 @@ func (c Curve) MinHeight() int64 {
 
 // MinHeightForWidth returns the smallest height that can hold the contents
 // when the width is at most w. It returns (0, true) for the empty curve and
-// (0, false) when even the narrowest corner is wider than w.
+// (0, false) when even the narrowest corner is wider than w. Curves are a
+// dozen corners in the annealing hot paths, so a linear scan beats a
+// binary search with its per-probe closure call.
 func (c Curve) MinHeightForWidth(w int64) (int64, bool) {
-	if c.Empty() {
-		return 0, true
-	}
 	// Largest corner with W <= w; corners sorted by W ascending.
-	i := sort.Search(len(c.pts), func(i int) bool { return c.pts[i].W > w })
+	i := 0
+	for i < len(c.pts) && c.pts[i].W <= w {
+		i++
+	}
 	if i == 0 {
+		if c.Empty() {
+			return 0, true
+		}
 		return 0, false
 	}
 	return c.pts[i-1].H, true
@@ -212,11 +220,12 @@ func (c Curve) MinWidthForHeight(h int64) (int64, bool) {
 		return 0, true
 	}
 	// Heights are strictly decreasing; find the first corner with H <= h.
-	i := sort.Search(len(c.pts), func(i int) bool { return c.pts[i].H <= h })
-	if i == len(c.pts) {
-		return 0, false
+	for i := 0; i < len(c.pts); i++ {
+		if c.pts[i].H <= h {
+			return c.pts[i].W, true
+		}
 	}
-	return c.pts[i].W, true
+	return 0, false
 }
 
 // Fits reports whether a w×h box can hold the contents.
@@ -290,17 +299,7 @@ func CombineH(a, b Curve) Curve {
 	if b.Empty() {
 		return a
 	}
-	pts := make([]Point, 0, len(a.pts)*len(b.pts))
-	for _, pa := range a.pts {
-		for _, pb := range b.pts {
-			h := pa.H
-			if pb.H > h {
-				h = pb.H
-			}
-			pts = append(pts, Point{pa.W + pb.W, h})
-		}
-	}
-	return Curve{pts: prune(pts)}
+	return Curve{pts: thin(mergeH(make([]Point, 0, len(a.pts)+len(b.pts)), a.pts, b.pts))}
 }
 
 // CombineV stacks a on top of b (horizontal cut): heights add, widths max.
@@ -311,25 +310,88 @@ func CombineV(a, b Curve) Curve {
 	if b.Empty() {
 		return a
 	}
-	pts := make([]Point, 0, len(a.pts)*len(b.pts))
-	for _, pa := range a.pts {
-		for _, pb := range b.pts {
-			w := pa.W
-			if pb.W > w {
-				w = pb.W
+	return Curve{pts: thin(mergeV(make([]Point, 0, len(a.pts)+len(b.pts)), a.pts, b.pts))}
+}
+
+// mergeH appends the Pareto frontier of the horizontal juxtaposition of two
+// canonical staircases to dst — the Stockmeyer merge. Walking the binding
+// height downward and advancing the taller operand visits, for every
+// achievable max-height level, exactly the width-minimal pair; the output
+// is canonical (W strictly ascending, H strictly descending) and equals the
+// pruned cross product point for point in O(p+q) instead of O(pq·log pq).
+func mergeH(dst []Point, a, b []Point) []Point {
+	i, j := 0, 0
+	for {
+		pa, pb := a[i], b[j]
+		h := pa.H
+		if pb.H > h {
+			h = pb.H
+		}
+		dst = append(dst, Point{pa.W + pb.W, h})
+		switch {
+		case pa.H > pb.H:
+			if i++; i == len(a) {
+				return dst
 			}
-			pts = append(pts, Point{w, pa.H + pb.H})
+		case pb.H > pa.H:
+			if j++; j == len(b) {
+				return dst
+			}
+		default:
+			i++
+			j++
+			if i == len(a) || j == len(b) {
+				return dst
+			}
 		}
 	}
-	return Curve{pts: prune(pts)}
+}
+
+// mergeV is the vertical-stack counterpart of mergeH: heights add, widths
+// max. It walks the binding width downward from the wide end (the roles of
+// W and H transpose), then reverses into canonical order.
+func mergeV(dst []Point, a, b []Point) []Point {
+	i, j := len(a)-1, len(b)-1
+	for {
+		pa, pb := a[i], b[j]
+		w := pa.W
+		if pb.W > w {
+			w = pb.W
+		}
+		dst = append(dst, Point{w, pa.H + pb.H})
+		switch {
+		case pa.W > pb.W:
+			if i--; i < 0 {
+				break
+			}
+			continue
+		case pb.W > pa.W:
+			if j--; j < 0 {
+				break
+			}
+			continue
+		default:
+			i--
+			j--
+			if i < 0 || j < 0 {
+				break
+			}
+			continue
+		}
+		break
+	}
+	for l, r := 0, len(dst)-1; l < r; l, r = l+1, r-1 {
+		dst[l], dst[r] = dst[r], dst[l]
+	}
+	return dst
 }
 
 // Scratch holds reusable buffers for allocation-free curve composition in
 // annealing hot loops. The zero value is ready to use; a Scratch must not be
-// shared between goroutines.
-type Scratch struct {
-	cand []Point
-}
+// shared between goroutines. (The Stockmeyer merge writes straight into the
+// caller's destination buffer, so the type currently carries no state; it is
+// kept so the composition API has a place for future scratch again.)
+type Scratch struct{}
 
 // CombineH is CombineH(a, b).Thin(k) computed without allocating in steady
 // state: cross-product candidates go through the scratch buffer and the
@@ -358,29 +420,17 @@ func (s *Scratch) combine(dst []Point, a, b Curve, k int, beside bool) (Curve, [
 		dst = thinInPlace(append(dst[:0], a.pts...), k)
 		return Curve{pts: dst}, dst
 	}
-	s.cand = s.cand[:0]
-	for _, pa := range a.pts {
-		for _, pb := range b.pts {
-			if beside {
-				h := pa.H
-				if pb.H > h {
-					h = pb.H
-				}
-				s.cand = append(s.cand, Point{pa.W + pb.W, h})
-			} else {
-				w := pa.W
-				if pb.W > w {
-					w = pb.W
-				}
-				s.cand = append(s.cand, Point{w, pa.H + pb.H})
-			}
-		}
+	// The merge emits the canonical frontier directly into dst; the
+	// two-stage reduction of the allocating path (thin to MaxPoints, then
+	// the caller's budget) applies on top, so results stay identical to
+	// CombineH/CombineV(a, b).Thin(k) corner for corner.
+	if beside {
+		dst = mergeH(dst[:0], a.pts, b.pts)
+	} else {
+		dst = mergeV(dst[:0], a.pts, b.pts)
 	}
-	// Replicate the two-stage reduction of the allocating path: prune thins
-	// to MaxPoints, then Thin(k) compacts to the caller's budget.
-	pts := thinInPlace(pruneInPlace(s.cand), MaxPoints)
-	pts = thinInPlace(pts, k)
-	dst = append(dst[:0], pts...)
+	dst = thinInPlace(dst, MaxPoints)
+	dst = thinInPlace(dst, k)
 	return Curve{pts: dst}, dst
 }
 

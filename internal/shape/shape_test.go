@@ -323,3 +323,66 @@ func TestStringer(t *testing.T) {
 		t.Errorf("String = %q", s)
 	}
 }
+
+// TestCombineMergeMatchesCrossProduct pins the Stockmeyer merge inside
+// CombineH/CombineV to the brute-force reference: prune the full cross
+// product of the operand corners. The two must agree corner for corner
+// across random canonical staircases, including single-point and
+// shared-height/width operands.
+func TestCombineMergeMatchesCrossProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	randCurve := func(maxPts int) Curve {
+		n := 1 + rng.Intn(maxPts)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{int64(1 + rng.Intn(500)), int64(1 + rng.Intn(500))}
+		}
+		return FromPoints(pts)
+	}
+	crossH := func(a, b Curve) []Point {
+		var pts []Point
+		for _, pa := range a.pts {
+			for _, pb := range b.pts {
+				h := pa.H
+				if pb.H > h {
+					h = pb.H
+				}
+				pts = append(pts, Point{pa.W + pb.W, h})
+			}
+		}
+		return prune(pts)
+	}
+	crossV := func(a, b Curve) []Point {
+		var pts []Point
+		for _, pa := range a.pts {
+			for _, pb := range b.pts {
+				w := pa.W
+				if pb.W > w {
+					w = pb.W
+				}
+				pts = append(pts, Point{w, pa.H + pb.H})
+			}
+		}
+		return prune(pts)
+	}
+	equal := func(got, want []Point) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for iter := 0; iter < 2000; iter++ {
+		a, b := randCurve(20), randCurve(20)
+		if gh := CombineH(a, b); !equal(gh.pts, crossH(a, b)) {
+			t.Fatalf("iter %d: CombineH merge %v != cross %v\na=%v\nb=%v", iter, gh.pts, crossH(a, b), a, b)
+		}
+		if gv := CombineV(a, b); !equal(gv.pts, crossV(a, b)) {
+			t.Fatalf("iter %d: CombineV merge %v != cross %v\na=%v\nb=%v", iter, gv.pts, crossV(a, b), a, b)
+		}
+	}
+}

@@ -107,29 +107,36 @@ func Evaluate(e *Expr, blocks []Block, budget geom.Rect, p EvalParams) *Eval {
 	}
 	root := stack[0]
 
-	// Top-down: assign rectangles.
-	var assign func(ni int, r geom.Rect)
-	assign = func(ni int, r geom.Rect) {
+	// Top-down: assign rectangles. Violations are summed hierarchically —
+	// each subtree's totals combine as own + left + right — rather than in
+	// leaf-visit order. The fixed association is what lets the incremental
+	// Evaluator cache per-subtree sums and skip clean subtrees while staying
+	// bit-identical to this from-scratch pass (floating-point addition is
+	// not associative, so the two must agree on the summation tree).
+	var assign func(ni int, r geom.Rect) (vAt, vAm, vMacro float64)
+	assign = func(ni int, r geom.Rect) (vAt, vAm, vMacro float64) {
 		nd := &nodes[ni]
 		if nd.left < 0 {
 			ev.Rects[nd.op] = r
-			ev.leafPenalties(&blocks[nd.op], r)
-			return
+			return leafViolations(&blocks[nd.op], r)
 		}
 		l, rr := &nodes[nd.left], &nodes[nd.right]
+		var own float64
+		var lAt, lAm, lMac, rAt, rAm, rMac float64
 		if nd.op == OpV {
 			wl := splitShare(r.W, l.at, rr.at)
-			wl = ev.repairSplit(wl, r.W, r.H, &l.curve, &rr.curve, true)
-			assign(nd.left, geom.RectXYWH(r.X, r.Y, wl, r.H))
-			assign(nd.right, geom.RectXYWH(r.X+wl, r.Y, r.W-wl, r.H))
+			wl, own = repairSplit(wl, r.W, r.H, &l.curve, &rr.curve, true)
+			lAt, lAm, lMac = assign(nd.left, geom.RectXYWH(r.X, r.Y, wl, r.H))
+			rAt, rAm, rMac = assign(nd.right, geom.RectXYWH(r.X+wl, r.Y, r.W-wl, r.H))
 		} else {
 			hb := splitShare(r.H, l.at, rr.at)
-			hb = ev.repairSplit(hb, r.H, r.W, &l.curve, &rr.curve, false)
-			assign(nd.left, geom.RectXYWH(r.X, r.Y, r.W, hb))
-			assign(nd.right, geom.RectXYWH(r.X, r.Y+hb, r.W, r.H-hb))
+			hb, own = repairSplit(hb, r.H, r.W, &l.curve, &rr.curve, false)
+			lAt, lAm, lMac = assign(nd.left, geom.RectXYWH(r.X, r.Y, r.W, hb))
+			rAt, rAm, rMac = assign(nd.right, geom.RectXYWH(r.X, r.Y+hb, r.W, r.H-hb))
 		}
+		return lAt + rAt, lAm + rAm, own + lMac + rMac
 	}
-	assign(root, budget)
+	ev.ViolationAt, ev.ViolationAm, ev.ViolationMacro = assign(root, budget)
 
 	ev.Penalty = 1 + p.PenaltyAt*ev.ViolationAt + p.PenaltyAm*ev.ViolationAm + p.PenaltyMacro*ev.ViolationMacro
 	return ev
@@ -162,22 +169,22 @@ func splitShare(extent, atL, atR int64) int64 {
 // the cross extent is the height and the split divides the width; for a
 // horizontal cut the roles swap (shape curves are queried transposed).
 // When both minima cannot be satisfied the cut is placed proportionally to
-// the minima and the overflow is charged as a macro violation.
-func (ev *Eval) repairSplit(s, extent, cross int64, curveL, curveR *shape.Curve, vertical bool) int64 {
+// the minima and the overflow is returned as a macro violation to charge.
+func repairSplit(s, extent, cross int64, curveL, curveR *shape.Curve, vertical bool) (int64, float64) {
 	minL := minExtent(curveL, cross, vertical)
 	minR := minExtent(curveR, cross, vertical)
+	var over float64
 	switch {
 	case minL+minR > extent:
 		// Infeasible cut: macros overflow no matter where it lands.
-		over := float64(minL+minR-extent) / float64(extent)
-		ev.ViolationMacro += over
+		over = float64(minL+minR-extent) / float64(extent)
 		s = splitShare(extent, minL, minR)
 	case s < minL:
 		s = minL
 	case extent-s < minR:
 		s = extent - minR
 	}
-	return s
+	return s, over
 }
 
 // minExtent returns the minimal width (vertical cut) or height (horizontal
@@ -200,25 +207,27 @@ func minExtent(c *shape.Curve, cross int64, vertical bool) int64 {
 	return c.MinHeight()
 }
 
-// leafPenalties charges the graded violations for one placed leaf.
-func (ev *Eval) leafPenalties(b *Block, r geom.Rect) {
+// leafViolations computes the graded violations of one placed leaf.
+func leafViolations(b *Block, r geom.Rect) (vAt, vAm, vMacro float64) {
 	area := r.Area()
 	if b.TargetArea > 0 && area < b.TargetArea {
-		ev.ViolationAt += float64(b.TargetArea-area) / float64(b.TargetArea)
+		vAt = float64(b.TargetArea-area) / float64(b.TargetArea)
 	}
 	if b.MinArea > 0 && area < b.MinArea {
-		ev.ViolationAm += float64(b.MinArea-area) / float64(b.MinArea)
+		vAm = float64(b.MinArea-area) / float64(b.MinArea)
 	}
 	if !b.Curve.Empty() && !b.Curve.Fits(r.W, r.H) {
-		ev.ViolationMacro += macroShortfall(&b.Curve, r)
+		vMacro = macroShortfall(&b.Curve, r)
 	}
+	return vAt, vAm, vMacro
 }
 
 // macroShortfall measures how badly a rectangle misses the shape curve:
 // the smallest relative dimension overflow over all Pareto corners.
 func macroShortfall(c *shape.Curve, r geom.Rect) float64 {
 	best := -1.0
-	for _, p := range c.Points() {
+	for i := 0; i < c.Len(); i++ {
+		p := c.Corner(i)
 		var over float64
 		if p.W > r.W && r.W > 0 {
 			over += float64(p.W-r.W) / float64(r.W)

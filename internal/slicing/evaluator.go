@@ -12,9 +12,13 @@ import (
 // tree; each Perturb then re-parses the expression with cheap integer work,
 // diffs it against the cached tree and recomposes only the dirty nodes —
 // the moved positions and their ancestors, O(depth) curve compositions per
-// move instead of O(n). All buffers (node arena, curve storage, Rects, the
-// parse stack and the undo journal) are owned by the evaluator and reused,
-// so the steady-state Perturb/Eval cycle does not allocate.
+// move instead of O(n). The top-down assign pass of Eval is incremental
+// too: every node caches the rectangle it was last assigned and its
+// subtree's violation sums, so a subtree whose inputs did not change since
+// the previous Eval is skipped wholesale instead of being re-descended.
+// All buffers (node arena, curve storage, Rects, the parse stack and the
+// undo journal) are owned by the evaluator and reused, so the steady-state
+// Perturb/Eval cycle does not allocate.
 //
 // Results are bit-identical to Evaluate on the same expression, blocks,
 // budget and params: the evaluator reuses the same composition, split,
@@ -42,6 +46,26 @@ type Evaluator struct {
 	journal []undoRecord
 	ev      Eval
 
+	// Changed-rect tracking for delta cost models: blocks whose rectangle
+	// was rewritten by the last Eval (see Changed). rjBlock/rjRect journal
+	// every rectangle overwrite since the last Perturb and ajIdx the nodes
+	// whose assign slot flipped, so an undo restores Rects and the caches
+	// describing it to the pre-move layout exactly.
+	changed []int32
+	rjBlock []int32
+	rjRect  []geom.Rect
+	ajIdx   []int32
+	// lastBudget is the budget of the most recent Eval; moveBudget pins it
+	// at Perturb time and budgetMoved records whether any Eval since the
+	// move used a different budget (see applyUndo).
+	lastBudget  geom.Rect
+	moveBudget  geom.Rect
+	budgetMoved bool
+	// aCur is the assign-cache generation: a slot is live only if its aGen
+	// equals aCur. Bumping aCur invalidates every slot at once (Reset,
+	// empty-budget Evals, differing-budget undos).
+	aCur uint32
+
 	move   Move
 	undoFn func()
 }
@@ -49,6 +73,13 @@ type Evaluator struct {
 // enode is one cached slicing-tree node, pinned to its expression position.
 // Composed curves are double-buffered: a recompute writes the spare buffer
 // and flips side, so the journaled previous curve stays intact for undo.
+// The assign cache is double-buffered the same way: aslot[aside] holds the
+// node's current top-down assignment (the budget rectangle it received and
+// the hierarchical violation sums of its subtree), a rewrite fills the
+// spare slot and flips aside, and an undo flips back — the pre-move
+// assignment survives a rejected move without copying. sver is the node's
+// structure version, bumped by every recompute, so slots written before a
+// composition change die with it.
 type enode struct {
 	val         int32 // elems value: operand id, OpV or OpH
 	left, right int32 // children positions, -1 for leaves
@@ -56,9 +87,27 @@ type enode struct {
 	curve       shape.Curve
 	pts         [2][]shape.Point
 	side        uint8
+
+	aslot [2]assignSlot
+	aside uint8
+	sver  uint32
 }
 
-// undoRecord captures one node's cached state before a recompute.
+// assignSlot is one buffered assignment of a node: valid while its aGen
+// matches the evaluator generation and its sver the node's structure
+// version. A hit additionally requires the budget rectangle to match, and
+// (by the flip discipline) guarantees that Rects currently holds exactly
+// this assignment's leaf rectangles.
+type assignSlot struct {
+	arect            geom.Rect
+	vAt, vAm, vMacro float64
+	aGen             uint32
+	sver             uint32
+}
+
+// undoRecord captures one node's cached state before a recompute. It
+// carries the structure version too, so an undo revives the node's
+// pre-move assign slot along with its curve.
 type undoRecord struct {
 	idx         int32
 	val         int32
@@ -66,6 +115,7 @@ type undoRecord struct {
 	at, am      int64
 	curve       shape.Curve
 	side        uint8
+	sver        uint32
 }
 
 // NewEvaluator builds the evaluator for an expression over blocks. The
@@ -99,6 +149,13 @@ func (ev *Evaluator) Reset(e *Expr, blocks []Block, p EvalParams) {
 	ev.ev.Rects = resizeSlice(ev.ev.Rects, len(blocks))
 	ev.ev.ViolationAt, ev.ev.ViolationAm, ev.ev.ViolationMacro = 0, 0, 0
 	ev.ev.Penalty = 1
+	ev.changed = ev.changed[:0]
+	ev.rjBlock, ev.rjRect = ev.rjBlock[:0], ev.rjRect[:0]
+	ev.ajIdx = ev.ajIdx[:0]
+	ev.lastBudget, ev.moveBudget, ev.budgetMoved = geom.Rect{}, geom.Rect{}, false
+	// aCur is monotonic across Resets, so slots surviving in a reused arena
+	// are dead on arrival.
+	ev.aCur++
 	for i := range blocks {
 		ev.leaf[i] = blocks[i].Curve.Thin(p.CompactPoints)
 	}
@@ -108,7 +165,7 @@ func (ev *Evaluator) Reset(e *Expr, blocks []Block, p EvalParams) {
 		// overwritten by recompute.)
 		ev.nodes[i].val = -3
 	}
-	ev.resync()
+	ev.resyncFrom(0)
 	ev.journal = ev.journal[:0] // construction needs no undo
 }
 
@@ -132,12 +189,15 @@ func resizeSlice[T any](s []T, n int) []T {
 // curve is recomposed. The returned undo restores expression and cache; see
 // the type comment for its validity rules.
 func (ev *Evaluator) Perturb(rng *rand.Rand) (undo func(), kind MoveKind) {
+	ev.rjBlock, ev.rjRect = ev.rjBlock[:0], ev.rjRect[:0]
+	ev.ajIdx = ev.ajIdx[:0]
+	ev.moveBudget, ev.budgetMoved = ev.lastBudget, false
 	ev.expr.PerturbMove(rng, &ev.move)
 	switch {
 	case ev.move.I == ev.move.J:
 		ev.journal = ev.journal[:0] // no-op move on a trivial expression
 	case ev.move.TopologyChanged():
-		ev.resync()
+		ev.resyncFrom(ev.move.I)
 	case ev.move.Kind == MoveChainInvert:
 		ev.resyncRange(ev.move.I, ev.move.J)
 	default: // operand swap: two scattered positions, I < J
@@ -149,14 +209,28 @@ func (ev *Evaluator) Perturb(rng *rand.Rand) (undo func(), kind MoveKind) {
 	return ev.undoFn, ev.move.Kind
 }
 
-// resync re-parses the expression, diffs every position against the cached
-// node and recomputes the dirty ones bottom-up (children precede parents in
-// postfix order, so one ascending pass suffices). Previous state of every
-// recomputed node is journaled for undo.
-func (ev *Evaluator) resync() {
+// resyncFrom re-parses the expression, diffs every position from lo onward
+// against the cached node and recomputes the dirty ones bottom-up (children
+// precede parents in postfix order, so one ascending pass suffices).
+// Positions before lo hold unchanged values over unchanged subtrees — an
+// adjacent swap at lo leaves the prefix untouched — so the prefix replay
+// only rebuilds the parse stack, skipping the diff and journal work.
+// Previous state of every recomputed node is journaled for undo.
+func (ev *Evaluator) resyncFrom(lo int) {
 	ev.journal = ev.journal[:0]
 	ev.stack = ev.stack[:0]
-	for i, v := range ev.expr.elems {
+	for i := 0; i < lo; i++ {
+		if ev.expr.elems[i] < 0 {
+			// Operator: pop two children, push this node. Parent links of
+			// the prefix are already correct and stay untouched.
+			ev.stack[len(ev.stack)-2] = int32(i)
+			ev.stack = ev.stack[:len(ev.stack)-1]
+		} else {
+			ev.stack = append(ev.stack, int32(i))
+		}
+	}
+	for i := lo; i < len(ev.expr.elems); i++ {
+		v := ev.expr.elems[i]
 		var l, r int32 = -1, -1
 		if v < 0 {
 			r = ev.stack[len(ev.stack)-1]
@@ -171,7 +245,7 @@ func (ev *Evaluator) resync() {
 		if d {
 			ev.journal = append(ev.journal, undoRecord{
 				idx: int32(i), val: nd.val, left: nd.left, right: nd.right,
-				at: nd.at, am: nd.am, curve: nd.curve, side: nd.side,
+				at: nd.at, am: nd.am, curve: nd.curve, side: nd.side, sver: nd.sver,
 			})
 			nd.val, nd.left, nd.right = v, l, r
 			ev.recompute(nd)
@@ -223,7 +297,7 @@ func (ev *Evaluator) sweep(lo int) {
 		nd := &ev.nodes[i]
 		ev.journal = append(ev.journal, undoRecord{
 			idx: i, val: nd.val, left: nd.left, right: nd.right,
-			at: nd.at, am: nd.am, curve: nd.curve, side: nd.side,
+			at: nd.at, am: nd.am, curve: nd.curve, side: nd.side, sver: nd.sver,
 		})
 		nd.val = ev.expr.elems[i]
 		ev.recompute(nd)
@@ -232,8 +306,14 @@ func (ev *Evaluator) sweep(lo int) {
 
 // recompute refreshes one node's cached ⟨curve, at, am⟩ from its children
 // (or its block, for leaves), writing the composed curve into the node's
-// spare buffer so the previous curve survives for undo.
+// spare buffer so the previous curve survives for undo. The structure
+// version bump kills the node's buffered assignments: its subtree inputs
+// changed, so the next Eval must re-descend it (every ancestor of a
+// recomputed node is itself journaled and recomputed, so invalidation here
+// covers the whole affected path). The journaled pre-move sver revives the
+// pre-move slot on undo.
 func (ev *Evaluator) recompute(nd *enode) {
+	nd.sver++
 	if nd.val >= 0 {
 		b := &ev.blocks[nd.val]
 		nd.at, nd.am = b.TargetArea, b.MinArea
@@ -258,16 +338,41 @@ func (ev *Evaluator) recompute(nd *enode) {
 // journal does not cover.
 func (ev *Evaluator) applyUndo() {
 	ev.expr.UndoMove(&ev.move)
+	// Flip every rewritten assign slot back and replay the rectangle
+	// journal: Rects and the buffered assignments describing it return to
+	// the pre-move layout together, so no later Eval can hit a slot whose
+	// leaf rectangles were rolled out from under it. Flips are involutions,
+	// so replay order is irrelevant.
+	for _, ni := range ev.ajIdx {
+		ev.nodes[ni].aside ^= 1
+	}
+	ev.ajIdx = ev.ajIdx[:0]
+	for k := len(ev.rjBlock) - 1; k >= 0; k-- {
+		ev.ev.Rects[ev.rjBlock[k]] = ev.rjRect[k]
+	}
+	ev.rjBlock, ev.rjRect = ev.rjBlock[:0], ev.rjRect[:0]
 	for k := len(ev.journal) - 1; k >= 0; k-- {
 		rec := &ev.journal[k]
 		nd := &ev.nodes[rec.idx]
 		nd.val, nd.left, nd.right = rec.val, rec.left, rec.right
 		nd.at, nd.am = rec.at, rec.am
 		nd.curve, nd.side = rec.curve, rec.side
+		// Restoring the pre-move structure version revives the flipped-back
+		// pre-move slot and kills any slot the rejected Evals wrote.
+		nd.sver = rec.sver
 	}
 	ev.journal = ev.journal[:0]
 	if ev.move.TopologyChanged() {
 		ev.rebuildParents()
+	}
+	if ev.budgetMoved {
+		// An Eval since the move used a different budget than the pre-move
+		// state: a node could have been rewritten twice, overflowing its
+		// two slots, so the flipped-back slot is not trustworthy. Rare and
+		// cold (annealing holds the budget fixed) — invalidate every slot
+		// rather than track deeper histories.
+		ev.aCur++
+		ev.budgetMoved = false
 	}
 }
 
@@ -296,43 +401,99 @@ func (ev *Evaluator) RootCurve() shape.Curve {
 	return ev.nodes[ev.root].curve
 }
 
-// Eval runs the top-down area-budgeting pass against the cached tree,
-// exactly as Evaluate does, and returns the evaluator-owned Eval record.
-// The record (including Rects) is overwritten by the next Eval call.
+// Eval runs the top-down area-budgeting pass against the cached tree and
+// returns the evaluator-owned Eval record. The record (including Rects) is
+// overwritten by the next Eval call. The pass is incremental: a subtree
+// whose composed state did not change since the previous Eval, and whose
+// budget rectangle is identical, is skipped — its leaves' rectangles are
+// already correct in Rects and its cached violation sums are reused. The
+// result is bit-identical to Evaluate on the same expression and budget
+// (both sum violations over the same tree association; differentially
+// tested).
 func (ev *Evaluator) Eval(budget geom.Rect) *Eval {
 	out := &ev.ev
-	out.ViolationAt, out.ViolationAm, out.ViolationMacro = 0, 0, 0
-	out.Penalty = 1
+	if budget != ev.moveBudget {
+		ev.budgetMoved = true
+	}
+	ev.lastBudget = budget
+	ev.changed = ev.changed[:0]
 	if len(ev.nodes) == 0 || budget.Empty() {
+		out.ViolationAt, out.ViolationAm, out.ViolationMacro = 0, 0, 0
+		out.Penalty = 1
 		for i := range out.Rects {
-			out.Rects[i] = geom.Rect{}
+			if out.Rects[i] != (geom.Rect{}) {
+				ev.setLeafRect(int32(i), geom.Rect{}, out)
+			}
 		}
+		// Rects no longer match any cached assignment; invalidate them all.
+		ev.aCur++
 		return out
 	}
-	ev.assign(ev.root, budget, out)
-	out.Penalty = 1 + ev.p.PenaltyAt*out.ViolationAt + ev.p.PenaltyAm*out.ViolationAm + ev.p.PenaltyMacro*out.ViolationMacro
+	vAt, vAm, vMacro := ev.assign(ev.root, budget, out)
+	out.ViolationAt, out.ViolationAm, out.ViolationMacro = vAt, vAm, vMacro
+	out.Penalty = 1 + ev.p.PenaltyAt*vAt + ev.p.PenaltyAm*vAm + ev.p.PenaltyMacro*vMacro
 	return out
 }
 
+// Changed returns the operand ids of the blocks whose rectangles the last
+// Eval rewrote to a different value. Because an undo restores Rects to the
+// pre-move layout exactly, the list after each Perturb+Eval is the precise
+// rectangle diff against the state the caller last acted on; blocks
+// re-assigned an identical rectangle are not reported. The slice aliases
+// evaluator-owned storage and is valid until the next Eval or Reset; the
+// first Eval after a Reset has no meaningful baseline, so callers must do
+// one full pass before consuming deltas.
+func (ev *Evaluator) Changed() []int32 { return ev.changed }
+
+// setLeafRect overwrites one block's rectangle, recording the block in the
+// changed set (each leaf is assigned at most once per Eval, so the set
+// needs no deduplication) and the overwrite in the move's rectangle journal
+// for undo.
+func (ev *Evaluator) setLeafRect(b int32, r geom.Rect, out *Eval) {
+	ev.changed = append(ev.changed, b)
+	ev.rjBlock = append(ev.rjBlock, b)
+	ev.rjRect = append(ev.rjRect, out.Rects[b])
+	out.Rects[b] = r
+}
+
 // assign mirrors Evaluate's recursive rectangle assignment over the cached
-// arena. Method recursion keeps the hot path free of closure allocations.
-func (ev *Evaluator) assign(ni int32, r geom.Rect, out *Eval) {
+// arena, returning the subtree's hierarchical violation sums. Method
+// recursion keeps the hot path free of closure allocations. Each visited
+// node caches ⟨budget rect, subtree sums⟩; a revisit with an identical rect
+// on an untouched subtree returns the cached sums without descending —
+// recomputes bump the touched nodes' structure version (undos restore it),
+// and every ancestor of a touched node is itself touched, so a live slot
+// proves the whole subtree is unchanged.
+func (ev *Evaluator) assign(ni int32, r geom.Rect, out *Eval) (vAt, vAm, vMacro float64) {
 	nd := &ev.nodes[ni]
+	cur := &nd.aslot[nd.aside]
+	if cur.aGen == ev.aCur && cur.sver == nd.sver && cur.arect == r {
+		return cur.vAt, cur.vAm, cur.vMacro
+	}
 	if nd.left < 0 {
-		out.Rects[nd.val] = r
-		out.leafPenalties(&ev.blocks[nd.val], r)
-		return
-	}
-	l, rr := &ev.nodes[nd.left], &ev.nodes[nd.right]
-	if nd.val == OpV {
-		wl := splitShare(r.W, l.at, rr.at)
-		wl = out.repairSplit(wl, r.W, r.H, &l.curve, &rr.curve, true)
-		ev.assign(nd.left, geom.RectXYWH(r.X, r.Y, wl, r.H), out)
-		ev.assign(nd.right, geom.RectXYWH(r.X+wl, r.Y, r.W-wl, r.H), out)
+		if out.Rects[nd.val] != r {
+			ev.setLeafRect(nd.val, r, out)
+		}
+		vAt, vAm, vMacro = leafViolations(&ev.blocks[nd.val], r)
 	} else {
-		hb := splitShare(r.H, l.at, rr.at)
-		hb = out.repairSplit(hb, r.H, r.W, &l.curve, &rr.curve, false)
-		ev.assign(nd.left, geom.RectXYWH(r.X, r.Y, r.W, hb), out)
-		ev.assign(nd.right, geom.RectXYWH(r.X, r.Y+hb, r.W, r.H-hb), out)
+		l, rr := &ev.nodes[nd.left], &ev.nodes[nd.right]
+		var own float64
+		var lAt, lAm, lMac, rAt, rAm, rMac float64
+		if nd.val == OpV {
+			wl := splitShare(r.W, l.at, rr.at)
+			wl, own = repairSplit(wl, r.W, r.H, &l.curve, &rr.curve, true)
+			lAt, lAm, lMac = ev.assign(nd.left, geom.RectXYWH(r.X, r.Y, wl, r.H), out)
+			rAt, rAm, rMac = ev.assign(nd.right, geom.RectXYWH(r.X+wl, r.Y, r.W-wl, r.H), out)
+		} else {
+			hb := splitShare(r.H, l.at, rr.at)
+			hb, own = repairSplit(hb, r.H, r.W, &l.curve, &rr.curve, false)
+			lAt, lAm, lMac = ev.assign(nd.left, geom.RectXYWH(r.X, r.Y, r.W, hb), out)
+			rAt, rAm, rMac = ev.assign(nd.right, geom.RectXYWH(r.X, r.Y+hb, r.W, r.H-hb), out)
+		}
+		vAt, vAm, vMacro = lAt+rAt, lAm+rAm, own+lMac+rMac
 	}
+	nd.aside ^= 1
+	nd.aslot[nd.aside] = assignSlot{arect: r, vAt: vAt, vAm: vAm, vMacro: vMacro, aGen: ev.aCur, sver: nd.sver}
+	ev.ajIdx = append(ev.ajIdx, ni)
+	return vAt, vAm, vMacro
 }

@@ -242,3 +242,57 @@ func TestEvaluatorResetMatchesEvaluate(t *testing.T) {
 		}
 	}
 }
+
+// TestEvaluatorLongRunDifferential drives the incremental evaluator through
+// 10k random moves with a ~50% rejection rate under one fixed budget — the
+// exact shape of an annealing run — and checks three contracts at every
+// step: the evaluation equals the from-scratch Evaluate bit for bit
+// (incremental assign included), Changed lists exactly the blocks whose
+// rectangles differ from the state the caller last acted on, and a rejected
+// move's undo restores every rectangle exactly.
+func TestEvaluatorLongRunDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2718))
+	n := 24
+	blocks := randomBlocks(rng, n)
+	expr := NewBalanced(n)
+	p := DefaultEvalParams()
+	inc := NewEvaluator(&expr, blocks, p)
+	budget := geom.RectXYWH(0, 0, 1500, 1200)
+
+	shadow := make([]geom.Rect, n) // the last state the caller accepted or rolled back to
+	copy(shadow, inc.Eval(budget).Rects)
+
+	for step := 0; step < 10_000; step++ {
+		undo, _ := inc.Perturb(rng)
+		ev := inc.Eval(budget)
+		evalsEqual(t, "long-run", ev, Evaluate(&expr, blocks, budget, p))
+
+		inChanged := make(map[int32]bool, len(inc.Changed()))
+		for _, b := range inc.Changed() {
+			if inChanged[b] {
+				t.Fatalf("step %d: block %d reported changed twice", step, b)
+			}
+			inChanged[b] = true
+		}
+		for i := range shadow {
+			if (ev.Rects[i] != shadow[i]) != inChanged[int32(i)] {
+				t.Fatalf("step %d: block %d changed=%v but Changed reports %v (rect %v -> %v)",
+					step, i, ev.Rects[i] != shadow[i], inChanged[int32(i)], shadow[i], ev.Rects[i])
+			}
+		}
+
+		if rng.Intn(2) == 0 {
+			undo()
+			ev2 := inc.Eval(budget)
+			for i := range shadow {
+				if ev2.Rects[i] != shadow[i] {
+					t.Fatalf("step %d: undo left rect %d = %v, want %v", step, i, ev2.Rects[i], shadow[i])
+				}
+			}
+		} else {
+			for _, b := range inc.Changed() {
+				shadow[b] = ev.Rects[b]
+			}
+		}
+	}
+}

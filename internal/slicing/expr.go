@@ -31,29 +31,49 @@ const (
 type Expr struct {
 	elems []int32
 	n     int
+	// chains caches the number of maximal operator chains (0 = unknown,
+	// recomputed lazily). Operand swaps and chain inversions preserve it;
+	// operand–operator swaps adjust it locally.
+	chains int
+	// bal is scratch for operandOperatorSwap's balloting precomputation;
+	// never copied between expressions.
+	bal []int32
 }
 
 // NewBalanced builds an initial expression shaped as a balanced tree with
 // alternating cut directions, a good unbiased starting point for annealing.
 func NewBalanced(n int) Expr {
+	var e Expr
+	e.SetBalanced(n)
+	return e
+}
+
+// SetBalanced rebuilds e in place as the balanced expression NewBalanced
+// constructs, reusing e's element storage. Solvers that run many levels (or
+// restart chains) through one scratch expression avoid re-allocating it.
+func (e *Expr) SetBalanced(n int) {
+	e.elems = e.elems[:0]
+	e.n = n
+	e.chains = 0
 	if n <= 0 {
-		return Expr{}
+		return
 	}
-	var build func(lo, hi int, op int32) []int32
-	build = func(lo, hi int, op int32) []int32 {
-		if hi-lo == 1 {
-			return []int32{int32(lo)}
-		}
-		mid := (lo + hi) / 2
-		next := OpV
-		if op == OpV {
-			next = OpH
-		}
-		out := build(lo, mid, next)
-		out = append(out, build(mid, hi, next)...)
-		return append(out, op)
+	e.appendBalanced(0, n, OpV)
+}
+
+func (e *Expr) appendBalanced(lo, hi int, op int32) {
+	if hi-lo == 1 {
+		e.elems = append(e.elems, int32(lo))
+		return
 	}
-	return Expr{elems: build(0, n, OpV), n: n}
+	mid := (lo + hi) / 2
+	next := OpV
+	if op == OpV {
+		next = OpH
+	}
+	e.appendBalanced(lo, mid, next)
+	e.appendBalanced(mid, hi, next)
+	e.elems = append(e.elems, op)
 }
 
 // NewChain builds the degenerate chain 0 1 op 2 op' 3 op ... with
@@ -90,13 +110,14 @@ func (e *Expr) Elems() []int32 {
 
 // Clone returns an independent copy.
 func (e *Expr) Clone() Expr {
-	return Expr{elems: e.Elems(), n: e.n}
+	return Expr{elems: e.Elems(), n: e.n, chains: e.chains}
 }
 
 // CopyFrom overwrites e with the contents of src (no aliasing).
 func (e *Expr) CopyFrom(src *Expr) {
 	e.elems = append(e.elems[:0], src.elems...)
 	e.n = src.n
+	e.chains = src.chains
 }
 
 func (e *Expr) String() string {
@@ -221,49 +242,46 @@ func (e *Expr) UndoMove(mv *Move) {
 		// No-op move on a trivial expression.
 	case mv.Kind == MoveChainInvert:
 		e.flipChain(mv.I, mv.J)
+	case mv.Kind == MoveOperandOperatorSwap:
+		before := e.chainStartsAround(mv.I)
+		e.elems[mv.I], e.elems[mv.J] = e.elems[mv.J], e.elems[mv.I]
+		if e.chains > 0 {
+			e.chains += e.chainStartsAround(mv.I) - before
+		}
 	default:
 		e.elems[mv.I], e.elems[mv.J] = e.elems[mv.J], e.elems[mv.I]
 	}
 }
 
-// operandSwap (M1): swap the k-th and (k+1)-th operands.
+// operandSwap (M1): swap the k-th and (k+1)-th operands. One early-exit
+// scan locates both positions.
 func (e *Expr) operandSwap(rng *rand.Rand, mv *Move) bool {
 	k := rng.Intn(e.n - 1)
-	i := e.operandPos(k)
-	j := e.operandPos(k + 1)
+	i, j := -1, -1
+	cnt := 0
+	for p, v := range e.elems {
+		if v < 0 {
+			continue
+		}
+		if cnt == k {
+			i = p
+		} else if cnt == k+1 {
+			j = p
+			break
+		}
+		cnt++
+	}
 	e.elems[i], e.elems[j] = e.elems[j], e.elems[i]
 	*mv = Move{Kind: MoveOperandSwap, I: i, J: j}
 	return true
 }
 
-// operandPos returns the index in elems of the k-th operand (0-based).
-func (e *Expr) operandPos(k int) int {
-	cnt := 0
-	for i, v := range e.elems {
-		if v >= 0 {
-			if cnt == k {
-				return i
-			}
-			cnt++
-		}
-	}
-	return -1
-}
-
 // chainInvert (M2): pick one maximal operator chain and complement every
-// operator in it. Complementing preserves balloting and normalization.
+// operator in it. Complementing preserves balloting and normalization. The
+// chain count comes from the maintained cache, so one early-exit scan
+// finds the picked chain.
 func (e *Expr) chainInvert(rng *rand.Rand, mv *Move) bool {
-	count := 0
-	for i := 0; i < len(e.elems); {
-		if e.elems[i] >= 0 {
-			i++
-			continue
-		}
-		for i < len(e.elems) && e.elems[i] < 0 {
-			i++
-		}
-		count++
-	}
+	count := e.chainCount()
 	if count == 0 {
 		return false
 	}
@@ -300,42 +318,80 @@ func (e *Expr) flipChain(lo, hi int) {
 }
 
 // operandOperatorSwap (M3): swap an adjacent operand/operator pair when the
-// result stays a normalized Polish expression.
+// result stays a normalized Polish expression. Validity per candidate is
+// O(1): a swap only changes the operand/operator balance of the single
+// prefix ending between the pair (precomputed in one balance pass), and can
+// only break normalization at the pair's outer neighbors — the rest of the
+// expression was valid before and is untouched.
 func (e *Expr) operandOperatorSwap(rng *rand.Rand, mv *Move) bool {
-	// Candidate positions i where elems[i], elems[i+1] are operand/operator
-	// in either order and the swap keeps validity.
+	// bal[p] = operands − operators in elems[0..p]; balloting holds iff
+	// every bal[p] >= 1.
+	e.bal = e.bal[:0]
+	b := int32(0)
+	for _, v := range e.elems {
+		if v >= 0 {
+			b++
+		} else {
+			b--
+		}
+		e.bal = append(e.bal, b)
+	}
 	start := rng.Intn(len(e.elems) - 1)
 	for off := 0; off < len(e.elems)-1; off++ {
 		i := (start + off) % (len(e.elems) - 1)
-		a, b := e.elems[i], e.elems[i+1]
-		if (a >= 0) == (b >= 0) {
+		a, op := e.elems[i], e.elems[i+1]
+		switch {
+		case a >= 0 && op < 0:
+			// (operand, operator) → (operator, operand): the prefix ending
+			// at i loses an operand and gains an operator.
+			if e.bal[i]-2 < 1 {
+				continue
+			}
+			if i > 0 && e.elems[i-1] == op {
+				continue // equal adjacent operators
+			}
+		case a < 0 && op >= 0:
+			// (operator, operand) → (operand, operator): bal[i] rises; only
+			// normalization against the right neighbor can break.
+			if i+2 < len(e.elems) && e.elems[i+2] == a {
+				continue
+			}
+		default:
 			continue
 		}
-		e.elems[i], e.elems[i+1] = b, a
-		if e.validLocal() {
-			*mv = Move{Kind: MoveOperandOperatorSwap, I: i, J: i + 1}
-			return true
+		before := e.chainStartsAround(i)
+		e.elems[i], e.elems[i+1] = op, a
+		if e.chains > 0 {
+			e.chains += e.chainStartsAround(i) - before
 		}
-		e.elems[i], e.elems[i+1] = a, b
+		*mv = Move{Kind: MoveOperandOperatorSwap, I: i, J: i + 1}
+		return true
 	}
 	return false
 }
 
-// validLocal re-checks balloting and normalization after a swap; O(len).
-func (e *Expr) validLocal() bool {
-	operands, operators := 0, 0
-	for i, v := range e.elems {
-		if v >= 0 {
-			operands++
-			continue
-		}
-		operators++
-		if operators >= operands {
-			return false
-		}
-		if i > 0 && e.elems[i-1] == v {
-			return false
+// chainCount returns the cached number of maximal operator chains,
+// recomputing it lazily. A chain starts at every operator whose predecessor
+// is an operand (position 0 is always an operand in a valid expression).
+func (e *Expr) chainCount() int {
+	if e.chains == 0 {
+		for p := 1; p < len(e.elems); p++ {
+			if e.elems[p] < 0 && e.elems[p-1] >= 0 {
+				e.chains++
+			}
 		}
 	}
-	return true
+	return e.chains
+}
+
+// chainStartsAround counts the chain starts at positions i..i+2, the only
+// ones an adjacent swap at (i, i+1) can create or destroy.
+func (e *Expr) chainStartsAround(i int) int {
+	c := 0
+	for p := i; p <= i+2; p++ {
+		if p >= 1 && p < len(e.elems) && e.elems[p] < 0 && e.elems[p-1] >= 0 {
+			c++
+		}
+	}
+	return c
 }
