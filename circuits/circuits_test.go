@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/autocluster"
 	"repro/internal/dataflow"
 	"repro/internal/hier"
 	"repro/internal/netlist"
@@ -322,5 +323,57 @@ func TestStarTopologyPlaces(t *testing.T) {
 	res := tr.Decluster(g.Design.Root(), hier.DefaultParams())
 	if len(res.Blocks) < spec.Subsystems {
 		t.Errorf("blocks = %d, want >= %d subsystems", len(res.Blocks), spec.Subsystems)
+	}
+}
+
+func TestGenFlat(t *testing.T) {
+	h := Generate(testSpec())
+	f := GenFlat(testSpec())
+	if len(f.Design.Hier) != 1 {
+		t.Fatalf("flat design has %d hier nodes, want 1", len(f.Design.Hier))
+	}
+	hs, fs := h.Design.Stats(), f.Design.Stats()
+	hs.HierNodes, fs.HierNodes = 0, 0
+	if hs != fs {
+		t.Fatalf("flat stats diverge: %+v vs %+v", fs, hs)
+	}
+	for i := range h.Design.Cells {
+		if h.Design.Cells[i].Name != f.Design.Cells[i].Name {
+			t.Fatalf("cell %d renamed by flattening", i)
+		}
+	}
+	if len(f.Intent) != len(h.Intent) {
+		t.Fatalf("intent changed: %d vs %d places", len(f.Intent), len(h.Intent))
+	}
+	// Spec.Flat is the same knob.
+	s := testSpec()
+	s.Flat = true
+	if got := len(Generate(s).Design.Hier); got != 1 {
+		t.Fatalf("Spec.Flat design has %d hier nodes, want 1", got)
+	}
+}
+
+func TestGeneratedAutoclusterCache(t *testing.T) {
+	g := GenFlat(testSpec())
+	p := autocluster.Params{MaxNumInst: 300, MaxNumMacro: 4}
+	r1, fresh1, err := g.Autocluster(p)
+	if err != nil {
+		t.Fatalf("Autocluster: %v", err)
+	}
+	r2, fresh2, err := g.Autocluster(p)
+	if err != nil {
+		t.Fatalf("Autocluster (cached): %v", err)
+	}
+	if !fresh1 || fresh2 {
+		t.Fatalf("fresh flags = %v, %v; want true, false", fresh1, fresh2)
+	}
+	if r1 != r2 {
+		t.Fatal("cache returned a different result pointer")
+	}
+	if r1.Stats.NoOp {
+		t.Fatal("flat design should not be a no-op")
+	}
+	if err := autocluster.CheckTree(r1.Design, p); err != nil {
+		t.Fatalf("CheckTree: %v", err)
 	}
 }

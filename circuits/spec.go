@@ -40,6 +40,10 @@ type Spec struct {
 	Utilization float64
 	// Seed drives all randomized structure decisions.
 	Seed int64
+	// Flat strips the RTL hierarchy from the generated design (every cell
+	// moves to the root), turning any spec into an autocluster regression
+	// workload. Connectivity, names and the planted intent are unchanged.
+	Flat bool
 }
 
 func (s Spec) withDefaults() Spec {

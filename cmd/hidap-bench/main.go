@@ -9,6 +9,8 @@
 //	hidap-bench -table2 -table3         # the headline comparison
 //	hidap-bench -fig9 -outdir artifacts # density maps + Gdf SVG for c3
 //	hidap-bench -circuits c1,c3 -scale 100 -effort low
+//	hidap-bench -cluster-smoke -smoke-insts 50000 -json BENCH_smoke.json
+//	hidap-bench -emit flat.json -smoke-insts 100000   # flat netlist for cmd/hidap
 package main
 
 import (
@@ -21,8 +23,10 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/circuits"
+	"repro/internal/autocluster"
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/flows"
@@ -30,6 +34,7 @@ import (
 	"repro/internal/hier"
 	"repro/internal/layout"
 	"repro/internal/metrics"
+	"repro/internal/netlist"
 	"repro/internal/render"
 	"repro/internal/seqgraph"
 )
@@ -48,6 +53,10 @@ func main() {
 		outdir  = flag.String("outdir", "artifacts", "output directory for SVG/asciimap artifacts")
 		csvOut  = flag.String("csv", "", "also write per-circuit rows as CSV to this path")
 		jsonOut = flag.String("json", "", "also write rows + summary as JSON to this path ('-' for stdout), for BENCH_*.json trajectory tracking")
+
+		smoke      = flag.Bool("cluster-smoke", false, "run the autoclustering smoke: cluster a flat netlist and solve it e2e, flat vs born-hierarchical")
+		smokeInsts = flag.Int("smoke-insts", 50_000, "instance count of the smoke/-emit netlist")
+		emit       = flag.String("emit", "", "write the flat smoke netlist as design JSON to this path (for cmd/hidap -cluster) and exit")
 	)
 	flag.Parse()
 	if !*table1 && !*table2 && !*table3 && !*fig9 {
@@ -56,6 +65,19 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *emit != "" {
+		if err := emitFlat(*emit, *smokeInsts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *smoke {
+		if err := runClusterSmoke(ctx, *jsonOut, *smokeInsts, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	specs, err := selectSpecs(*ckts, *scale)
 	if err != nil {
@@ -310,4 +332,131 @@ func emitFig9(ctx context.Context, name string, scale int, opt flows.Options, ou
 		fmt.Printf("Fig9d dataflow floorplan -> %s\n", path)
 	}
 	return nil
+}
+
+// smokeSpec is the synthetic flat netlist of the clustering smoke: Scale 1,
+// so -smoke-insts is the actual instance count.
+func smokeSpec(insts int, seed int64) circuits.Spec {
+	return circuits.Spec{
+		Name: fmt.Sprintf("smoke%dk", insts/1000), Cells: insts, Macros: 12,
+		Subsystems: 3, BusWidth: 32, PipelineDepth: 2, Scale: 1, Seed: seed,
+		Flat: true,
+	}
+}
+
+// emitFlat writes the flat smoke netlist in the design JSON interchange form,
+// ready for `hidap -in flat.json -cluster`.
+func emitFlat(path string, insts int) error {
+	g := circuits.Generate(smokeSpec(insts, 7))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = netlist.WriteJSON(f, g.Design)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	st := g.Design.Stats()
+	fmt.Fprintf(os.Stderr, "# wrote %s: %d cells, %d macros, flat\n", path, st.Cells, st.MacroCells)
+	return nil
+}
+
+// clusterSmokeJSON is the machine-readable record of one clustering smoke:
+// synthesis cost and tree shape, plus the end-to-end HiDaP solve time on the
+// clustered flat netlist vs the same netlist born hierarchical.
+type clusterSmokeJSON struct {
+	Insts          int     `json:"insts"`
+	ClusterSeconds float64 `json:"cluster_seconds"`
+	Levels         int     `json:"levels"`
+	Clusters       int     `json:"clusters"`
+	TreeNodes      int     `json:"tree_nodes"`
+	E2EFlatSeconds float64 `json:"e2e_flat_seconds"`
+	E2EHierSeconds float64 `json:"e2e_hier_seconds"`
+	FlatWL         float64 `json:"flat_wl_m"`
+	HierWL         float64 `json:"hier_wl_m"`
+}
+
+func runClusterSmoke(ctx context.Context, jsonPath string, insts int, seed int64) error {
+	spec := smokeSpec(insts, seed)
+	gFlat := circuits.Generate(spec)
+	st := gFlat.Design.Stats()
+	fmt.Fprintf(os.Stderr, "# smoke: %d cells, %d macros, %d nets, flat\n",
+		st.Cells, st.MacroCells, st.Nets)
+
+	p := autocluster.DefaultParams()
+	gFlat.SeqGraph() // prebuild so the timing below is the synthesis alone
+	t0 := time.Now()
+	res, fresh, err := gFlat.Autocluster(p)
+	if err != nil {
+		return err
+	}
+	clusterSecs := time.Since(t0).Seconds()
+	if !fresh || res.Stats.NoOp {
+		return fmt.Errorf("smoke expected a fresh synthesis, got fresh=%v stats=%+v", fresh, res.Stats)
+	}
+	if err := autocluster.CheckTree(res.Design, p); err != nil {
+		return fmt.Errorf("smoke tree violates bounds: %w", err)
+	}
+	fmt.Printf("cluster: %.3fs for %d insts -> %d clusters, %d grouping levels, %d tree nodes\n",
+		clusterSecs, res.Stats.Instances, res.Stats.Clusters, res.Stats.Levels, res.Stats.TreeNodes)
+
+	// End-to-end solve, autoclustered flat netlist vs the same netlist with
+	// its native hierarchy. Low effort and a pinned λ keep this CI-sized.
+	opt := flows.DefaultOptions()
+	opt.Seed = seed
+	opt.Effort = layout.EffortLow
+	opt.Lambdas = []float64{0.5}
+	opt.Autocluster = &p
+	t0 = time.Now()
+	mFlat, _, err := flows.Run(ctx, gFlat, flows.FlowHiDaP, opt)
+	if err != nil {
+		return fmt.Errorf("smoke flat solve: %w", err)
+	}
+	flatSecs := time.Since(t0).Seconds()
+
+	spec.Flat = false
+	gHier := circuits.Generate(spec)
+	opt.Autocluster = nil
+	t0 = time.Now()
+	mHier, _, err := flows.Run(ctx, gHier, flows.FlowHiDaP, opt)
+	if err != nil {
+		return fmt.Errorf("smoke hierarchical solve: %w", err)
+	}
+	hierSecs := time.Since(t0).Seconds()
+	fmt.Printf("e2e: flat+autocluster %.1fs (WL %.3fm), born-hierarchical %.1fs (WL %.3fm)\n",
+		flatSecs, mFlat.WirelengthM, hierSecs, mHier.WirelengthM)
+
+	if jsonPath == "" {
+		return nil
+	}
+	rec := clusterSmokeJSON{
+		Insts: res.Stats.Instances, ClusterSeconds: clusterSecs,
+		Levels: res.Stats.Levels, Clusters: res.Stats.Clusters,
+		TreeNodes:      res.Stats.TreeNodes,
+		E2EFlatSeconds: flatSecs, E2EHierSeconds: hierSecs,
+		FlatWL: mFlat.WirelengthM, HierWL: mHier.WirelengthM,
+	}
+	var out io.Writer = os.Stdout
+	var f *os.File
+	if jsonPath != "-" {
+		if f, err = os.Create(jsonPath); err != nil {
+			return err
+		}
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(rec)
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err == nil && jsonPath != "-" {
+		fmt.Fprintf(os.Stderr, "# wrote %s\n", jsonPath)
+	}
+	return err
 }

@@ -138,6 +138,11 @@ type jobRequest struct {
 	Lambda   *float64        `json:"lambda"`
 	Effort   string          `json:"effort"`   // low | medium | high
 	Restarts int             `json:"restarts"` // annealing chains per level (best wins)
+	// Autocluster enables the hierarchy-synthesis front-end for flat
+	// netlists. {} uses the default knobs; fields override individually
+	// (max_num_inst, min_num_inst, max_num_macro, min_num_macro,
+	// coarsening_ratio, max_levels, tolerance).
+	Autocluster *hidap.AutoclusterParams `json:"autocluster"`
 }
 
 type jobStatus struct {
@@ -197,6 +202,9 @@ func (req *jobRequest) toJob() (hidap.Job, error) {
 		opts = append(opts, hidap.WithEffort(hidap.EffortHigh))
 	default:
 		return hidap.Job{}, fmt.Errorf("unknown effort %q", req.Effort)
+	}
+	if req.Autocluster != nil {
+		opts = append(opts, hidap.WithAutocluster(*req.Autocluster))
 	}
 	job := hidap.Job{Label: req.Label, Config: hidap.NewConfig(opts...)}
 	switch {
@@ -426,6 +434,11 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	gauge("hidap_circuit_cache_entries", "Circuits retained in the LRU cache.", float64(st.CachedCircuits))
 	counter("hidap_circuit_cache_hits_total", "Circuit cache hits at submit.", st.CircuitCacheHits)
 	counter("hidap_circuit_cache_misses_total", "Circuit cache misses at submit.", st.CircuitCacheMisses)
+	counter("hidap_autocluster_designs_total", "Designs given a synthesized hierarchy.", st.DesignsClustered)
+	counter("hidap_autocluster_noop_total", "Autocluster pass-throughs on well-shaped hierarchies.", st.AutoclusterNoop)
+	counter("hidap_autocluster_clusters_total", "Leaf clusters emitted by autoclustering.", st.ClustersEmitted)
+	counter("hidap_autocluster_levels_total", "Coarsening levels run by autoclustering.", st.CoarseningLevels)
+	counter("hidap_autocluster_cache_hits_total", "Jobs served a cached clustered design.", st.ClusterCacheHits)
 	if _, err := w.Write([]byte(b.String())); err != nil {
 		log.Printf("hidap-serve: write metrics: %v", err)
 	}

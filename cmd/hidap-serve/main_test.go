@@ -294,3 +294,70 @@ func TestServeMetricsEndpoint(t *testing.T) {
 		t.Errorf("healthz engine counts = %+v", health.Engine)
 	}
 }
+
+// TestServeAutoclusterJob submits a flat circuit job with the autocluster
+// field set, twice, and checks that the front-end counters land on /metrics:
+// one synthesis, one clustered-design cache hit.
+func TestServeAutoclusterJob(t *testing.T) {
+	_, ts, eng := newTestServer(t, 2)
+	defer eng.Close()
+
+	body := `{"label":"ac1","flow":"HiDaP","effort":"low","seed":1,
+		"circuit":{"name":"acflat","cells":300000,"macros":8,"subsystems":2,
+		           "buswidth":32,"pipelinedepth":2,"scale":300,"seed":5,"flat":true},
+		"autocluster":{"max_num_inst":300,"max_num_macro":3,"min_num_macro":1}}`
+	st, code := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	waitState(t, ts, st.ID, hidap.JobDone)
+	st2, code := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit status = %d", code)
+	}
+	waitState(t, ts, st2.ID, hidap.JobDone)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(strings.Builder)
+	if _, err := io.Copy(buf, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, want := range []string{
+		"hidap_autocluster_designs_total 1",
+		"hidap_autocluster_cache_hits_total 1",
+		"hidap_autocluster_noop_total 0",
+		"# TYPE hidap_autocluster_clusters_total counter",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, got)
+		}
+	}
+	// Invalid knobs are rejected when the job runs, not accepted silently.
+	stBad, code := postJob(t, ts, `{"flow":"HiDaP","effort":"low",
+		"circuit":{"name":"c1","scale":400},
+		"autocluster":{"max_num_inst":10,"min_num_inst":20}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("bad-knob submit status = %d", code)
+	}
+	waitFailed(t, ts, stBad.ID)
+}
+
+// waitFailed polls until the job reaches the failed state.
+func waitFailed(t *testing.T, ts *httptest.Server, id string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := getStatus(t, ts, id); st.State == hidap.JobFailed {
+			return
+		} else if st.State == hidap.JobDone {
+			t.Fatal("job with invalid autocluster knobs succeeded")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never failed", id)
+}

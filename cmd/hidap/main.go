@@ -49,6 +49,10 @@ func main() {
 		cells    = flag.Bool("cells", false, "also run standard-cell placement and report metrics")
 		jsonOut  = flag.Bool("json", false, "with -cells: print the evaluation report as JSON")
 		progress = flag.Bool("progress", false, "stream per-level progress to stderr")
+
+		cluster      = flag.Bool("cluster", false, "autocluster flat netlists into a synthesized hierarchy before placement")
+		clusterInst  = flag.Int("cluster-max-inst", 0, "with -cluster: max instances per leaf cluster (0 = default)")
+		clusterMacro = flag.Int("cluster-max-macro", 0, "with -cluster: max macros per leaf cluster (0 = default)")
 	)
 	var macros macroFlags
 	flag.Var(&macros, "macro", "macro declaration name=WxHxBITS (DBU), repeatable")
@@ -117,6 +121,16 @@ func main() {
 				fmt.Fprintf(os.Stderr, "# flipped %d macros\n", ev.Flips)
 			}
 		}))
+	}
+	if *cluster {
+		p := hidap.DefaultAutocluster()
+		if *clusterInst > 0 {
+			p.MaxNumInst = *clusterInst
+		}
+		if *clusterMacro > 0 {
+			p.MaxNumMacro = *clusterMacro
+		}
+		opts = append(opts, hidap.WithAutocluster(p))
 	}
 	cfg := hidap.NewConfig(opts...)
 

@@ -1,12 +1,22 @@
 package hidap
 
 import (
+	"repro/internal/autocluster"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/hier"
 	"repro/internal/seqgraph"
 	"repro/internal/slicing"
 )
+
+// AutoclusterParams are the hierarchy-synthesis knobs of the autoclustering
+// front-end (see internal/autocluster): per-cluster instance and macro
+// bounds, coarsening ratio, level cap and tolerance, mirroring the
+// rtl_macro_placer knob set of OpenROAD's Hier-RTLMP.
+type AutoclusterParams = autocluster.Params
+
+// DefaultAutocluster returns the default autoclustering knobs.
+func DefaultAutocluster() AutoclusterParams { return autocluster.DefaultParams() }
 
 // Progress aliases: the per-level / per-candidate events delivered to a
 // WithProgress callback while a placer runs.
@@ -60,6 +70,13 @@ type Config struct {
 	// Progress, when set, streams per-level (and, in harness runs,
 	// per-candidate) events so a server can report status for long runs.
 	Progress ProgressFunc
+	// Autocluster, when set, runs the hierarchy-synthesis front-end before
+	// HiDaP placement: flat (or badly shaped) netlists get a synthesized
+	// physical hierarchy honoring the given bounds; well-shaped ones pass
+	// through untouched. Engines cache the clustered design per
+	// (design, params). Ignored by the "indeda" and "handfp" placers, which
+	// never read the hierarchy.
+	Autocluster *AutoclusterParams
 
 	// seqGraph, tree, bipartite and pool are warm-cache plumbing set by an
 	// Engine before it hands the config to a placer: prebuilt per-design
@@ -119,6 +136,13 @@ func WithIntent(intent Intent) Option { return func(c *Config) { c.Intent = inte
 
 // WithProgress registers a progress callback for the run.
 func WithProgress(fn ProgressFunc) Option { return func(c *Config) { c.Progress = fn } }
+
+// WithAutocluster enables the autoclustering front-end with the given knobs
+// (DefaultAutocluster() for the defaults). Flat netlists are re-hierarchized
+// before placement; already well-shaped ones pass through as a no-op.
+func WithAutocluster(p AutoclusterParams) Option {
+	return func(c *Config) { c.Autocluster = &p }
+}
 
 // coreOptions lowers a Config to the internal HiDaP flow options.
 func (c *Config) coreOptions() core.Options {

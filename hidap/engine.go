@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"repro/circuits"
+	"repro/internal/autocluster"
 	"repro/internal/eval"
 	"repro/internal/flows"
 	"repro/internal/graph"
@@ -236,6 +237,15 @@ type EngineStats struct {
 	DesignCacheMisses  uint64 `json:"design_cache_misses"`
 	CircuitCacheHits   uint64 `json:"circuit_cache_hits"`
 	CircuitCacheMisses uint64 `json:"circuit_cache_misses"`
+	// Autoclustering front-end counters: designs that got a synthesized
+	// hierarchy, pass-throughs on already-shaped inputs, cumulative leaf
+	// clusters and coarsening levels of the synthesized trees, and jobs that
+	// reused a cached clustered design.
+	DesignsClustered uint64 `json:"designs_clustered"`
+	AutoclusterNoop  uint64 `json:"autocluster_noop"`
+	ClustersEmitted  uint64 `json:"clusters_emitted"`
+	CoarseningLevels uint64 `json:"coarsening_levels"`
+	ClusterCacheHits uint64 `json:"cluster_cache_hits"`
 }
 
 // Engine is the long-lived run model of the package: a bounded worker pool
@@ -267,6 +277,12 @@ type Engine struct {
 	completed atomic.Uint64
 	failed    atomic.Uint64
 	canceled  atomic.Uint64
+
+	acRuns     atomic.Uint64 // designs clustered (non-noop syntheses)
+	acNoop     atomic.Uint64 // pass-throughs on well-shaped hierarchies
+	acClusters atomic.Uint64 // leaf clusters emitted, cumulative
+	acLevels   atomic.Uint64 // coarsening levels run, cumulative
+	acHits     atomic.Uint64 // jobs served a cached clustered design
 
 	resultsMu     sync.Mutex
 	results       chan *Ticket
@@ -345,6 +361,26 @@ func (e *Engine) Stats() EngineStats {
 		DesignCacheMisses:  dMisses,
 		CircuitCacheHits:   cHits,
 		CircuitCacheMisses: cMisses,
+		DesignsClustered:   e.acRuns.Load(),
+		AutoclusterNoop:    e.acNoop.Load(),
+		ClustersEmitted:    e.acClusters.Load(),
+		CoarseningLevels:   e.acLevels.Load(),
+		ClusterCacheHits:   e.acHits.Load(),
+	}
+}
+
+// noteAutocluster tallies one autoclustering outcome into the engine
+// counters: a cache hit, a no-op pass-through, or a fresh synthesis.
+func (e *Engine) noteAutocluster(stats autocluster.Stats, fresh bool) {
+	switch {
+	case !fresh:
+		e.acHits.Add(1)
+	case stats.NoOp:
+		e.acNoop.Add(1)
+	default:
+		e.acRuns.Add(1)
+		e.acClusters.Add(uint64(stats.Clusters))
+		e.acLevels.Add(uint64(stats.Levels))
 	}
 }
 
@@ -783,15 +819,27 @@ func (e *Engine) execute(t *Ticket) (res *JobResult, err error) {
 // registered placer, warm: the cached Gseq and the engine scratch pool ride
 // in on the config.
 func (e *Engine) runDesignJob(ctx context.Context, t *Ticket, cfg *Config) (*JobResult, error) {
-	d := t.cd.d
+	cd := t.cd
+	if cfg.Autocluster != nil && t.placer.Name() != "indeda" && t.placer.Name() != "handfp" {
+		// Hierarchy-consuming placers get the autoclustered variant; indeda
+		// and handfp never read the hierarchy, so clustering for them would
+		// be wasted work.
+		ent, fresh, err := cd.clustered(*cfg.Autocluster)
+		if err != nil {
+			return nil, err
+		}
+		e.noteAutocluster(ent.stats, fresh)
+		cd = ent.cd
+	}
+	d := cd.d
 	if t.placer.Name() == "hidap" {
 		// Only the paper's flow consumes these during placement; building
 		// them for indeda/handfp jobs would charge them work they never did
 		// before the engine existed. (Evaluate below builds Gseq on demand —
 		// every cachedDesign artifact is once-per-design either way.)
-		cfg.seqGraph = t.cd.graph()
-		cfg.tree = t.cd.hierTree()
-		cfg.bipartite = t.cd.bipartite()
+		cfg.seqGraph = cd.graph()
+		cfg.tree = cd.hierTree()
+		cfg.bipartite = cd.bipartite()
 	}
 	cfg.pool = e.pool
 	pl, stats, err := placerRun(ctx, t.placer, d, cfg)
@@ -830,6 +878,17 @@ func (e *Engine) runCircuitJob(ctx context.Context, t *Ticket, cfg *Config) (*Jo
 	fopt.Pool = e.pool
 	if len(t.job.Lambdas) > 0 {
 		fopt.Lambdas = t.job.Lambdas
+	}
+	if cfg.Autocluster != nil && fl == FlowHiDaP {
+		// Cluster up front (the Generated memoizes per params, so the flow's
+		// own lookup below is a hit) to tally the outcome into the engine
+		// counters before placement starts.
+		res, fresh, err := g.Autocluster(*cfg.Autocluster)
+		if err != nil {
+			return nil, err
+		}
+		e.noteAutocluster(res.Stats, fresh)
+		fopt.Autocluster = cfg.Autocluster
 	}
 	// Candidates run sequentially inside one worker slot so the engine's
 	// Workers bound is the whole story of its parallelism.
@@ -871,6 +930,48 @@ type cachedDesign struct {
 	tree     *hier.Tree
 	bpOnce   sync.Once
 	bp       *graph.Bipartite
+
+	// acMu guards the clustered-design variants, keyed by the autocluster
+	// knobs: the design cache is content-addressed, so one clustered variant
+	// per (design hash, params) serves every job that asks for it.
+	acMu sync.Mutex
+	ac   map[autocluster.Params]*clusteredEntry
+}
+
+// clusteredEntry is one autoclustered variant of a cached design. A no-op
+// synthesis points cd back at the original entry, so warm artifacts are
+// shared rather than rebuilt.
+type clusteredEntry struct {
+	cd    *cachedDesign
+	stats autocluster.Stats
+}
+
+// clustered returns (building once) the autoclustered variant of the design
+// under the given knobs. The clustered netlist shares cells and nets with
+// the original, so the variant inherits the original's sequential and
+// bipartite graphs — only the hierarchy tree is rebuilt.
+func (c *cachedDesign) clustered(p autocluster.Params) (*clusteredEntry, bool, error) {
+	c.acMu.Lock()
+	defer c.acMu.Unlock()
+	if ent, ok := c.ac[p]; ok {
+		return ent, false, nil
+	}
+	res, err := autocluster.ClusterUsing(c.d, p, c.graph())
+	if err != nil {
+		return nil, false, err
+	}
+	ent := &clusteredEntry{cd: c, stats: res.Stats}
+	if !res.Stats.NoOp {
+		cd := &cachedDesign{d: res.Design}
+		cd.once.Do(func() { cd.sg = c.graph() })
+		cd.bpOnce.Do(func() { cd.bp = c.bipartite() })
+		ent.cd = cd
+	}
+	if c.ac == nil {
+		c.ac = make(map[autocluster.Params]*clusteredEntry)
+	}
+	c.ac[p] = ent
+	return ent, true, nil
 }
 
 func (c *cachedDesign) graph() *seqgraph.Graph {

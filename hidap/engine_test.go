@@ -654,3 +654,99 @@ func TestEngineRestartsReachSolver(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineAutocluster exercises the clustered-design cache: a flat design
+// job with the front-end enabled synthesizes a hierarchy once, repeat jobs
+// under the same knobs hit the cache, and a well-shaped circuit job records
+// a no-op pass-through. All outcomes surface in EngineStats.
+func TestEngineAutocluster(t *testing.T) {
+	spec := loadSpecA()
+	spec.Flat = true
+	g := circuits.Generate(spec)
+
+	eng := hidap.NewEngine(nil, hidap.EngineOptions{Workers: 2})
+	defer eng.Close()
+	ctx := context.Background()
+
+	p := hidap.DefaultAutocluster()
+	p.MaxNumInst = 300
+	p.MaxNumMacro = 3
+	p.MinNumMacro = 1
+	cfg := func(seed int64) *hidap.Config {
+		return hidap.NewConfig(hidap.WithEffort(hidap.EffortLow),
+			hidap.WithSeed(seed), hidap.WithAutocluster(p))
+	}
+
+	run := func(seed int64, label string) *hidap.JobResult {
+		t.Helper()
+		tk, err := eng.Submit(ctx, hidap.Job{
+			Design: g.Design, Placer: "hidap", Config: cfg(seed), Label: label,
+		})
+		if err != nil {
+			t.Fatalf("Submit(%s): %v", label, err)
+		}
+		res, err := tk.Wait(ctx)
+		if err != nil {
+			t.Fatalf("job %s: %v", label, err)
+		}
+		return res
+	}
+
+	r1 := run(1, "flat-1")
+	st := eng.Stats()
+	if st.DesignsClustered != 1 || st.ClusterCacheHits != 0 {
+		t.Fatalf("after first job: clustered=%d hits=%d, want 1/0",
+			st.DesignsClustered, st.ClusterCacheHits)
+	}
+	if st.ClustersEmitted == 0 {
+		t.Errorf("synthesis counters empty: %+v", st)
+	}
+
+	// Same design + same knobs: the clustered variant is served from cache,
+	// and equal seeds reproduce the placement exactly.
+	r2 := run(1, "flat-2")
+	st = eng.Stats()
+	if st.DesignsClustered != 1 || st.ClusterCacheHits != 1 {
+		t.Fatalf("after repeat job: clustered=%d hits=%d, want 1/1",
+			st.DesignsClustered, st.ClusterCacheHits)
+	}
+	if len(r1.Placement.Pos) != len(r2.Placement.Pos) {
+		t.Fatal("placement shape mismatch")
+	}
+	for i := range r1.Placement.Pos {
+		if r1.Placement.Pos[i] != r2.Placement.Pos[i] {
+			t.Fatal("repeat job with cached clustered design diverged")
+		}
+	}
+
+	// A well-shaped circuit job under the default (loose) knobs records a
+	// no-op pass-through.
+	wellShaped := loadSpecB()
+	noopCfg := hidap.NewConfig(hidap.WithEffort(hidap.EffortLow), hidap.WithSeed(1),
+		hidap.WithAutocluster(hidap.DefaultAutocluster()))
+	tk, err := eng.Submit(ctx, hidap.Job{Circuit: &wellShaped, Config: noopCfg, Label: "noop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Stats()
+	if st.AutoclusterNoop != 1 {
+		t.Errorf("noop count = %d, want 1", st.AutoclusterNoop)
+	}
+
+	// indeda never reads the hierarchy: no clustering work is charged.
+	before := eng.Stats()
+	tk, err = eng.Submit(ctx, hidap.Job{Design: g.Design, Placer: "indeda", Config: cfg(1), Label: "indeda"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Stats()
+	if st.DesignsClustered != before.DesignsClustered || st.ClusterCacheHits != before.ClusterCacheHits {
+		t.Errorf("indeda job touched the cluster cache: before %+v after %+v", before, st)
+	}
+}

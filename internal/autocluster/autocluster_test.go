@@ -1,0 +1,317 @@
+package autocluster_test
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/circuits"
+	"repro/internal/autocluster"
+	"repro/internal/hier"
+	"repro/internal/netlist"
+)
+
+func flatSpec() circuits.Spec {
+	return circuits.Spec{Name: "t1", Cells: 400_000, Macros: 12, Subsystems: 3,
+		BusWidth: 32, PipelineDepth: 2, Scale: 200, Seed: 9}
+}
+
+func mustCluster(t testing.TB, d *netlist.Design, p autocluster.Params) *autocluster.Result {
+	t.Helper()
+	r, err := autocluster.Cluster(d, p)
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	return r
+}
+
+func designBytes(t testing.TB, d *netlist.Design) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := netlist.WriteJSON(&buf, d); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestValidateKnobBounds(t *testing.T) {
+	bad := []autocluster.Params{
+		{MaxNumInst: 100, MinNumInst: 200},                // min > max insts
+		{MaxNumMacro: 4, MinNumMacro: 9},                  // min > max macros
+		{MinNumInst: -1},                                  // negative min
+		{MinNumMacro: -2},                                 // negative min
+		{MaxNumInst: -5},                                  // negative max
+		{CoarseningRatio: 0.5},                            // ratio must exceed 1
+		{CoarseningRatio: 1},                              // ratio must exceed 1
+		{MaxLevels: -1},                                   // negative levels
+		{Tolerance: -0.1},                                 // negative tolerance
+		{Tolerance: 100},                                  // absurd tolerance
+		{MaxNumInst: 10, MinNumInst: 10, MinNumMacro: 17}, // min macro > default max
+	}
+	d := goldenDesign(t)
+	for i, p := range bad {
+		if _, err := autocluster.Cluster(d, p); err == nil {
+			t.Errorf("case %d (%+v): expected rejection", i, p)
+		}
+	}
+	// Defaults validate.
+	if err := autocluster.DefaultParams().Validate(); err != nil {
+		t.Errorf("DefaultParams invalid: %v", err)
+	}
+}
+
+func TestNoOpOnHierarchical(t *testing.T) {
+	g := circuits.Generate(flatSpec())
+	r := mustCluster(t, g.Design, autocluster.DefaultParams())
+	if !r.Stats.NoOp {
+		t.Fatalf("expected no-op on well-shaped hierarchy, got %+v", r.Stats)
+	}
+	if r.Design != g.Design {
+		t.Fatal("no-op must return the input design unchanged")
+	}
+}
+
+func TestFlatDesignClustered(t *testing.T) {
+	g := circuits.GenFlat(flatSpec())
+	p := autocluster.Params{MaxNumInst: 400, MinNumInst: 20, MaxNumMacro: 4}
+	r := mustCluster(t, g.Design, p)
+	if r.Stats.NoOp {
+		t.Fatal("flat design must cluster")
+	}
+	d := r.Design
+	if err := d.Validate(); err != nil {
+		t.Fatalf("clustered design invalid: %v", err)
+	}
+	if err := autocluster.CheckTree(d, p); err != nil {
+		t.Fatalf("bounds violated: %v", err)
+	}
+	if r.Stats.Clusters < 2 {
+		t.Fatalf("expected multiple leaves, got %d", r.Stats.Clusters)
+	}
+	// Movable cells live below the root; ports stay at it.
+	for i := range d.Cells {
+		atRoot := d.Cells[i].Hier == 0
+		isPort := d.Cells[i].Kind == netlist.KindPort
+		if atRoot != isPort {
+			t.Fatalf("cell %d (%v) at node %d", i, d.Cells[i].Kind, d.Cells[i].Hier)
+		}
+	}
+	// The synthesized tree is consumable by the hierarchy analysis.
+	tr := hier.New(d)
+	if tr.MacroCount(0) != 12 {
+		t.Fatalf("root macro count = %d, want 12", tr.MacroCount(0))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := circuits.GenFlat(flatSpec())
+	p := autocluster.DefaultParams()
+	p.MaxNumInst = 300
+	p.MaxNumMacro = 3
+	p.MinNumMacro = 1
+
+	old := runtime.GOMAXPROCS(1)
+	r1 := mustCluster(t, g.Design, p)
+	runtime.GOMAXPROCS(4)
+	r2 := mustCluster(t, g.Design, p)
+	runtime.GOMAXPROCS(old)
+	b1, b2 := designBytes(t, r1.Design), designBytes(t, r2.Design)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("tree bytes differ across GOMAXPROCS")
+	}
+
+	// Concurrent passes over the same design (the -race job exercises
+	// this) must also agree byte-for-byte.
+	var wg sync.WaitGroup
+	out := make([][]byte, 4)
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := autocluster.Cluster(g.Design, p)
+			if err != nil {
+				return
+			}
+			var buf bytes.Buffer
+			_ = netlist.WriteJSON(&buf, r.Design)
+			out[i] = buf.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	for i := range out {
+		if !bytes.Equal(out[i], b1) {
+			t.Fatalf("concurrent run %d produced different tree bytes", i)
+		}
+	}
+}
+
+// chainDesign builds 10 three-bit register arrays in a chain, flat at the
+// root: a workload where the Tolerance knob decides whether neighboring
+// arrays may merge.
+func chainDesign(t testing.TB) *netlist.Design {
+	t.Helper()
+	b := netlist.NewBuilder("chain")
+	var prev [3]netlist.CellID
+	for k := 0; k < 10; k++ {
+		var cur [3]netlist.CellID
+		for i := 0; i < 3; i++ {
+			cur[i] = b.AddFlop(fmt.Sprintf("r%d[%d]", k, i), "")
+			if k > 0 {
+				b.Wire(fmt.Sprintf("n%d_%d", k, i), prev[i], cur[i])
+			}
+		}
+		prev = cur
+	}
+	return b.MustBuild()
+}
+
+func TestToleranceHonored(t *testing.T) {
+	d := chainDesign(t)
+	strict := autocluster.Params{MaxNumInst: 4, MinNumInst: 0, MaxNumMacro: 1,
+		CoarseningRatio: 8, MaxLevels: 1, Tolerance: 0}
+	r := mustCluster(t, d, strict)
+	// Two 3-bit arrays cannot merge under a strict cap of 4.
+	if r.Stats.Clusters != 10 {
+		t.Fatalf("strict: %d clusters, want 10", r.Stats.Clusters)
+	}
+	if r.Stats.MaxLeafInsts > 4 {
+		t.Fatalf("strict: leaf of %d insts exceeds cap", r.Stats.MaxLeafInsts)
+	}
+
+	relaxed := strict
+	relaxed.Tolerance = 1.0 // cap 8: neighboring arrays pair up
+	r2 := mustCluster(t, d, relaxed)
+	if r2.Stats.Clusters >= r.Stats.Clusters {
+		t.Fatalf("relaxed: %d clusters, want fewer than %d", r2.Stats.Clusters, r.Stats.Clusters)
+	}
+	if r2.Stats.MaxLeafInsts > 8 {
+		t.Fatalf("relaxed: leaf of %d insts exceeds relaxed cap 8", r2.Stats.MaxLeafInsts)
+	}
+	if err := autocluster.CheckTree(r2.Design, relaxed); err != nil {
+		t.Fatalf("CheckTree(relaxed): %v", err)
+	}
+}
+
+// goldenDesign is a fixed flat design: two macro+register-file pairs and a
+// six-cell combinational chain between them.
+func goldenDesign(t testing.TB) *netlist.Design {
+	t.Helper()
+	b := netlist.NewBuilder("golden")
+	var q [2][4]netlist.CellID
+	var mac [2]netlist.CellID
+	for m := 0; m < 2; m++ {
+		mac[m] = b.AddMacro(fmt.Sprintf("ram%d", m), 20000, 16000, "")
+		for i := 0; i < 4; i++ {
+			q[m][i] = b.AddFlop(fmt.Sprintf("q%d[%d]", m, i), "")
+			b.Wire(fmt.Sprintf("mq%d_%d", m, i), mac[m], q[m][i])
+		}
+	}
+	prev := q[0][0]
+	for i := 0; i < 6; i++ {
+		c := b.AddComb(fmt.Sprintf("u%d", i), 3000, "")
+		b.Wire(fmt.Sprintf("g%d", i), prev, c)
+		prev = c
+	}
+	b.Wire("gl", prev, q[1][0])
+	clk := b.AddPort("clk")
+	b.Wire("clk_n", clk, mac[0], mac[1])
+	return b.MustBuild()
+}
+
+// dumpTree renders the hierarchy with per-subtree movable-instance and
+// macro counts, preorder, children in Children order.
+func dumpTree(d *netlist.Design) string {
+	tr := hier.New(d)
+	insts := make([]int, len(d.Hier))
+	order := d.HierTopo()
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		for _, cid := range d.Node(n).Cells {
+			if d.Cell(cid).Kind != netlist.KindPort {
+				insts[n]++
+			}
+		}
+		for _, ch := range d.Node(n).Children {
+			insts[n] += insts[ch]
+		}
+	}
+	var sb strings.Builder
+	var walk func(n netlist.HierID, depth int)
+	walk = func(n netlist.HierID, depth int) {
+		name := d.Node(n).Name
+		if n == 0 {
+			name = "<root>"
+		}
+		fmt.Fprintf(&sb, "%s%s insts=%d macros=%d\n",
+			strings.Repeat("  ", depth), name, insts[n], tr.MacroCount(n))
+		for _, ch := range d.Node(n).Children {
+			walk(ch, depth+1)
+		}
+	}
+	walk(0, 0)
+	return sb.String()
+}
+
+func TestGoldenTree(t *testing.T) {
+	d := goldenDesign(t)
+	p := autocluster.Params{MaxNumInst: 6, MinNumInst: 0, MaxNumMacro: 1,
+		MinNumMacro: 0, CoarseningRatio: 2, MaxLevels: 2, Tolerance: 0}
+	r := mustCluster(t, d, p)
+	got := dumpTree(r.Design)
+	// The two macro+register-file leaves (c0, c1) pair under g0 — they
+	// share the clk net — and the comb chain (c2) stays a direct child.
+	const golden = `<root> insts=16 macros=2
+  c2 insts=4 macros=0
+  g0 insts=12 macros=2
+    c0 insts=6 macros=1
+    c1 insts=6 macros=1
+`
+	if got != golden {
+		t.Fatalf("golden tree mismatch.\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+	if err := autocluster.CheckTree(r.Design, p); err != nil {
+		t.Fatalf("CheckTree: %v", err)
+	}
+}
+
+func TestDeepHierarchyFlattened(t *testing.T) {
+	b := netlist.NewBuilder("deep")
+	path := ""
+	for i := 0; i < 14; i++ {
+		if path != "" {
+			path += "/"
+		}
+		path += fmt.Sprintf("a%d", i)
+		b.AddComb(fmt.Sprintf("%s/u", path), 3000, path)
+	}
+	d := b.MustBuild()
+	p := autocluster.DefaultParams()
+	if !autocluster.Needed(d, p) {
+		t.Fatal("14-deep hierarchy should trigger clustering")
+	}
+	r := mustCluster(t, d, p)
+	if r.Stats.NoOp {
+		t.Fatal("expected a synthesized tree")
+	}
+	// The tiny deep chain collapses into one leaf under the root.
+	if r.Stats.Clusters != 1 || r.Stats.TreeNodes != 2 {
+		t.Fatalf("stats = %+v, want 1 cluster / 2 tree nodes", r.Stats)
+	}
+}
+
+func BenchmarkClusterFlat(b *testing.B) {
+	spec := flatSpec()
+	spec.Scale = 40 // ~10k cells
+	g := circuits.GenFlat(spec)
+	p := autocluster.DefaultParams()
+	p.MaxNumInst = 1000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := autocluster.Cluster(g.Design, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

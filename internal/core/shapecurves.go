@@ -44,10 +44,11 @@ func generateShapeCurves(ctx context.Context, tree *hier.Tree, seed int64, pool 
 		ByNode:  make(map[netlist.HierID]shape.Curve),
 		ByMacro: make(map[netlist.CellID]shape.Curve),
 	}
-	// Builder invariant: parent IDs precede child IDs, so a reverse sweep
-	// is bottom-up.
-	for id := len(d.Hier) - 1; id >= 0; id-- {
-		hid := netlist.HierID(id)
+	// A reverse topological sweep is bottom-up for any valid tree, not just
+	// builder-ordered ones (rebuilt hierarchies renumber nodes arbitrarily).
+	order := d.HierTopo()
+	for oi := len(order) - 1; oi >= 0; oi-- {
+		hid := order[oi]
 		if tree.SubMacros[hid] == 0 {
 			continue
 		}
@@ -67,7 +68,7 @@ func generateShapeCurves(ctx context.Context, tree *hier.Tree, seed int64, pool 
 				parts = append(parts, sc.ByNode[ch])
 			}
 		}
-		sc.ByNode[hid] = composeParts(ctx, parts, seed+int64(id), pool)
+		sc.ByNode[hid] = composeParts(ctx, parts, seed+int64(hid), pool)
 	}
 	return sc
 }

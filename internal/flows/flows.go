@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/circuits"
+	"repro/internal/autocluster"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/handfp"
@@ -87,6 +88,13 @@ type Options struct {
 	// evaluators) across candidates and runs; a serving engine passes its
 	// per-engine pool here so back-to-back jobs run allocation-warm.
 	Pool *slicing.EvaluatorPool
+	// Autocluster, when set, runs the hierarchy-synthesis front-end on the
+	// design before HiDaP placement (flat or badly-shaped inputs get a
+	// synthesized physical hierarchy; well-shaped ones pass through as a
+	// no-op). The clustered design is cached on the Generated, so repeated
+	// runs share one synthesis. Only the HiDaP flow consumes the
+	// hierarchy; IndEDA and handFP ignore this option.
+	Autocluster *autocluster.Params
 	// Place configures the shared standard-cell placer.
 	Place place.Options
 	// Route configures the congestion model.
@@ -179,6 +187,16 @@ func Run(ctx context.Context, g *circuits.Generated, flow Flow, opt Options) (*M
 // fixed order, so the result is identical either way.
 func runHiDaP(ctx context.Context, g *circuits.Generated, opt Options) (*placement.Placement, float64, error) {
 	d := g.Design
+	if opt.Autocluster != nil {
+		// Swap in the synthesized hierarchy before placement. Cells and nets
+		// are shared with g.Design, so the cached Gseq below and the eval
+		// pipeline (which reads g.Design) stay valid.
+		res, _, err := g.Autocluster(*opt.Autocluster)
+		if err != nil {
+			return nil, 0, err
+		}
+		d = res.Design
+	}
 	restarts := opt.Restarts
 	if restarts < 1 {
 		restarts = 1

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/circuits"
+	"repro/internal/autocluster"
 	"repro/internal/eval"
 	"repro/internal/layout"
 	"repro/internal/sta"
@@ -312,5 +313,82 @@ func TestParallelMatchesSequential(t *testing.T) {
 			t.Errorf("workers=%d: (%v, λ=%v) != sequential (%v, λ=%v)",
 				workers, mc.WirelengthM, mc.Lambda, ms.WirelengthM, ms.Lambda)
 		}
+	}
+}
+
+// TestAutoclusterDifferential runs the HiDaP pipeline on a well-shaped suite
+// circuit with and without the autoclustering front-end. A healthy hierarchy
+// must pass through as a no-op, so every Table II/III metric agrees within
+// the issue's 1% budget (in fact exactly).
+func TestAutoclusterDifferential(t *testing.T) {
+	g := tinyCircuit()
+	base, _, err := Run(context.Background(), g, FlowHiDaP, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fastOpts()
+	p := autocluster.DefaultParams()
+	opt.Autocluster = &p
+	clustered, _, err := Run(context.Background(), g, FlowHiDaP, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within := func(name string, a, b float64) {
+		t.Helper()
+		if a == b {
+			return
+		}
+		ref := math.Abs(a)
+		if ref == 0 {
+			ref = 1
+		}
+		if math.Abs(a-b)/ref > 0.01 {
+			t.Errorf("%s diverged: base %v, autocluster %v", name, a, b)
+		}
+	}
+	within("WL", base.WirelengthM, clustered.WirelengthM)
+	within("GRC%", base.CongestionPct, clustered.CongestionPct)
+	within("WNS%", base.WNSPct, clustered.WNSPct)
+	within("TNS", base.TNSns, clustered.TNSns)
+}
+
+// TestAutoclusterFlatFlow drives a fully flat netlist through the whole
+// HiDaP pipeline with the front-end enabled: without it the multilevel flow
+// would see a single root node; with it the synthesized hierarchy makes the
+// run complete with a real placement.
+func TestAutoclusterFlatFlow(t *testing.T) {
+	spec := circuits.Spec{
+		Name: "flatflow", Cells: 300_000, Macros: 8, Subsystems: 2,
+		BusWidth: 32, PipelineDepth: 2, Scale: 300, Seed: 5, Flat: true,
+	}
+	g := circuits.Generate(spec)
+	if len(g.Design.Hier) != 1 {
+		t.Fatalf("flat spec produced %d hierarchy nodes", len(g.Design.Hier))
+	}
+	opt := fastOpts()
+	p := autocluster.DefaultParams()
+	p.MaxNumInst = 300
+	p.MaxNumMacro = 3
+	p.MinNumMacro = 1
+	opt.Autocluster = &p
+	m, pl, err := Run(context.Background(), g, FlowHiDaP, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WirelengthM <= 0 {
+		t.Errorf("WL = %v", m.WirelengthM)
+	}
+	if !pl.AllMacrosPlaced() {
+		t.Error("macros unplaced")
+	}
+	if ov := pl.MacroOverlapArea(); ov != 0 {
+		t.Errorf("macro overlap %d", ov)
+	}
+	res, fresh, err := g.Autocluster(p)
+	if err != nil || fresh {
+		t.Fatalf("flow must have populated the cluster cache (fresh=%v, err=%v)", fresh, err)
+	}
+	if res.Stats.NoOp {
+		t.Error("flat design must not be a no-op")
 	}
 }

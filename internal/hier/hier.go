@@ -27,9 +27,13 @@ func New(d *netlist.Design) *Tree {
 		SubArea:   make([]int64, len(d.Hier)),
 		SubMacros: make([]int32, len(d.Hier)),
 	}
-	// Children always have larger IDs than parents (builder invariant), so
-	// one reverse sweep aggregates bottom-up.
-	for i := len(d.Hier) - 1; i >= 0; i-- {
+	// A reverse topological sweep aggregates bottom-up. Builder-produced
+	// designs happen to order children after parents, but rebuilt
+	// hierarchies (netlist.ReplaceHier, autocluster) may not, so the order
+	// is derived from the tree itself.
+	order := d.HierTopo()
+	for oi := len(order) - 1; oi >= 0; oi-- {
+		i := order[oi]
 		n := &d.Hier[i]
 		for _, cid := range n.Cells {
 			c := d.Cell(cid)

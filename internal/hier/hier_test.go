@@ -237,3 +237,49 @@ func TestMinAreaControlsSoftBlocks(t *testing.T) {
 		t.Errorf("GlueArea = %d, want >= area of x", res.GlueArea)
 	}
 }
+
+// TestAggregatesRenumberedIDs checks that New tolerates hierarchies whose
+// node IDs are not in builder (parent-before-child) order, as produced by
+// netlist.ReplaceHier and the autocluster rewrite pass.
+func TestAggregatesRenumberedIDs(t *testing.T) {
+	d := fig1Style(t)
+	// Rebuild the hierarchy with leaves numbered BEFORE their parents:
+	// root(0) -> mem(3) -> {bank0(1), bank1(2)}, logic cells at root.
+	nodes := []netlist.NewHierNode{
+		{Parent: netlist.None},
+		{Name: "bank0", Parent: 3},
+		{Name: "bank1", Parent: 3},
+		{Name: "mem", Parent: 0},
+	}
+	cellNode := make([]netlist.HierID, len(d.Cells))
+	macros := 0
+	for i := range d.Cells {
+		if d.Cells[i].Kind == netlist.KindMacro {
+			cellNode[i] = netlist.HierID(1 + macros%2)
+			macros++
+		}
+	}
+	nd, err := netlist.ReplaceHier(d, nodes, cellNode)
+	if err != nil {
+		t.Fatalf("ReplaceHier: %v", err)
+	}
+	tr := New(nd)
+	if got := tr.MacroCount(3); got != 16 {
+		t.Errorf("mem macros = %d, want 16 (got wrong bottom-up order?)", got)
+	}
+	if got := tr.MacroCount(0); got != 16 {
+		t.Errorf("root macros = %d, want 16", got)
+	}
+	if tr.Area(3) != tr.Area(1)+tr.Area(2) {
+		t.Errorf("mem area %d != bank0 %d + bank1 %d", tr.Area(3), tr.Area(1), tr.Area(2))
+	}
+	var macroArea int64
+	for i := range nd.Cells {
+		if nd.Cells[i].Kind == netlist.KindMacro {
+			macroArea += nd.Cells[i].Area()
+		}
+	}
+	if tr.Area(3) != macroArea {
+		t.Errorf("mem area = %d, want %d", tr.Area(3), macroArea)
+	}
+}

@@ -1,0 +1,149 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NewHierNode describes one node of a replacement hierarchy for ReplaceHier.
+// Index 0 must be the root (empty Name, Parent == None); every other node
+// names its parent by index into the same slice. Parents may appear before
+// or after their children: ReplaceHier does not require builder ordering.
+type NewHierNode struct {
+	Name   string
+	Parent HierID
+}
+
+// HierTopo returns the hierarchy node IDs in topological order: the root
+// first, every parent before its children, siblings in Children order.
+// Unlike a plain index sweep it is correct for any valid tree, including
+// rebuilt hierarchies (ReplaceHier) whose child IDs may be smaller than
+// their parents'.
+func (d *Design) HierTopo() []HierID {
+	order := make([]HierID, 0, len(d.Hier))
+	stack := make([]HierID, 0, 16)
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, n)
+		ch := d.Hier[n].Children
+		for i := len(ch) - 1; i >= 0; i-- {
+			stack = append(stack, ch[i])
+		}
+	}
+	return order
+}
+
+// ReplaceHier returns a design that shares d's cells, nets and pins but is
+// owned by a freshly synthesized hierarchy tree. nodes[0] is the root;
+// cellNode assigns every cell (by CellID) to its owning node. Cell, net and
+// pin IDs are unchanged, so placements, graphs and caches keyed by those
+// IDs remain meaningful for the returned design. The input design is not
+// modified.
+//
+// Node numbering is taken verbatim from the nodes slice — it is NOT
+// renumbered into builder (parent-before-child) order. Consumers of the
+// hierarchy must therefore traverse via Parent/Children (see HierTopo)
+// rather than assume ID ordering.
+func ReplaceHier(d *Design, nodes []NewHierNode, cellNode []HierID) (*Design, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("netlist: ReplaceHier: empty node list")
+	}
+	if nodes[0].Parent != None || nodes[0].Name != "" {
+		return nil, fmt.Errorf("netlist: ReplaceHier: nodes[0] must be the unnamed root")
+	}
+	if len(cellNode) != len(d.Cells) {
+		return nil, fmt.Errorf("netlist: ReplaceHier: cellNode has %d entries for %d cells", len(cellNode), len(d.Cells))
+	}
+
+	nd := &Design{
+		Name:      d.Name,
+		Die:       d.Die,
+		RowHeight: d.RowHeight,
+		Nets:      d.Nets,
+		Pins:      d.Pins,
+		portPos:   d.portPos,
+	}
+	nd.Cells = make([]Cell, len(d.Cells))
+	copy(nd.Cells, d.Cells)
+
+	nd.Hier = make([]HierNode, len(nodes))
+	for i, n := range nodes {
+		if i != 0 {
+			if n.Parent < 0 || int(n.Parent) >= len(nodes) || int(n.Parent) == i {
+				return nil, fmt.Errorf("netlist: ReplaceHier: node %d has invalid parent %d", i, n.Parent)
+			}
+			if n.Name == "" || strings.ContainsRune(n.Name, '/') {
+				return nil, fmt.Errorf("netlist: ReplaceHier: node %d has invalid name %q", i, n.Name)
+			}
+		}
+		nd.Hier[i] = HierNode{ID: HierID(i), Name: n.Name, Parent: n.Parent}
+	}
+
+	// Resolve paths (and detect cycles) with a memoized walk to the root.
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make([]uint8, len(nodes))
+	state[0] = done
+	var resolve func(i HierID) error
+	resolve = func(i HierID) error {
+		switch state[i] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("netlist: ReplaceHier: node %d is part of a parent cycle", i)
+		}
+		state[i] = visiting
+		p := nd.Hier[i].Parent
+		if err := resolve(p); err != nil {
+			return err
+		}
+		if p == 0 {
+			nd.Hier[i].Path = nd.Hier[i].Name
+		} else {
+			nd.Hier[i].Path = nd.Hier[p].Path + "/" + nd.Hier[i].Name
+		}
+		state[i] = done
+		return nil
+	}
+	seenPath := make(map[string]HierID, len(nodes))
+	for i := range nodes {
+		if err := resolve(HierID(i)); err != nil {
+			return nil, err
+		}
+		if j, dup := seenPath[nd.Hier[i].Path]; dup && i != 0 {
+			return nil, fmt.Errorf("netlist: ReplaceHier: nodes %d and %d share path %q", j, i, nd.Hier[i].Path)
+		}
+		seenPath[nd.Hier[i].Path] = HierID(i)
+	}
+	for i := 1; i < len(nodes); i++ {
+		p := nd.Hier[i].Parent
+		nd.Hier[p].Children = append(nd.Hier[p].Children, HierID(i))
+	}
+
+	for i := range nd.Cells {
+		n := cellNode[i]
+		if n < 0 || int(n) >= len(nodes) {
+			return nil, fmt.Errorf("netlist: ReplaceHier: cell %d assigned to invalid node %d", i, n)
+		}
+		nd.Cells[i].Hier = n
+		nd.Hier[n].Cells = append(nd.Hier[n].Cells, CellID(i))
+	}
+
+	if err := nd.Validate(); err != nil {
+		return nil, fmt.Errorf("netlist: ReplaceHier: %w", err)
+	}
+	return nd, nil
+}
+
+// FlattenHier returns a copy of d whose hierarchy is a single root owning
+// every cell. Cell, net and pin IDs are unchanged. It is the degenerate
+// ReplaceHier used to turn hierarchical designs into autocluster
+// regression workloads.
+func FlattenHier(d *Design) (*Design, error) {
+	return ReplaceHier(d, []NewHierNode{{Parent: None}}, make([]HierID, len(d.Cells)))
+}

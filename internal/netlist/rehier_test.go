@@ -1,0 +1,160 @@
+package netlist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// buildSample returns a small hierarchical design: two subsystems with a
+// macro and some logic each, wired through a shared net.
+func buildSample(t *testing.T) *Design {
+	t.Helper()
+	b := NewBuilder("sample")
+	m0 := b.AddMacro("a/ram0", 1000, 800, "a")
+	m1 := b.AddMacro("b/ram1", 1000, 800, "b")
+	f0 := b.AddFlop("a/r[0]", "a")
+	f1 := b.AddFlop("a/r[1]", "a")
+	c0 := b.AddComb("b/u0", 560, "b/inner")
+	p := b.AddPort("clk")
+	b.Wire("n0", m0, f0, f1)
+	b.Wire("n1", f0, c0)
+	b.Wire("n2", c0, m1)
+	b.Wire("n3", p, m0, m1)
+	return b.MustBuild()
+}
+
+func TestReplaceHierBasic(t *testing.T) {
+	d := buildSample(t)
+
+	// Regroup the cells under a synthesized tree whose numbering is
+	// deliberately NOT builder-ordered: node 1 is a child of node 3.
+	nodes := []NewHierNode{
+		{Parent: None},             // 0: root
+		{Name: "logic", Parent: 3}, // 1: child of node 3 (parent has larger ID)
+		{Name: "mem", Parent: 0},   // 2
+		{Name: "grp", Parent: 0},   // 3: parent of node 1
+	}
+	cellNode := make([]HierID, len(d.Cells))
+	for i := range d.Cells {
+		switch d.Cells[i].Kind {
+		case KindMacro:
+			cellNode[i] = 2
+		case KindPort:
+			cellNode[i] = 0
+		default:
+			cellNode[i] = 1
+		}
+	}
+	nd, err := ReplaceHier(d, nodes, cellNode)
+	if err != nil {
+		t.Fatalf("ReplaceHier: %v", err)
+	}
+	if nd.NodeByPath("grp/logic") != 1 {
+		t.Fatalf("grp/logic = %d, want 1", nd.NodeByPath("grp/logic"))
+	}
+	if got := len(nd.Node(2).Cells); got != 2 {
+		t.Fatalf("mem owns %d cells, want 2", got)
+	}
+	// Connectivity and IDs are shared with the original.
+	if len(nd.Nets) != len(d.Nets) || len(nd.Pins) != len(d.Pins) {
+		t.Fatalf("nets/pins changed: %d/%d vs %d/%d", len(nd.Nets), len(nd.Pins), len(d.Nets), len(d.Pins))
+	}
+	for i := range d.Cells {
+		if nd.Cells[i].Name != d.Cells[i].Name || nd.Cells[i].Kind != d.Cells[i].Kind {
+			t.Fatalf("cell %d identity changed", i)
+		}
+	}
+	// Original design untouched.
+	if d.Cells[0].Hier == nd.Cells[0].Hier {
+		t.Fatalf("expected different owner for cell 0")
+	}
+	if d.NodeByPath("a") == None {
+		t.Fatalf("original hierarchy mutated")
+	}
+	// JSON round-trips through the rebuilt hierarchy paths.
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nd); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	rd, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if rd.NodeByPath("grp/logic") == None || rd.NodeByPath("mem") == None {
+		t.Fatalf("round-trip lost rebuilt paths")
+	}
+}
+
+func TestReplaceHierRejects(t *testing.T) {
+	d := buildSample(t)
+	all := make([]HierID, len(d.Cells))
+	cases := []struct {
+		name  string
+		nodes []NewHierNode
+		cells []HierID
+	}{
+		{"empty", nil, all},
+		{"named root", []NewHierNode{{Name: "top", Parent: None}}, all},
+		{"bad parent", []NewHierNode{{Parent: None}, {Name: "x", Parent: 9}}, all},
+		{"self parent", []NewHierNode{{Parent: None}, {Name: "x", Parent: 1}}, all},
+		{"cycle", []NewHierNode{{Parent: None}, {Name: "x", Parent: 2}, {Name: "y", Parent: 1}}, all},
+		{"slash name", []NewHierNode{{Parent: None}, {Name: "a/b", Parent: 0}}, all},
+		{"dup path", []NewHierNode{{Parent: None}, {Name: "x", Parent: 0}, {Name: "x", Parent: 0}}, all},
+		{"short cellNode", []NewHierNode{{Parent: None}}, all[:1]},
+		{"bad cell owner", []NewHierNode{{Parent: None}}, append(append([]HierID{}, all[:len(all)-1]...), 7)},
+	}
+	for _, tc := range cases {
+		if _, err := ReplaceHier(d, tc.nodes, tc.cells); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestFlattenHier(t *testing.T) {
+	d := buildSample(t)
+	fd, err := FlattenHier(d)
+	if err != nil {
+		t.Fatalf("FlattenHier: %v", err)
+	}
+	if len(fd.Hier) != 1 {
+		t.Fatalf("flattened design has %d hier nodes, want 1", len(fd.Hier))
+	}
+	if len(fd.Hier[0].Cells) != len(d.Cells) {
+		t.Fatalf("root owns %d cells, want %d", len(fd.Hier[0].Cells), len(d.Cells))
+	}
+	if fd.Stats().CellArea != d.Stats().CellArea {
+		t.Fatalf("cell area changed")
+	}
+}
+
+func TestHierTopo(t *testing.T) {
+	d := buildSample(t)
+	order := d.HierTopo()
+	if len(order) != len(d.Hier) {
+		t.Fatalf("topo covers %d of %d nodes", len(order), len(d.Hier))
+	}
+	pos := make(map[HierID]int, len(order))
+	for i, id := range order {
+		pos[id] = i
+	}
+	for i := 1; i < len(d.Hier); i++ {
+		if pos[d.Hier[i].Parent] >= pos[HierID(i)] {
+			t.Fatalf("node %d precedes its parent %d", i, d.Hier[i].Parent)
+		}
+	}
+
+	// Renumbered tree: parents may have larger IDs; topo must still put
+	// them first.
+	nd, err := ReplaceHier(d, []NewHierNode{
+		{Parent: None},
+		{Name: "leaf", Parent: 2},
+		{Name: "mid", Parent: 0},
+	}, make([]HierID, len(d.Cells)))
+	if err != nil {
+		t.Fatalf("ReplaceHier: %v", err)
+	}
+	order = nd.HierTopo()
+	if len(order) != 3 || order[0] != 0 || order[1] != 2 || order[2] != 1 {
+		t.Fatalf("topo order = %v, want [0 2 1]", order)
+	}
+}
