@@ -11,6 +11,7 @@
 //	hidap-bench -circuits c1,c3 -scale 100 -effort low
 //	hidap-bench -cluster-smoke -smoke-insts 50000 -json BENCH_smoke.json
 //	hidap-bench -emit flat.json -smoke-insts 100000   # flat netlist for cmd/hidap
+//	hidap-bench -sched-bench -json BENCH_PR7.json     # scheduler scaling record
 package main
 
 import (
@@ -19,9 +20,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -36,7 +39,10 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netlist"
 	"repro/internal/render"
+	"repro/internal/sched"
 	"repro/internal/seqgraph"
+	"repro/internal/shape"
+	"repro/internal/slicing"
 )
 
 func main() {
@@ -57,6 +63,10 @@ func main() {
 		smoke      = flag.Bool("cluster-smoke", false, "run the autoclustering smoke: cluster a flat netlist and solve it e2e, flat vs born-hierarchical")
 		smokeInsts = flag.Int("smoke-insts", 50_000, "instance count of the smoke/-emit netlist")
 		emit       = flag.String("emit", "", "write the flat smoke netlist as design JSON to this path (for cmd/hidap -cluster) and exit")
+
+		schedBench  = flag.Bool("sched-bench", false, "time one multi-start level solve across GOMAXPROCS/parallelism settings and verify identical results")
+		schedBlocks = flag.Int("sched-blocks", 24, "block count of the -sched-bench level")
+		schedChains = flag.Int("sched-chains", 8, "restart chains of the -sched-bench solve")
 	)
 	flag.Parse()
 	if !*table1 && !*table2 && !*table3 && !*fig9 {
@@ -74,6 +84,12 @@ func main() {
 	}
 	if *smoke {
 		if err := runClusterSmoke(ctx, *jsonOut, *smokeInsts, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *schedBench {
+		if err := runSchedBench(ctx, *jsonOut, *schedBlocks, *schedChains, *seed); err != nil {
 			fatal(err)
 		}
 		return
@@ -450,6 +466,157 @@ func runClusterSmoke(ctx context.Context, jsonPath string, insts int, seed int64
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	err = enc.Encode(rec)
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err == nil && jsonPath != "-" {
+		fmt.Fprintf(os.Stderr, "# wrote %s\n", jsonPath)
+	}
+	return err
+}
+
+// schedLevelProblem builds the scheduler benchmark level: n mixed
+// macro/soft blocks with a sparse affinity ring plus two corner
+// terminals — the same shape as a real HiDaP level (and as the layout
+// package's Go benchmarks, so the numbers line up).
+func schedLevelProblem(n int) *layout.Problem {
+	rng := rand.New(rand.NewSource(99))
+	blocks := make([]layout.BlockSpec, n)
+	for i := range blocks {
+		at := int64(40_000 + rng.Intn(60_000))
+		b := slicing.Block{TargetArea: at, MinArea: at / 2}
+		if i%3 == 0 {
+			w := int64(100 + rng.Intn(150))
+			h := int64(80 + rng.Intn(120))
+			b.Curve = shape.FromBoxRotatable(w, h)
+			b.MinArea = w * h
+			b.TargetArea = w * h * 3 / 2
+		}
+		blocks[i] = layout.BlockSpec{Block: b}
+	}
+	aff := make([][]float64, n+2)
+	for i := range aff {
+		aff[i] = make([]float64, n+2)
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		aff[i][j], aff[j][i] = float64(1+rng.Intn(20)), float64(1+rng.Intn(20))
+	}
+	aff[0][n], aff[n][0] = 30, 30
+	aff[n-1][n+1], aff[n+1][n-1] = 30, 30
+	return &layout.Problem{
+		Region: geom.RectXYWH(0, 0, 1500, 1200),
+		Blocks: blocks,
+		Terminals: []layout.Terminal{
+			{Name: "sw", Pos: geom.Pt(0, 0)},
+			{Name: "ne", Pos: geom.Pt(1500, 1200)},
+		},
+		Affinity: aff,
+	}
+}
+
+// schedRunJSON is one timed setting of the scheduler benchmark.
+type schedRunJSON struct {
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Parallelism int     `json:"parallelism"`
+	Seconds     float64 `json:"seconds"`
+	Speedup     float64 `json:"speedup_vs_serial"`
+}
+
+// schedBenchJSON is the machine-readable scheduler scaling record
+// (BENCH_PR7.json). Cores records the physical budget of the machine
+// that produced the numbers: speedups beyond it are not expected, and
+// a 1-core box legitimately reports ~1.0 across the board while still
+// proving the identical-result property.
+type schedBenchJSON struct {
+	Bench    string         `json:"bench"`
+	Blocks   int            `json:"blocks"`
+	Chains   int            `json:"chains"`
+	Seed     int64          `json:"seed"`
+	Cores    int            `json:"cores"`
+	Runs     []schedRunJSON `json:"runs"`
+	SameCost bool           `json:"identical_results"`
+}
+
+// runSchedBench times one multi-start level solve (the scheduler's hot
+// path) at GOMAXPROCS/parallelism 1, 4 and 16, checks the results are
+// identical, and reports wall-clock seconds per setting (best of 3).
+func runSchedBench(ctx context.Context, jsonPath string, blocks, chains int, seed int64) error {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	p := schedLevelProblem(blocks)
+	rec := schedBenchJSON{
+		Bench: "sched", Blocks: blocks, Chains: chains, Seed: seed,
+		Cores: runtime.NumCPU(), SameCost: true,
+	}
+	fmt.Printf("sched-bench: %d blocks, %d chains, %d cores\n", blocks, chains, rec.Cores)
+
+	var refExpr string
+	var refCost float64
+	for _, par := range []int{1, 4, 16} {
+		runtime.GOMAXPROCS(par)
+		opt := layout.DefaultOptions()
+		opt.Effort = layout.EffortHigh // long chains: scheduling overhead amortizes, stealing matters
+		opt.Seed = seed
+		opt.Restarts = chains
+		opt.Pool = &slicing.EvaluatorPool{}
+		var pool *sched.Pool
+		if par > 1 {
+			pool = sched.NewPool(par)
+			opt.Sched = pool
+		}
+		best := 0.0
+		var r *layout.Result
+		for rep := 0; rep < 3; rep++ {
+			t0 := time.Now()
+			r = layout.Solve(ctx, p, opt)
+			if s := time.Since(t0).Seconds(); rep == 0 || s < best {
+				best = s
+			}
+			if err := ctx.Err(); err != nil {
+				if pool != nil {
+					pool.Close()
+				}
+				return err
+			}
+		}
+		if pool != nil {
+			pool.Close()
+		}
+		if refExpr == "" {
+			refExpr, refCost = r.Expr.String(), r.Cost
+		} else if r.Expr.String() != refExpr || r.Cost != refCost {
+			rec.SameCost = false
+		}
+		rec.Runs = append(rec.Runs, schedRunJSON{GOMAXPROCS: par, Parallelism: par, Seconds: best})
+		fmt.Printf("  gomaxprocs=%-2d parallelism=%-2d  %.3fs  cost=%.4g legal=%v\n",
+			par, par, best, r.Cost, r.Legal)
+	}
+	serial := rec.Runs[0].Seconds
+	for i := range rec.Runs {
+		rec.Runs[i].Speedup = serial / rec.Runs[i].Seconds
+	}
+	if !rec.SameCost {
+		return fmt.Errorf("sched-bench: results differ across parallelism settings")
+	}
+	fmt.Printf("  identical results across settings: %v\n", rec.SameCost)
+
+	if jsonPath == "" {
+		return nil
+	}
+	var out io.Writer = os.Stdout
+	var f *os.File
+	if jsonPath != "-" {
+		var err error
+		if f, err = os.Create(jsonPath); err != nil {
+			return err
+		}
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	err := enc.Encode(rec)
 	if f != nil {
 		if cerr := f.Close(); err == nil {
 			err = cerr

@@ -138,6 +138,10 @@ type jobRequest struct {
 	Lambda   *float64        `json:"lambda"`
 	Effort   string          `json:"effort"`   // low | medium | high
 	Restarts int             `json:"restarts"` // annealing chains per level (best wins)
+	// Parallelism sizes the job's internal work-stealing scheduler; 0
+	// defers to the engine (serial inside a worker slot on multi-worker
+	// engines). Placements never depend on it.
+	Parallelism int `json:"parallelism"`
 	// Autocluster enables the hierarchy-synthesis front-end for flat
 	// netlists. {} uses the default knobs; fields override individually
 	// (max_num_inst, min_num_inst, max_num_macro, min_num_macro,
@@ -193,6 +197,12 @@ func (req *jobRequest) toJob() (hidap.Job, error) {
 	}
 	if req.Restarts > 0 {
 		opts = append(opts, hidap.WithRestarts(req.Restarts))
+	}
+	if req.Parallelism < 0 {
+		return hidap.Job{}, fmt.Errorf("negative parallelism %d", req.Parallelism)
+	}
+	if req.Parallelism > 0 {
+		opts = append(opts, hidap.WithParallelism(req.Parallelism))
 	}
 	switch strings.ToLower(req.Effort) {
 	case "", "medium":

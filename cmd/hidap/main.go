@@ -45,6 +45,7 @@ func main() {
 		k        = flag.Float64("k", 2, "latency decay exponent")
 		effort   = flag.String("effort", "medium", "annealing effort: low|medium|high")
 		restarts = flag.Int("restarts", 1, "independent annealing chains per level (best layout wins)")
+		par      = flag.Int("parallelism", 0, "work-stealing scheduler lanes: 1 = serial, 0 = all cores; never changes the placement")
 		seed     = flag.Int64("seed", 1, "random seed")
 		cells    = flag.Bool("cells", false, "also run standard-cell placement and report metrics")
 		jsonOut  = flag.Bool("json", false, "with -cells: print the evaluation report as JSON")
@@ -104,6 +105,7 @@ func main() {
 		hidap.WithK(*k),
 		hidap.WithSeed(*seed),
 		hidap.WithRestarts(*restarts),
+		hidap.WithParallelism(*par),
 	}
 	switch *effort {
 	case "low":

@@ -52,11 +52,14 @@ type Config struct {
 	// Restarts runs this many independent annealing chains per
 	// floorplanning level, keeping the best layout (<= 1 means one chain).
 	// The placement is a pure function of (Seed, Restarts) regardless of
-	// RestartWorkers.
+	// Parallelism.
 	Restarts int
-	// RestartWorkers caps the concurrency of the per-level chains; <= 0
-	// uses all cores. It trades wall time only, never the result.
-	RestartWorkers int
+	// Parallelism sizes the work-stealing scheduler a run's whole solve
+	// DAG — sibling hierarchy subtrees, per-level restart chains, and (in
+	// harness runs) placement candidates — drains through: 1 keeps the run
+	// on the calling goroutine, <= 0 uses all cores. It trades wall time
+	// only, never the result.
+	Parallelism int
 	// Seed drives all stochastic steps; equal seeds give equal placements.
 	Seed int64
 	// Trace records the per-level block floorplans (Fig. 1 evolution) into
@@ -120,9 +123,10 @@ func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
 // and keeps the best layout. The result is a pure function of (seed, k).
 func WithRestarts(k int) Option { return func(c *Config) { c.Restarts = k } }
 
-// WithRestartWorkers caps the concurrency of per-level restart chains. It
-// affects wall time only; the placement never depends on it.
-func WithRestartWorkers(n int) Option { return func(c *Config) { c.RestartWorkers = n } }
+// WithParallelism sizes the work-stealing scheduler of the run (1 = fully
+// serial, <= 0 = all cores). It affects wall time only; the placement never
+// depends on it.
+func WithParallelism(n int) Option { return func(c *Config) { c.Parallelism = n } }
 
 // WithTrace records the per-level block floorplans into Stats.Trace.
 func WithTrace() Option { return func(c *Config) { c.Trace = true } }
@@ -153,7 +157,7 @@ func (c *Config) coreOptions() core.Options {
 	}
 	opt.Effort = c.Effort
 	opt.Restarts = c.Restarts
-	opt.RestartWorkers = c.RestartWorkers
+	opt.Parallelism = c.Parallelism
 	opt.Seed = c.Seed
 	opt.Trace = c.Trace
 	opt.Flat = c.Flat

@@ -800,14 +800,14 @@ func (e *Engine) execute(t *Ticket) (res *JobResult, err error) {
 		cfg = e.cfg
 	}
 	cc := *cfg // shallow copy: the job must not see engine plumbing twice
-	if e.workers > 1 && cc.RestartWorkers <= 0 {
+	if e.workers > 1 && cc.Parallelism <= 0 {
 		// The engine's worker pool is the outer parallelism layer: a job's
-		// per-level restart chains must not default to all cores on top of
-		// it, or concurrent jobs multiply into Workers × GOMAXPROCS busy
-		// goroutines. Chains run sequentially unless the job asks for more;
-		// results are identical either way (layout.Solve is worker-count
-		// independent).
-		cc.RestartWorkers = 1
+		// internal scheduler must not default to all cores on top of it, or
+		// concurrent jobs multiply into Workers × GOMAXPROCS busy
+		// goroutines. Jobs run serially inside their worker slot unless they
+		// ask for more; results are identical either way (placements are
+		// Parallelism-independent).
+		cc.Parallelism = 1
 	}
 	if t.cc != nil {
 		return e.runCircuitJob(ctx, t, &cc)
@@ -874,7 +874,7 @@ func (e *Engine) runCircuitJob(ctx context.Context, t *Ticket, cfg *Config) (*Jo
 	fopt.Seed = cfg.Seed
 	fopt.Effort = cfg.Effort
 	fopt.LevelRestarts = cfg.Restarts
-	fopt.LevelWorkers = cfg.RestartWorkers
+	fopt.Parallelism = cfg.Parallelism
 	fopt.Pool = e.pool
 	if len(t.job.Lambdas) > 0 {
 		fopt.Lambdas = t.job.Lambdas
@@ -890,9 +890,10 @@ func (e *Engine) runCircuitJob(ctx context.Context, t *Ticket, cfg *Config) (*Jo
 		e.noteAutocluster(res.Stats, fresh)
 		fopt.Autocluster = cfg.Autocluster
 	}
-	// Candidates run sequentially inside one worker slot so the engine's
-	// Workers bound is the whole story of its parallelism.
-	fopt.Sequential = true
+	// Parallelism rides in from the config (execute pinned it to 1 on
+	// multi-worker engines, so the Workers bound stays the whole story of a
+	// busy engine's parallelism; a single-worker engine lets the job's own
+	// scheduler use the machine).
 	m, pl, err := flows.Run(ctx, g, fl, fopt)
 	if err != nil {
 		return nil, err

@@ -539,10 +539,10 @@ func TestEngineJobValidation(t *testing.T) {
 // TestEngineConcurrentMultiStart exercises per-level multi-start inside
 // concurrent engine jobs: several identical jobs run WithRestarts(3) on a
 // shared cached design (shared Gseq, hierarchy tree and bipartite graph)
-// with their restart chains fanned out WithRestartWorkers(2), and every
-// result must be identical — the multi-start selection is deterministic
+// with their solve DAGs fanned out WithParallelism(2), and every result
+// must be identical — the multi-start selection is deterministic
 // regardless of worker scheduling. Run under -race in CI, this also proves
-// the restart fan-out and the shared artifacts are race-free.
+// the scheduler fan-out and the shared artifacts are race-free.
 func TestEngineConcurrentMultiStart(t *testing.T) {
 	g := circuits.Generate(loadSpecA())
 	eng := hidap.NewEngine(nil, hidap.EngineOptions{Workers: 4})
@@ -552,7 +552,7 @@ func TestEngineConcurrentMultiStart(t *testing.T) {
 		hidap.WithEffort(hidap.EffortLow),
 		hidap.WithSeed(7),
 		hidap.WithRestarts(3),
-		hidap.WithRestartWorkers(2),
+		hidap.WithParallelism(2),
 	)
 	const jobs = 6
 	var tickets []*hidap.Ticket
@@ -594,7 +594,7 @@ func TestEngineConcurrentMultiStart(t *testing.T) {
 // TestEngineRestartsReachSolver pins the engine's restart plumbing end to
 // end: across a handful of seeds, a job WithRestarts(4) must place
 // differently from the single-chain run for at least one of them (the knob
-// reaches the level solver), identically at any RestartWorkers value, and
+// reaches the level solver), identically at any Parallelism value, and
 // exactly like a direct Placer.Place call with the same config.
 func TestEngineRestartsReachSolver(t *testing.T) {
 	// Bigger levels than loadSpecA/B: on tiny levels every chain converges
@@ -632,10 +632,10 @@ func TestEngineRestartsReachSolver(t *testing.T) {
 	}
 
 	multiA := run(hidap.NewConfig(hidap.WithEffort(hidap.EffortLow), hidap.WithSeed(3), hidap.WithRestarts(4)))
-	multiB := run(hidap.NewConfig(hidap.WithEffort(hidap.EffortLow), hidap.WithSeed(3), hidap.WithRestarts(4), hidap.WithRestartWorkers(4)))
+	multiB := run(hidap.NewConfig(hidap.WithEffort(hidap.EffortLow), hidap.WithSeed(3), hidap.WithRestarts(4), hidap.WithParallelism(4)))
 	for _, m := range g.Design.Macros() {
 		if multiA.Placement.Rect(m) != multiB.Placement.Rect(m) {
-			t.Fatalf("macro %d: restart placement depends on RestartWorkers", m)
+			t.Fatalf("macro %d: restart placement depends on Parallelism", m)
 		}
 	}
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/legalize"
 	"repro/internal/netlist"
 	"repro/internal/placement"
+	"repro/internal/sched"
 	"repro/internal/seqgraph"
 	"repro/internal/slicing"
 )
@@ -49,7 +50,11 @@ type Progress struct {
 
 // ProgressFunc receives placement progress events. Callbacks must be fast
 // and must not retain the event past the call; they may be invoked from the
-// goroutine running the placement.
+// goroutine running the placement. Place delivers StageLevel events in the
+// canonical depth-first order of the recursion whatever the Parallelism:
+// levels solved before the recursion first forks stream live (so callbacks
+// see progress and can cancel mid-run), the rest buffer inside their
+// subtree task and replay at the join.
 type ProgressFunc func(Progress)
 
 // Options configures the HiDaP flow.
@@ -85,10 +90,19 @@ type Options struct {
 	// Restarts runs this many independent annealing chains per level solve,
 	// keeping the best (see layout.Options.Restarts; <= 1 means one chain).
 	Restarts int
-	// RestartWorkers caps the concurrency of per-level restart chains
-	// (layout.Options.Workers); the placement is a pure function of
-	// (Seed, Restarts) regardless of this value.
-	RestartWorkers int
+	// Parallelism sizes the work-stealing scheduler the whole solve DAG —
+	// sibling subtrees of the hierarchy and the restart chains of every
+	// level — drains through: 1 keeps the run on the calling goroutine,
+	// <= 0 uses runtime.GOMAXPROCS(0), and anything else starts that many
+	// lanes. The placement is a pure function of (Seed, Lambda, Restarts,
+	// Effort) regardless of this value: tasks are indexed, seeded from
+	// stable task paths (sched.Derive), and reduced in index order.
+	// Ignored when Sched is set.
+	Parallelism int
+	// Sched, when set, borrows an existing work-stealing pool instead of
+	// creating one per Place call; a multi-candidate sweep passes its pool
+	// here so candidates, subtrees and chains share one set of lanes.
+	Sched *sched.Pool
 	// Eval sets the slicing evaluation penalties.
 	Eval slicing.EvalParams
 	// Seed drives all stochastic steps; equal seeds give equal floorplans.
@@ -146,18 +160,85 @@ type Result struct {
 	Flips int
 }
 
-// flowState carries the per-run context through the recursion.
+// flowState carries the per-run context through the recursion. Everything
+// here is either read-only during the recursion (design, graphs, curves,
+// options) or written at disjoint indices by disjoint subtree tasks (the
+// placement: every macro belongs to exactly one subtree).
 type flowState struct {
-	d      *netlist.Design
-	tree   *hier.Tree
-	sg     *seqgraph.Graph
-	sc     *ShapeCurves
-	bp     *graph.Bipartite
-	pl     *placement.Placement
-	opt    Options
-	res    *Result
-	approx []geom.Point // per-cell position estimate (block centers)
+	d     *netlist.Design
+	tree  *hier.Tree
+	sg    *seqgraph.Graph
+	sc    *ShapeCurves
+	bp    *graph.Bipartite
+	pl    *placement.Placement
+	opt   Options
+	res   *Result
+	sched *sched.Pool
+}
+
+// view is one task's sight of the evolving position estimates: per-cell
+// approximations (block centers, refined to exact centers once a macro is
+// fixed) and whether a cell's macro has actually been placed. Parallel
+// sibling subtrees each work on a frozen clone taken at fork time — a
+// sibling's deeper refinements are invisible until the join, which is what
+// makes the result independent of scheduling (the paper's recursion treats
+// sibling subtrees as independent subproblems; cross-subtree attraction
+// comes from the parent level's block centers, which the clone carries).
+type view struct {
+	approx []geom.Point
 	hasApx []bool
+	placed []bool // mirrors placement.Placed for cells this view has seen fixed
+}
+
+func newView(n int) *view {
+	return &view{approx: make([]geom.Point, n), hasApx: make([]bool, n), placed: make([]bool, n)}
+}
+
+func (v *view) clone() *view {
+	return &view{
+		approx: append([]geom.Point(nil), v.approx...),
+		hasApx: append([]bool(nil), v.hasApx...),
+		placed: append([]bool(nil), v.placed...),
+	}
+}
+
+// absorb copies a child task's estimates back for the cells the child owned
+// (its block's subtree cells). Sibling cell sets are disjoint, so absorbing
+// the children in block order is conflict-free and order-canonical.
+func (v *view) absorb(sub *view, cells []netlist.CellID) {
+	for _, cid := range cells {
+		v.approx[cid] = sub.approx[cid]
+		v.hasApx[cid] = sub.hasApx[cid]
+		v.placed[cid] = sub.placed[cid]
+	}
+}
+
+// subRun buffers everything one subtree task produces — its view of the
+// estimates, trace entries, progress events (with subtree-local level
+// numbers) and level count — so the parent can merge the children in block
+// order and reproduce the serial depth-first result exactly.
+type subRun struct {
+	view   *view
+	trace  []LevelTrace
+	events []Progress
+	levels int
+	err    error
+	// live marks the root task's spine: every level solved before the
+	// first fork is the canonical prefix of the event stream whatever the
+	// scheduling, so those events stream to the callback as they happen (a
+	// long run shows progress, and a callback can cancel mid-run); forked
+	// subtrees buffer instead and replay at the join.
+	live bool
+}
+
+// event delivers one progress event: immediately on the live spine,
+// buffered otherwise.
+func (run *subRun) event(st *flowState, ev Progress) {
+	if run.live {
+		st.emit(ev)
+		return
+	}
+	run.events = append(run.events, ev)
 }
 
 // Place runs the complete HiDaP flow (Algorithm 1) on a design: hierarchy
@@ -194,35 +275,49 @@ func Place(ctx context.Context, d *netlist.Design, opt Options) (*Result, error)
 		bp = graph.BipartiteFromDesign(d)
 	}
 	st := &flowState{
-		d:      d,
-		tree:   tree,
-		sg:     sg,
-		bp:     bp,
-		pl:     placement.New(d),
-		opt:    opt,
-		res:    &Result{},
-		approx: make([]geom.Point, len(d.Cells)),
-		hasApx: make([]bool, len(d.Cells)),
+		d:    d,
+		tree: tree,
+		sg:   sg,
+		bp:   bp,
+		pl:   placement.New(d),
+		opt:  opt,
+		res:  &Result{},
+	}
+	st.sched = opt.Sched
+	if st.sched == nil && opt.Parallelism != 1 {
+		st.sched = sched.NewPool(opt.Parallelism)
+		defer st.sched.Close()
 	}
 	st.sc = generateShapeCurves(ctx, st.tree, opt.Seed, opt.Pool)
 	st.res.SeqStats = st.sg.Stats()
 
+	root := &subRun{view: newView(len(d.Cells)), live: true}
 	var err error
 	if opt.Flat {
-		err = st.flatPlace(ctx, d.Die)
+		err = st.flatPlace(ctx, d.Die, root)
 	} else {
-		err = st.recurse(ctx, d.Root(), d.Die, 0)
+		err = st.recurse(ctx, d.Root(), d.Die, 0, root)
 	}
 	if err != nil {
 		return nil, err
+	}
+	st.res.Levels = root.levels
+	if opt.Trace {
+		st.res.Trace = root.trace
 	}
 
 	if !st.pl.AllMacrosPlaced() {
 		return nil, fmt.Errorf("core: flow left macros unplaced")
 	}
 	legalize.Macros(st.pl, d.Die)
-	st.res.Flips = flipMacros(st.pl, st.approx, st.hasApx)
+	st.res.Flips = flipMacros(st.pl, root.view.approx, root.view.hasApx)
 	st.res.Placement = st.pl
+	// Replay the buffered level events (the root spine already streamed
+	// live) in canonical depth-first order, then close with the flips
+	// stage: the stream is identical at any Parallelism.
+	for _, ev := range root.events {
+		st.emit(ev)
+	}
 	st.emit(Progress{Stage: StageFlips, Level: st.res.Levels, Lambda: opt.Lambda, Flips: st.res.Flips})
 	return st.res, nil
 }
@@ -235,8 +330,12 @@ func (st *flowState) emit(ev Progress) {
 }
 
 // recurse is Algorithm 2: floorplan the blocks of one hierarchy level
-// inside region, then recurse into multi-macro blocks.
-func (st *flowState) recurse(ctx context.Context, nh netlist.HierID, region geom.Rect, depth int) error {
+// inside region, then recurse into multi-macro blocks. It runs as one task
+// of the solve DAG, writing only into run (its own buffers) and the
+// disjoint placement slots of its subtree; multi-macro children fork as
+// sibling tasks on frozen view clones and merge back in block order, so
+// the result is byte-identical to the serial depth-first execution.
+func (st *flowState) recurse(ctx context.Context, nh netlist.HierID, region geom.Rect, depth int, run *subRun) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -245,14 +344,14 @@ func (st *flowState) recurse(ctx context.Context, nh netlist.HierID, region geom
 	if len(decl.Blocks) == 0 {
 		return nil
 	}
-	st.res.Levels++
+	run.levels++
 
 	if len(decl.Blocks) == 1 {
 		// A level that cannot be partitioned further: place its macros
 		// directly (wrapper collapse already tried to open it).
 		b := &decl.Blocks[0]
 		for _, m := range b.MacroCells {
-			st.fixSingleMacro(m, region, nil, nil, 0, nil)
+			st.fixSingleMacro(m, region, nil, nil, 0, nil, run.view)
 		}
 		return nil
 	}
@@ -276,36 +375,37 @@ func (st *flowState) recurse(ctx context.Context, nh netlist.HierID, region geom
 	for i := len(decl.Blocks); i < len(gdf.Nodes); i++ {
 		prob.Terminals = append(prob.Terminals, layout.Terminal{
 			Name: gdf.Nodes[i].Name,
-			Pos:  st.terminalPos(gdf, i),
+			Pos:  st.terminalPos(gdf, i, run.view),
 		})
 	}
 
 	opt := layout.Options{
-		Seed: st.opt.Seed + int64(nh)*7919, Effort: st.opt.Effort, Eval: st.opt.Eval, Pool: st.opt.Pool,
-		Restarts: st.opt.Restarts, Workers: st.opt.RestartWorkers,
+		Seed: sched.Derive(st.opt.Seed, int64(nh)), Effort: st.opt.Effort, Eval: st.opt.Eval, Pool: st.opt.Pool,
+		Restarts: st.opt.Restarts, Sched: st.sched,
 	}
 	sol := layout.Solve(ctx, prob, opt)
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	st.emit(Progress{
+	run.event(st, Progress{
 		Stage: StageLevel, Path: d.Node(nh).Path, Depth: depth,
-		Blocks: len(decl.Blocks), Level: st.res.Levels, Lambda: st.opt.Lambda,
+		Blocks: len(decl.Blocks), Level: run.levels, Lambda: st.opt.Lambda,
 	})
 
 	// Refresh position estimates: every cell of block i now lives at the
 	// center of the block's rectangle; glue cells at the region center.
+	v := run.view
 	for i := range decl.Blocks {
 		c := sol.Rects[i].Center()
 		for _, cid := range decl.Blocks[i].Cells {
-			st.approx[cid] = c
-			st.hasApx[cid] = true
+			v.approx[cid] = c
+			v.hasApx[cid] = true
 		}
 	}
 	for ci := range decl.CellBlock {
-		if decl.CellBlock[ci] == hier.Glue && !st.hasApx[ci] {
-			st.approx[ci] = region.Center()
-			st.hasApx[ci] = true
+		if decl.CellBlock[ci] == hier.Glue && !v.hasApx[ci] {
+			v.approx[ci] = region.Center()
+			v.hasApx[ci] = true
 		}
 	}
 
@@ -318,31 +418,82 @@ func (st *flowState) recurse(ctx context.Context, nh netlist.HierID, region geom
 				MacroCount: decl.Blocks[i].MacroCount(),
 			})
 		}
-		st.res.Trace = append(st.res.Trace, tl)
+		run.trace = append(run.trace, tl)
 	}
 
-	// Descend (Algorithm 2, lines 7-11).
+	// Descend (Algorithm 2, lines 7-11), in two phases so the result does
+	// not depend on scheduling: first every single-macro block is fixed
+	// serially in block order (these are cheap corner placements), then the
+	// multi-macro blocks — the expensive recursive subproblems — run as
+	// sibling tasks, each on a clone of the view as it stands right here.
+	// Cloning even in the serial case keeps the semantics identical at any
+	// Parallelism: a sibling never sees another sibling's deeper
+	// refinements, only the block centers this level just computed.
+	var children []int
 	for i := range decl.Blocks {
 		b := &decl.Blocks[i]
-		r := sol.Rects[i]
 		switch {
 		case b.MacroCount() == 0:
 			// Soft block: standard cells only, placed later by the cell
 			// placer; nothing to fix here.
 		case b.MacroCount() == 1:
-			st.fixSingleMacro(b.MacroCells[0], r, gdf, aff, int32(i), sol)
+			st.fixSingleMacro(b.MacroCells[0], sol.Rects[i], gdf, aff, int32(i), sol, v)
 		default:
-			if err := st.recurse(ctx, b.Node, r, depth+1); err != nil {
-				return err
-			}
+			children = append(children, i)
 		}
 	}
-	return nil
+	if len(children) == 0 {
+		return nil
+	}
+	if len(children) == 1 {
+		// One child sees exactly the view a clone would carry; recurse in
+		// place and let it extend this task's buffers directly.
+		i := children[0]
+		return st.recurse(ctx, decl.Blocks[i].Node, sol.Rects[i], depth+1, run)
+	}
+	subs := make([]*subRun, len(children))
+	for k := range children {
+		subs[k] = &subRun{view: v.clone()}
+	}
+	if st.sched == nil {
+		for k, i := range children {
+			sub := subs[k]
+			sub.err = st.recurse(ctx, decl.Blocks[i].Node, sol.Rects[i], depth+1, sub)
+		}
+	} else {
+		g := st.sched.Group(ctx)
+		for k, i := range children {
+			sub, b, r := subs[k], &decl.Blocks[i], sol.Rects[i]
+			g.Go(func(ctx context.Context) {
+				sub.err = st.recurse(ctx, b.Node, r, depth+1, sub)
+			})
+		}
+		g.Wait() // a cancelled ctx still drains; errors are read per-child below
+	}
+	// Merge the children in block order: level numbers shift by the levels
+	// accumulated so far, traces and events concatenate, and each child's
+	// view writes back over exactly its block's subtree cells (disjoint
+	// across siblings). Errors surface in block order too, so the reported
+	// error does not depend on scheduling.
+	for k, i := range children {
+		sub := subs[k]
+		if sub.err != nil {
+			return sub.err
+		}
+		for e := range sub.events {
+			sub.events[e].Level += run.levels
+		}
+		run.events = append(run.events, sub.events...)
+		run.trace = append(run.trace, sub.trace...)
+		run.levels += sub.levels
+		v.absorb(sub.view, decl.Blocks[i].Cells)
+	}
+	return ctx.Err()
 }
 
 // flatPlace is the single-level ablation: one layout instance whose blocks
 // are the individual macros; all standard cells are glue.
-func (st *flowState) flatPlace(ctx context.Context, region geom.Rect) error {
+func (st *flowState) flatPlace(ctx context.Context, region geom.Rect, run *subRun) error {
 	d := st.d
 	decl := &hier.Result{CellBlock: make([]int32, len(d.Cells))}
 	for i := range decl.CellBlock {
@@ -367,7 +518,7 @@ func (st *flowState) flatPlace(ctx context.Context, region geom.Rect) error {
 			decl.GlueArea += d.Cells[i].Area()
 		}
 	}
-	st.res.Levels = 1
+	run.levels = 1
 
 	at := st.targetAreas(decl)
 	gdf := dataflow.Build(st.sg, decl)
@@ -388,26 +539,26 @@ func (st *flowState) flatPlace(ctx context.Context, region geom.Rect) error {
 	for i := len(decl.Blocks); i < len(gdf.Nodes); i++ {
 		prob.Terminals = append(prob.Terminals, layout.Terminal{
 			Name: gdf.Nodes[i].Name,
-			Pos:  st.terminalPos(gdf, i),
+			Pos:  st.terminalPos(gdf, i, run.view),
 		})
 	}
 	sol := layout.Solve(ctx, prob, layout.Options{
 		Seed: st.opt.Seed, Effort: st.opt.Effort, Eval: st.opt.Eval, Pool: st.opt.Pool,
-		Restarts: st.opt.Restarts, Workers: st.opt.RestartWorkers,
+		Restarts: st.opt.Restarts, Sched: st.sched,
 	})
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	st.emit(Progress{Stage: StageLevel, Path: "(flat)", Blocks: len(decl.Blocks), Level: 1, Lambda: st.opt.Lambda})
+	run.event(st, Progress{Stage: StageLevel, Path: "(flat)", Blocks: len(decl.Blocks), Level: 1, Lambda: st.opt.Lambda})
 	for i := range decl.Blocks {
-		st.fixSingleMacro(decl.Blocks[i].MacroCells[0], sol.Rects[i], gdf, aff, int32(i), sol)
+		st.fixSingleMacro(decl.Blocks[i].MacroCells[0], sol.Rects[i], gdf, aff, int32(i), sol, run.view)
 	}
 	if st.opt.Trace {
 		tl := LevelTrace{Path: "(flat)", Depth: 0, Region: region}
 		for i := range decl.Blocks {
 			tl.Blocks = append(tl.Blocks, TraceBlock{Name: decl.Blocks[i].Name, Rect: sol.Rects[i], MacroCount: 1})
 		}
-		st.res.Trace = append(st.res.Trace, tl)
+		run.trace = append(run.trace, tl)
 	}
 	return nil
 }
@@ -452,8 +603,11 @@ func (st *flowState) targetAreas(decl *hier.Result) []int64 {
 	return at
 }
 
-// terminalPos estimates the fixed position of a Gdf terminal node.
-func (st *flowState) terminalPos(gdf *dataflow.Graph, node int) geom.Point {
+// terminalPos estimates the fixed position of a Gdf terminal node from the
+// task's view. A placed macro's view approximation equals its exact placed
+// center (fixSingleMacro writes both), so reading the view covers the
+// placed case too — without racing on placement slots other tasks own.
+func (st *flowState) terminalPos(gdf *dataflow.Graph, node int, v *view) geom.Point {
 	n := &gdf.Nodes[node]
 	var sx, sy, cnt int64
 	for _, si := range n.Seq {
@@ -462,10 +616,8 @@ func (st *flowState) terminalPos(gdf *dataflow.Graph, node int) geom.Point {
 			switch {
 			case st.d.Cell(cid).Kind == netlist.KindPort:
 				p = st.d.PortPos(cid)
-			case st.pl.Placed[cid]:
-				p = st.pl.Center(cid)
-			case st.hasApx[cid]:
-				p = st.approx[cid]
+			case v.hasApx[cid]:
+				p = v.approx[cid]
 			default:
 				p = st.d.Die.Center()
 			}
@@ -484,7 +636,7 @@ func (st *flowState) terminalPos(gdf *dataflow.Graph, node int) geom.Point {
 // that minimizes the affinity-weighted distance to its Gdf counterparts
 // (Algorithm 2, line 11). gdf/sol may be nil for degenerate levels, in
 // which case the macro centers in the region.
-func (st *flowState) fixSingleMacro(m netlist.CellID, r geom.Rect, gdf *dataflow.Graph, aff [][]float64, blockIdx int32, sol *layout.Result) {
+func (st *flowState) fixSingleMacro(m netlist.CellID, r geom.Rect, gdf *dataflow.Graph, aff [][]float64, blockIdx int32, sol *layout.Result, v *view) {
 	c := st.d.Cell(m)
 	// Choose the orientation whose outline fits the rectangle best.
 	orients := []geom.Orient{geom.R0, geom.R90}
@@ -514,20 +666,23 @@ func (st *flowState) fixSingleMacro(m netlist.CellID, r geom.Rect, gdf *dataflow
 	bestCost := float64(-1)
 	for _, cand := range candidates {
 		cand = cand.ClampInside(st.d.Die)
-		cost := st.macroAttraction(cand.Center(), gdf, aff, blockIdx, sol)
+		cost := st.macroAttraction(cand.Center(), gdf, aff, blockIdx, sol, v)
 		if bestCost < 0 || cost < bestCost {
 			bestCost = cost
 			best = cand
 		}
 	}
 	st.pl.PlaceOriented(m, geom.Pt(best.X, best.Y), bestOrient)
-	st.approx[m] = best.Center()
-	st.hasApx[m] = true
+	// The view approximation must equal the placed center exactly — the
+	// view stands in for placement reads everywhere in this flow.
+	v.approx[m] = best.Center()
+	v.hasApx[m] = true
+	v.placed[m] = true
 }
 
 // macroAttraction scores a candidate macro position against the affinity
 // row of its block.
-func (st *flowState) macroAttraction(p geom.Point, gdf *dataflow.Graph, aff [][]float64, blockIdx int32, sol *layout.Result) float64 {
+func (st *flowState) macroAttraction(p geom.Point, gdf *dataflow.Graph, aff [][]float64, blockIdx int32, sol *layout.Result, v *view) float64 {
 	if gdf == nil || sol == nil {
 		// No dataflow context: all candidates tie at zero and the first
 		// (lower-left corner) wins.
@@ -539,17 +694,17 @@ func (st *flowState) macroAttraction(p geom.Point, gdf *dataflow.Graph, aff [][]
 		if w == 0 || int32(j) == blockIdx {
 			continue
 		}
-		cost += w * float64(p.ManhattanDist(st.counterpartPos(gdf, j, sol)))
+		cost += w * float64(p.ManhattanDist(st.counterpartPos(gdf, j, sol, v)))
 	}
 	return cost
 }
 
-// counterpartPos locates a Gdf node for corner scoring: already-fixed
-// macros (earlier siblings or deeper levels) count with their real
-// positions, others with their block rectangle centers.
-func (st *flowState) counterpartPos(gdf *dataflow.Graph, j int, sol *layout.Result) geom.Point {
+// counterpartPos locates a Gdf node for corner scoring: macros the task has
+// seen fixed (earlier single-macro siblings at this level) count with their
+// real positions via the view, others with their block rectangle centers.
+func (st *flowState) counterpartPos(gdf *dataflow.Graph, j int, sol *layout.Result, v *view) geom.Point {
 	if j >= len(sol.Rects) {
-		return st.terminalPos(gdf, j)
+		return st.terminalPos(gdf, j, v)
 	}
 	var sx, sy, cnt int64
 	for _, si := range gdf.Nodes[j].Seq {
@@ -557,8 +712,8 @@ func (st *flowState) counterpartPos(gdf *dataflow.Graph, j int, sol *layout.Resu
 			continue
 		}
 		cid := st.sg.Nodes[si].Cells[0]
-		if st.pl.Placed[cid] {
-			p := st.pl.Center(cid)
+		if v.placed[cid] {
+			p := v.approx[cid] // == the placed center, set by fixSingleMacro
 			sx += p.X
 			sy += p.Y
 			cnt++

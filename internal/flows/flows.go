@@ -11,7 +11,6 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"runtime"
 	"sync"
 	"time"
 
@@ -27,6 +26,7 @@ import (
 	"repro/internal/place"
 	"repro/internal/placement"
 	"repro/internal/route"
+	"repro/internal/sched"
 	"repro/internal/slicing"
 	"repro/internal/sta"
 )
@@ -61,28 +61,26 @@ type Options struct {
 	// (core.Options.Restarts). Orthogonal to Restarts, which restarts whole
 	// placements.
 	LevelRestarts int
-	// LevelWorkers caps the concurrency of per-level restart chains
-	// (core.Options.RestartWorkers); results do not depend on it. When 0
-	// and the candidate sweep itself runs in parallel, chains run
-	// sequentially so the two layers do not multiply goroutines.
-	LevelWorkers int
 	// SelectBy chooses among HiDaP candidates: "wl" (paper default) keeps
 	// the best wirelength; "timing" keeps the best WNS, breaking ties by
 	// wirelength — the timing-driven selection the paper's conclusions
 	// motivate.
 	SelectBy string
-	// Sequential disables the parallel evaluation of HiDaP candidates
-	// (λ × restarts). Selection is deterministic either way; parallel just
-	// uses the machine's cores.
-	Sequential bool
-	// Workers caps the candidate-evaluation fan-out; 0 means
-	// runtime.GOMAXPROCS(0). Each candidate runs a full macro placement, so
-	// unbounded spawning would thrash memory and the scheduler on large
-	// candidate sets. Ignored when Sequential is set.
-	Workers int
+	// Parallelism sizes the one work-stealing scheduler the whole HiDaP
+	// solve DAG drains through: candidates (λ × restarts), sibling
+	// hierarchy subtrees inside each placement, and per-level restart
+	// chains are all tasks of the same pool, so the machine stays busy
+	// without any layer multiplying goroutines into another. 1 runs
+	// everything on the calling goroutine; <= 0 means
+	// runtime.GOMAXPROCS(0). Results never depend on it: tasks are
+	// indexed, seeded by stable task paths, and reduced in index order.
+	Parallelism int
 	// Progress, when set, receives one core.StageCandidate event per
 	// evaluated HiDaP candidate, so callers can stream status for long
-	// suite runs. Events may arrive from worker goroutines.
+	// suite runs. Events are delivered in candidate-index order (a
+	// completed candidate's event is held until its predecessors have
+	// reported), so the stream is identical at any Parallelism; they may
+	// arrive from worker goroutines.
 	Progress core.ProgressFunc
 	// Pool, when set, shares annealing scratch (incremental slicing
 	// evaluators) across candidates and runs; a serving engine passes its
@@ -182,9 +180,11 @@ func Run(ctx context.Context, g *circuits.Generated, flow Flow, opt Options) (*M
 	return m, pl, nil
 }
 
-// runHiDaP evaluates every (restart, λ) candidate — in parallel unless
-// opt.Sequential — and selects the winner. Selection scans candidates in a
-// fixed order, so the result is identical either way.
+// runHiDaP evaluates every (restart, λ) candidate on one shared
+// work-stealing pool — candidates, hierarchy subtrees and restart chains
+// are all tasks of the same scheduler — and selects the winner. Selection
+// scans candidates in a fixed order, so the result is identical at any
+// Parallelism.
 func runHiDaP(ctx context.Context, g *circuits.Generated, opt Options) (*placement.Placement, float64, error) {
 	d := g.Design
 	if opt.Autocluster != nil {
@@ -214,28 +214,42 @@ func runHiDaP(ctx context.Context, g *circuits.Generated, opt Options) (*placeme
 			cands = append(cands, candidate{lambda: lambda})
 		}
 	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	// One pool for the whole run: candidate tasks fork subtree and chain
+	// tasks onto the same lanes, so an idle lane always finds work in some
+	// layer instead of waiting for its own layer to produce more.
+	pool := sched.NewPool(opt.Parallelism)
+	defer pool.Close()
+
+	// Candidate progress events are emitted in index order behind a
+	// watermark: a finished candidate marks itself done, and the lowest
+	// unreported prefix of done candidates reports. Streaming survives,
+	// and the event order is a pure function of the candidate set.
+	var emitMu sync.Mutex
+	emitted := make([]int8, len(cands)) // 0 pending, 1 done+event, -1 done silently (error)
+	next := 0
+	reportDone := func(i int, ok bool) {
+		if opt.Progress == nil {
+			return
+		}
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		if ok {
+			emitted[i] = 1
+		} else {
+			emitted[i] = -1
+		}
+		for next < len(cands) && emitted[next] != 0 {
+			if emitted[next] > 0 {
+				opt.Progress(core.Progress{
+					Stage: core.StageCandidate, Candidate: next + 1, Candidates: len(cands), Lambda: cands[next].lambda,
+				})
+			}
+			next++
+		}
 	}
-	if workers > len(cands) {
-		workers = len(cands)
-	}
-	if opt.Sequential || len(cands) == 1 {
-		workers = 1
-	}
-	// Per-level restart chains are the innermost parallelism layer. When
-	// the candidate sweep above them already fans out, an unset
-	// LevelWorkers must not multiply into candidates × GOMAXPROCS
-	// goroutines — the cores are spoken for, so nested chains run
-	// sequentially unless the caller asks otherwise. Results are identical
-	// either way (layout.Solve is worker-count independent).
-	levelWorkers := opt.LevelWorkers
-	if levelWorkers <= 0 && workers > 1 {
-		levelWorkers = 1
-	}
-	evalOne := func(i int) {
+	evalOne := func(ctx context.Context, i int) {
 		c := &cands[i]
+		defer func() { reportDone(i, c.err == nil) }()
 		if c.err = ctx.Err(); c.err != nil {
 			return
 		}
@@ -244,7 +258,7 @@ func runHiDaP(ctx context.Context, g *circuits.Generated, opt Options) (*placeme
 		coreOpt.Seed = opt.Seed + int64(i/len(opt.Lambdas))*1_000_003
 		coreOpt.Effort = opt.Effort
 		coreOpt.Restarts = opt.LevelRestarts
-		coreOpt.RestartWorkers = levelWorkers
+		coreOpt.Sched = pool
 		// Every candidate places the same design: reuse the circuit's cached
 		// Gseq (built under default params, matching coreOpt.Seq) and the
 		// shared scratch pool instead of rebuilding per candidate.
@@ -264,38 +278,13 @@ func runHiDaP(ctx context.Context, g *circuits.Generated, opt Options) (*placeme
 		if opt.SelectBy == "timing" {
 			c.wns = sta.Analyze(g.SeqGraph(), c.pl, eval.CalibrateSTA(d, opt.STA)).WNSPct
 		}
-		if opt.Progress != nil {
-			opt.Progress(core.Progress{
-				Stage: core.StageCandidate, Candidate: i + 1, Candidates: len(cands), Lambda: c.lambda,
-			})
-		}
 	}
-	if workers == 1 {
-		for i := range cands {
-			evalOne(i)
-		}
-	} else {
-		// Fixed-size worker pool: each candidate runs a full core.Place, so
-		// the fan-out is capped instead of spawning one goroutine per
-		// candidate. Selection below scans in fixed order, so scheduling is
-		// irrelevant to the result.
-		idx := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					evalOne(i)
-				}
-			}()
-		}
-		for i := range cands {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
+	grp := pool.Group(ctx)
+	for i := range cands {
+		i := i
+		grp.Go(func(ctx context.Context) { evalOne(ctx, i) })
 	}
+	grp.Wait() // a cancelled ctx drains; per-candidate errors are scanned below
 	best := -1
 	for i := range cands {
 		if cands[i].err != nil {

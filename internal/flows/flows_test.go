@@ -285,7 +285,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 	par := fastOpts()
 	par.Lambdas = []float64{0.2, 0.5, 0.8}
 	seq := par
-	seq.Sequential = true
+	seq.Parallelism = 1
 
 	mp, _, err := Run(context.Background(), g, FlowHiDaP, par)
 	if err != nil {
@@ -300,11 +300,11 @@ func TestParallelMatchesSequential(t *testing.T) {
 			mp.WirelengthM, mp.Lambda, ms.WirelengthM, ms.Lambda)
 	}
 
-	// A capped worker pool (including a cap above the candidate count) must
+	// Any scheduler width (including one far above the candidate count) must
 	// select the same winner: scheduling order is irrelevant to selection.
-	for _, workers := range []int{1, 2, 16} {
+	for _, workers := range []int{2, 16} {
 		capped := par
-		capped.Workers = workers
+		capped.Parallelism = workers
 		mc, _, err := Run(context.Background(), g, FlowHiDaP, capped)
 		if err != nil {
 			t.Fatal(err)

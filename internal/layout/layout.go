@@ -16,18 +16,18 @@
 // fixed-shape summation tree, so one proposal costs O(depth + degree of the
 // moved blocks) instead of O(n + pairs). Solve optionally runs several
 // independent annealing chains (Options.Restarts) on pooled scratch and
-// keeps the best, deterministically for a fixed seed regardless of
-// Options.Workers.
+// keeps the best, deterministically for a fixed seed regardless of how the
+// chains are scheduled (Options.Sched).
 package layout
 
 import (
 	"context"
 	"math/rand"
-	"runtime"
 	"sync"
 
 	"repro/internal/anneal"
 	"repro/internal/geom"
+	"repro/internal/sched"
 	"repro/internal/slicing"
 )
 
@@ -92,11 +92,14 @@ type Options struct {
 	// seeds derived from Seed and keeps the lowest-cost result (<= 1 means
 	// one chain, seeded with Seed exactly — the single-chain behavior).
 	Restarts int
-	// Workers caps the concurrency of the restart chains; <= 0 means
-	// runtime.GOMAXPROCS(0). The returned result is a pure function of
-	// (Seed, Restarts): chains are seeded by index and compared in index
-	// order, so Workers affects wall time only, never the solution.
-	Workers int
+	// Sched, when set, runs the restart chains as tasks on the shared
+	// work-stealing pool, so sibling level solves and their chains all
+	// drain one scheduler instead of stacking private worker pools. Nil
+	// runs the chains on the calling goroutine. The returned result is a
+	// pure function of (Seed, Restarts): chains are seeded by index
+	// (sched.Derive) and compared in index order, so scheduling affects
+	// wall time only, never the solution.
+	Sched *sched.Pool
 }
 
 // DefaultOptions returns medium effort with the standard penalties.
@@ -160,34 +163,22 @@ func Solve(ctx context.Context, p *Problem, opt Options) *Result {
 	var shared pairIndex
 	shared.build(p)
 	results := make([]*Result, restarts)
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > restarts {
-		workers = restarts
-	}
-	if workers <= 1 {
+	if opt.Sched == nil {
 		for i := range results {
 			results[i] = solveChain(ctx, p, opt, chainSeed(opt.Seed, i), &shared)
 		}
 	} else {
-		idx := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					results[i] = solveChain(ctx, p, opt, chainSeed(opt.Seed, i), &shared)
-				}
-			}()
-		}
+		// Each chain is one task on the shared pool; a cancelled ctx still
+		// drains every task (the chains observe the cancellation and stop
+		// annealing early), so every slot is filled before the scan below.
+		g := opt.Sched.Group(ctx)
 		for i := range results {
-			idx <- i
+			i := i
+			g.Go(func(ctx context.Context) {
+				results[i] = solveChain(ctx, p, opt, chainSeed(opt.Seed, i), &shared)
+			})
 		}
-		close(idx)
-		wg.Wait()
+		g.Wait() // ctx errors surface through the caller's ctx.Err() checks
 	}
 	best := results[0]
 	for _, r := range results[1:] {
@@ -198,13 +189,14 @@ func Solve(ctx context.Context, p *Problem, opt Options) *Result {
 	return best
 }
 
-// chainSeed derives the seed of one restart chain. Chain 0 uses the
-// caller's seed unchanged, so Restarts=1 reproduces the single-chain run.
+// chainSeed derives the seed of one restart chain from its stable task
+// path (the chain index). Chain 0 uses the caller's seed unchanged, so
+// Restarts=1 reproduces the single-chain run.
 func chainSeed(seed int64, chain int) int64 {
 	if chain == 0 {
 		return seed
 	}
-	return seed + int64(chain)*-0x61c8864680b583eb // golden-ratio stride, wraps deterministically
+	return sched.Derive(seed, int64(chain))
 }
 
 // solver is the per-chain annealing scratch: the block slice, the delta

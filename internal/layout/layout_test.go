@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/geom"
+	"repro/internal/sched"
 	"repro/internal/shape"
 	"repro/internal/slicing"
 )
@@ -317,7 +318,8 @@ func TestDeltaCostMatchesFullRecompute(t *testing.T) {
 
 // TestSolveRestartsDeterministicAcrossWorkers is the multi-start contract:
 // a seeded Solve with Restarts=4 must return byte-identical results whether
-// the chains run on one worker or several.
+// the chains run on the calling goroutine (Sched nil) or on a shared
+// work-stealing pool of any width.
 func TestSolveRestartsDeterministicAcrossWorkers(t *testing.T) {
 	p := benchProblem(10)
 	solve := func(workers int) *Result {
@@ -325,11 +327,15 @@ func TestSolveRestartsDeterministicAcrossWorkers(t *testing.T) {
 		opt.Seed = 21
 		opt.Effort = EffortLow
 		opt.Restarts = 4
-		opt.Workers = workers
+		if workers > 0 {
+			pool := sched.NewPool(workers)
+			defer pool.Close()
+			opt.Sched = pool
+		}
 		return Solve(context.Background(), p, opt)
 	}
-	a := solve(1)
-	for _, w := range []int{2, 4} {
+	a := solve(0) // serial reference: no scheduler at all
+	for _, w := range []int{1, 2, 4} {
 		b := solve(w)
 		if math.Float64bits(a.Cost) != math.Float64bits(b.Cost) ||
 			math.Float64bits(a.Penalty) != math.Float64bits(b.Penalty) ||

@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// FuzzPoolDAG drives the scheduler with arbitrary DAG shapes decoded
+// from the fuzz input: each input byte is the fan-out of one node in a
+// breadth-first expansion (0 = leaf), which covers skewed trees,
+// single-child chains, and single-node DAGs. For every shape it asserts
+// the scheduler's invariants: no task is dropped, no task runs twice,
+// the per-source counters balance, and — on the odd iterations — a ctx
+// cancelled mid-run still drains the whole DAG without deadlock.
+func FuzzPoolDAG(f *testing.F) {
+	f.Add([]byte{3, 2, 2, 0}, uint8(4), false)       // shallow bushy tree
+	f.Add([]byte{1, 1, 1, 1, 1, 1}, uint8(1), false) // single-child chain, serial pool
+	f.Add([]byte{0}, uint8(2), false)                // one leaf
+	f.Add([]byte{8, 0, 0, 0, 0, 0, 0, 0, 7}, uint8(3), true)
+	f.Add([]byte{2, 2, 2, 2, 2, 2, 2}, uint8(8), true) // wide tree, cancelled
+	f.Add([]byte{5, 1, 0, 4, 1, 0, 3}, uint8(2), true)
+
+	f.Fuzz(func(t *testing.T, shape []byte, width uint8, cancelMidway bool) {
+		if len(shape) == 0 || len(shape) > 64 {
+			return
+		}
+		n := int(width%8) + 1
+		p := NewPool(n)
+		defer p.Close()
+
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+
+		// nodeRuns[id] counts executions of DAG node id; ids are assigned
+		// deterministically as each task forks (parent allocates its
+		// children's ids before spawning).
+		var nextID int64
+		var mu sync.Mutex
+		nodeRuns := map[int64]int{}
+
+		// fanout of node i comes from shape[i % len(shape)], capped so the
+		// total DAG stays small. total counts allocated nodes.
+		var total int64 = 1
+		const maxNodes = 512
+
+		var run func(ctx context.Context, id int64, depth int)
+		run = func(ctx context.Context, id int64, depth int) {
+			mu.Lock()
+			nodeRuns[id]++
+			mu.Unlock()
+			if depth > 12 {
+				return
+			}
+			fan := int(shape[int(id)%len(shape)] % 6)
+			if fan == 0 {
+				return
+			}
+			if atomic.AddInt64(&total, int64(fan)) > maxNodes {
+				atomic.AddInt64(&total, -int64(fan))
+				return
+			}
+			g := p.Group(ctx)
+			for k := 0; k < fan; k++ {
+				cid := atomic.AddInt64(&nextID, 1)
+				g.Go(func(ctx context.Context) { run(ctx, cid, depth+1) })
+			}
+			if cancelMidway && id%7 == 3 {
+				cancel()
+			}
+			if err := g.Wait(); err != nil && err != context.Canceled {
+				t.Errorf("Wait: %v", err)
+			}
+		}
+		run(ctx, 0, 0)
+
+		// Every allocated node ran exactly once — cancellation drains, it
+		// does not drop.
+		mu.Lock()
+		defer mu.Unlock()
+		if int64(len(nodeRuns)) != atomic.LoadInt64(&total) {
+			t.Fatalf("%d nodes ran, %d allocated", len(nodeRuns), total)
+		}
+		for id, c := range nodeRuns {
+			if c != 1 {
+				t.Fatalf("node %d ran %d times", id, c)
+			}
+		}
+		st := p.Stats()
+		if st.Submitted != st.Completed {
+			t.Fatalf("submitted %d != completed %d", st.Submitted, st.Completed)
+		}
+		if st.LocalPops+st.Steals+st.InjectRuns != st.Completed {
+			t.Fatalf("steal counters don't balance: %+v", st)
+		}
+		if st.Completed != uint64(total-1) { // root ran inline, not via Go
+			t.Fatalf("completed %d tasks, want %d", st.Completed, total-1)
+		}
+	})
+}

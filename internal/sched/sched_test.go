@@ -1,0 +1,264 @@
+package sched
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForkJoinRunsEveryTask: a flat fan-out completes exactly once per
+// task at several pool widths, including the zero-background-worker
+// serial pool.
+func TestForkJoinRunsEveryTask(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		p := NewPool(n)
+		var ran [100]int32
+		g := p.Group(context.Background())
+		for i := range ran {
+			i := i
+			g.Go(func(context.Context) { atomic.AddInt32(&ran[i], 1) })
+		}
+		if err := g.Wait(); err != nil {
+			t.Fatalf("n=%d: Wait: %v", n, err)
+		}
+		for i := range ran {
+			if ran[i] != 1 {
+				t.Fatalf("n=%d: task %d ran %d times", n, i, ran[i])
+			}
+		}
+		st := p.Stats()
+		if st.Submitted != 100 || st.Completed != 100 {
+			t.Fatalf("n=%d: stats %+v", n, st)
+		}
+		if st.LocalPops+st.Steals+st.InjectRuns != st.Completed {
+			t.Fatalf("n=%d: sources don't balance: %+v", n, st)
+		}
+		p.Close()
+	}
+}
+
+// TestNestedForkJoin: a recursive tree of groups (each task forks its
+// children and waits on them) joins correctly — the helping Wait is what
+// keeps this from deadlocking when tasks outnumber workers.
+func TestNestedForkJoin(t *testing.T) {
+	for _, n := range []int{1, 3, 8} {
+		p := NewPool(n)
+		var leaves int64
+		var spawn func(ctx context.Context, depth int)
+		spawn = func(ctx context.Context, depth int) {
+			if depth == 0 {
+				atomic.AddInt64(&leaves, 1)
+				return
+			}
+			g := p.Group(ctx)
+			for i := 0; i < 3; i++ {
+				g.Go(func(ctx context.Context) { spawn(ctx, depth-1) })
+			}
+			if err := g.Wait(); err != nil {
+				t.Errorf("nested Wait: %v", err)
+			}
+		}
+		spawn(context.Background(), 5) // 3^5 = 243 leaves
+		if leaves != 243 {
+			t.Fatalf("n=%d: %d leaves, want 243", n, leaves)
+		}
+		st := p.Stats()
+		if st.Submitted != st.Completed {
+			t.Fatalf("n=%d: submitted %d != completed %d", n, st.Submitted, st.Completed)
+		}
+		p.Close()
+	}
+}
+
+// TestResultsIndexedByTask: results land in caller-indexed slots
+// regardless of execution order, so a best-by-index reduction is
+// schedule-independent.
+func TestResultsIndexedByTask(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	results := make([]int, 64)
+	g := p.Group(context.Background())
+	for i := range results {
+		i := i
+		g.Go(func(context.Context) { results[i] = i * i })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r != i*i {
+			t.Fatalf("slot %d = %d", i, r)
+		}
+	}
+}
+
+// TestCancellationDrains: cancelling the ctx does not drop tasks — every
+// queued task still runs (and observes the cancelled ctx), counters
+// balance, and Wait returns the ctx error without deadlock.
+func TestCancellationDrains(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran, sawCancel int64
+	g := p.Group(ctx)
+	for i := 0; i < 50; i++ {
+		g.Go(func(ctx context.Context) {
+			atomic.AddInt64(&ran, 1)
+			if ctx.Err() != nil {
+				atomic.AddInt64(&sawCancel, 1)
+			}
+		})
+	}
+	cancel()
+	err := g.Wait()
+	if err != context.Canceled {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if ran != 50 {
+		t.Fatalf("ran %d of 50 tasks after cancel", ran)
+	}
+	st := p.Stats()
+	if st.Submitted != st.Completed {
+		t.Fatalf("drain imbalance: %+v", st)
+	}
+	t.Logf("%d/%d tasks observed the cancelled ctx", sawCancel, ran)
+}
+
+// TestWaitHelpsWhileBlocked: with a single-lane pool, Wait itself must
+// execute the tasks — if it merely parked, this would deadlock (guarded
+// by the test timeout).
+func TestWaitHelpsWhileBlocked(t *testing.T) {
+	p := NewPool(1) // zero background workers
+	defer p.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g := p.Group(context.Background())
+		sum := 0
+		for i := 1; i <= 10; i++ {
+			i := i
+			g.Go(func(context.Context) { sum += i }) // serial pool: no race
+		}
+		if err := g.Wait(); err != nil {
+			t.Errorf("Wait: %v", err)
+		}
+		if sum != 55 {
+			t.Errorf("sum = %d, want 55", sum)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("single-lane Wait deadlocked")
+	}
+	if st := p.Stats(); st.InjectRuns != st.Completed || st.Completed != 10 {
+		t.Fatalf("serial pool should run everything from the inject queue: %+v", st)
+	}
+}
+
+// TestStealsHappen: a deliberately skewed load — one task forks
+// everything from a worker's deque while the external Wait helper is
+// kept busy on a decoy — must show stolen tasks on a wide pool, proving
+// the deques really are shared. The skew is probabilistic (scheduling
+// decides who runs the forker), so the scenario retries a few times.
+func TestStealsHappen(t *testing.T) {
+	for attempt := 0; attempt < 5; attempt++ {
+		p := NewPool(8)
+		g := p.Group(context.Background())
+		// Decoy first: the inject queue is FIFO, so the external Wait
+		// helper picks this up and sleeps while a background worker gets
+		// the forker.
+		g.Go(func(context.Context) { time.Sleep(20 * time.Millisecond) })
+		g.Go(func(ctx context.Context) {
+			if workerOf(ctx, p) == nil {
+				return // ran on the helper after all; retry the scenario
+			}
+			// On a background worker: these forks land on its deque, and
+			// the seven idle workers can only steal them.
+			sub := p.Group(ctx)
+			for i := 0; i < 200; i++ {
+				sub.Go(func(context.Context) { time.Sleep(200 * time.Microsecond) })
+			}
+			sub.Wait()
+		})
+		if err := g.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		st := p.Stats()
+		p.Close()
+		if st.Steals > 0 {
+			t.Logf("attempt %d stats: %+v", attempt, st)
+			return
+		}
+	}
+	t.Fatal("no steals in 5 skewed-load attempts")
+}
+
+// TestDeriveGolden pins the exact seed-derivation values. These goldens
+// are load-bearing: every (seed, task path) pair keys an annealing
+// sequence, so if this test starts failing, a refactor has silently
+// reseeded every placement in the system. Update the goldens only as a
+// deliberate, changelog-worthy decision.
+func TestDeriveGolden(t *testing.T) {
+	cases := []struct {
+		seed int64
+		path []int64
+		want int64
+	}{
+		{1, []int64{0}, -7995527694508729151},
+		{1, []int64{1}, -7709003533997568518},
+		{1, []int64{2}, 8077464624635323797},
+		{1, []int64{0, 0}, 6791897765849424158},
+		{1, []int64{0, 1}, -2828607146001787265},
+		{1, []int64{1, 0}, 4610298544566417740},
+		{7, []int64{42}, -8146229110753736015},
+		{7, []int64{42, 3}, 828376530489886008},
+		{-3, []int64{5, 0, 2}, 7068971415039015460},
+		{0, nil, 0},
+	}
+	for _, c := range cases {
+		if got := Derive(c.seed, c.path...); got != c.want {
+			t.Errorf("Derive(%d, %v) = %d, want %d", c.seed, c.path, got, c.want)
+		}
+	}
+}
+
+// TestDeriveComposes: folding a path one component at a time equals
+// deriving it in one call, which is what lets a parent hand a derived
+// seed to a subtree without knowing the subtree's internal structure.
+func TestDeriveComposes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		s := rng.Int63() - rng.Int63()
+		a, b, c := rng.Int63()%100, rng.Int63()%100, rng.Int63()%100
+		if Derive(s, a, b, c) != Derive(Derive(Derive(s, a), b), c) {
+			t.Fatalf("Derive does not compose at seed %d path (%d,%d,%d)", s, a, b, c)
+		}
+	}
+}
+
+// TestDeriveGoldenStreams pins the first values drawn from math/rand
+// sources seeded with derived seeds — the actual annealing-facing
+// contract: same (seed, path), same RNG stream, forever.
+func TestDeriveGoldenStreams(t *testing.T) {
+	stream := func(seed int64, path ...int64) [4]int64 {
+		rng := rand.New(rand.NewSource(Derive(seed, path...)))
+		var out [4]int64
+		for i := range out {
+			out[i] = rng.Int63()
+		}
+		return out
+	}
+	if stream(1, 2) != stream(1, 2) {
+		t.Fatal("stream not reproducible")
+	}
+	if stream(1, 2) == stream(1, 3) {
+		t.Fatal("adjacent paths share a stream")
+	}
+	want := [4]int64{8731806076406858656, 3995661890903546397, 9039338220210273036, 246199271476187615}
+	if got := stream(1, 2); got != want {
+		t.Fatalf("stream(1,2) = %v, want %v", got, want)
+	}
+}

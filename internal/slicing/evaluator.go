@@ -44,7 +44,14 @@ type Evaluator struct {
 	stack   []int32
 	dirty   []bool // all false between moves
 	journal []undoRecord
-	ev      Eval
+	// pjIdx/pjPar journal parent-link edits of the current move (only
+	// operand–operator swaps make any), so applyUndo restores the parent
+	// index exactly instead of rebuilding it O(n). reparsed marks the
+	// defensive full-reparse fallback, whose parent edits are unjournaled.
+	pjIdx    []int32
+	pjPar    []int32
+	reparsed bool
+	ev       Eval
 
 	// Changed-rect tracking for delta cost models: blocks whose rectangle
 	// was rewritten by the last Eval (see Changed). rjBlock/rjRect journal
@@ -145,6 +152,8 @@ func (ev *Evaluator) Reset(e *Expr, blocks []Block, p EvalParams) {
 	ev.dirty = resizeSlice(ev.dirty, n)
 	ev.stack = ev.stack[:0]
 	ev.journal = ev.journal[:0]
+	ev.pjIdx, ev.pjPar = ev.pjIdx[:0], ev.pjPar[:0]
+	ev.reparsed = false
 	ev.move = Move{}
 	ev.ev.Rects = resizeSlice(ev.ev.Rects, len(blocks))
 	ev.ev.ViolationAt, ev.ev.ViolationAm, ev.ev.ViolationMacro = 0, 0, 0
@@ -185,19 +194,21 @@ func resizeSlice[T any](s []T, n int) []T {
 // updates the cached tree. Moves that keep the tree topology (operand swaps
 // and chain inversions, two thirds of the mix) invalidate exactly the
 // touched positions and their ancestor paths; operand–operator swaps
-// re-parse and diff the whole expression with integer-only work before any
-// curve is recomposed. The returned undo restores expression and cache; see
+// relink exactly three nodes (resyncSwap) before the same path-local
+// recomposition. The returned undo restores expression and cache; see
 // the type comment for its validity rules.
 func (ev *Evaluator) Perturb(rng *rand.Rand) (undo func(), kind MoveKind) {
 	ev.rjBlock, ev.rjRect = ev.rjBlock[:0], ev.rjRect[:0]
 	ev.ajIdx = ev.ajIdx[:0]
+	ev.pjIdx, ev.pjPar = ev.pjIdx[:0], ev.pjPar[:0]
+	ev.reparsed = false
 	ev.moveBudget, ev.budgetMoved = ev.lastBudget, false
 	ev.expr.PerturbMove(rng, &ev.move)
 	switch {
 	case ev.move.I == ev.move.J:
 		ev.journal = ev.journal[:0] // no-op move on a trivial expression
 	case ev.move.TopologyChanged():
-		ev.resyncFrom(ev.move.I)
+		ev.resyncSwap(ev.move.I)
 	case ev.move.Kind == MoveChainInvert:
 		ev.resyncRange(ev.move.I, ev.move.J)
 	default: // operand swap: two scattered positions, I < J
@@ -275,6 +286,97 @@ func (ev *Evaluator) resyncRange(lo, hi int) {
 	ev.sweep(lo)
 }
 
+// resyncSwap repairs the cached tree after an operand–operator swap at
+// positions (i, i+1), already applied to the expression. No re-parse is
+// needed: an adjacent swap changes exactly one slot of the suffix's
+// parse stack, so precisely three nodes change children or value — i,
+// i+1, and the "merge" operator q that pops the changed slot. Everything
+// else keeps its links, and the same markPath/sweep pass as the cheap
+// moves recomposes the dirtied paths, making the whole move O(depth)
+// instead of the O(n) re-parse it replaced. Parent-link edits go to the
+// parent journal so undo restores them exactly.
+//
+// With the swapped pair written (c₀, c₁), the two cases are mirror
+// images. Case A, operator moved left (c₀ < 0): the old tree had node
+// i+1 = op(left=y, right=leaf·i); the new tree has node i = op(left=x,
+// right=y) and leaf·(i+1), where x is the stack slot beneath y — found
+// by climbing old parent links from i+1 while on the left spine; the
+// first ancestor reached from the right is q, and x = q.left. Case B,
+// operator moved right (c₀ ≥ 0): the old tree had node i = op(left=x,
+// right=y) with parent q = parent[i] (always its left child); the new
+// tree has leaf·i and node i+1 = op(left=y, right=leaf·i), and q
+// adopts x. Balloting guarantees q exists in both cases; if the climb
+// ever fails anyway, the defensive fallback re-parses and flags the
+// parent index for an O(n) rebuild on undo.
+func (ev *Evaluator) resyncSwap(i int) {
+	ev.journal = ev.journal[:0]
+	ii, jj := int32(i), int32(i+1)
+	var q, x, y int32
+	if ev.expr.elems[i] < 0 {
+		// Case A: find q by climbing the left spine above the old op node.
+		p := jj
+		for ev.parent[p] >= 0 && ev.nodes[ev.parent[p]].right != p {
+			p = ev.parent[p]
+		}
+		q = ev.parent[p]
+		if q < 0 {
+			ev.reparsed = true
+			ev.resyncFrom(i)
+			return
+		}
+		x, y = ev.nodes[q].left, ev.nodes[jj].left
+		ev.journalNode(ii)
+		ev.journalNode(jj)
+		ev.journalNode(q)
+		ev.nodes[ii].left, ev.nodes[ii].right = x, y
+		ev.nodes[jj].left, ev.nodes[jj].right = -1, -1
+		ev.nodes[q].left = ii
+		ev.setParent(ii, q) // parent[i+1] is unchanged: same stack slot
+		ev.setParent(x, ii)
+		ev.setParent(y, ii)
+	} else {
+		// Case B: q popped the old op node i as its left child.
+		q = ev.parent[ii]
+		if q < 0 || ev.nodes[q].left != ii {
+			ev.reparsed = true
+			ev.resyncFrom(i)
+			return
+		}
+		x, y = ev.nodes[ii].left, ev.nodes[ii].right
+		ev.journalNode(ii)
+		ev.journalNode(jj)
+		ev.journalNode(q)
+		ev.nodes[ii].left, ev.nodes[ii].right = -1, -1
+		ev.nodes[jj].left, ev.nodes[jj].right = y, ii
+		ev.nodes[q].left = x
+		ev.setParent(ii, jj)
+		ev.setParent(y, jj)
+		ev.setParent(x, q)
+	}
+	// Values refresh during the sweep (sweep reloads elems); the relink
+	// above only moved links. Mark under the NEW parent index: both paths
+	// meet at q or above and continue to the root.
+	ev.markPath(i)
+	ev.markPath(i + 1)
+	ev.sweep(i)
+}
+
+// journalNode captures one node's pre-move state for undo.
+func (ev *Evaluator) journalNode(i int32) {
+	nd := &ev.nodes[i]
+	ev.journal = append(ev.journal, undoRecord{
+		idx: i, val: nd.val, left: nd.left, right: nd.right,
+		at: nd.at, am: nd.am, curve: nd.curve, side: nd.side, sver: nd.sver,
+	})
+}
+
+// setParent points c's parent link at p, journaling the previous link.
+func (ev *Evaluator) setParent(c, p int32) {
+	ev.pjIdx = append(ev.pjIdx, c)
+	ev.pjPar = append(ev.pjPar, ev.parent[c])
+	ev.parent[c] = p
+}
+
 // markPath marks a position and its ancestors dirty, stopping at the first
 // already-marked node (paths above it are marked too, by induction).
 func (ev *Evaluator) markPath(i int) {
@@ -334,8 +436,7 @@ func (ev *Evaluator) recompute(nd *enode) {
 
 // applyUndo reverts the last Perturb: the expression first, then every
 // journaled node, restoring cached sums and curve buffers without any
-// recomposition. A topology move also rebuilds the parent index, which the
-// journal does not cover.
+// recomposition; parent-link edits replay from their own journal.
 func (ev *Evaluator) applyUndo() {
 	ev.expr.UndoMove(&ev.move)
 	// Flip every rewritten assign slot back and replay the rectangle
@@ -362,8 +463,15 @@ func (ev *Evaluator) applyUndo() {
 		nd.sver = rec.sver
 	}
 	ev.journal = ev.journal[:0]
-	if ev.move.TopologyChanged() {
+	for k := len(ev.pjIdx) - 1; k >= 0; k-- {
+		ev.parent[ev.pjIdx[k]] = ev.pjPar[k]
+	}
+	ev.pjIdx, ev.pjPar = ev.pjIdx[:0], ev.pjPar[:0]
+	if ev.reparsed {
+		// The fallback re-parse rewired parents without journaling; rebuild
+		// from the restored children links.
 		ev.rebuildParents()
+		ev.reparsed = false
 	}
 	if ev.budgetMoved {
 		// An Eval since the move used a different budget than the pre-move

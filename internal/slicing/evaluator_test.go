@@ -296,3 +296,64 @@ func TestEvaluatorLongRunDifferential(t *testing.T) {
 		}
 	}
 }
+
+// TestResyncSwapDifferential pins the incremental operand–operator
+// resync (resyncSwap: three relinked nodes + path recomposition) bit-
+// identical to a full re-parse over 10k random swaps. For every M3 move
+// the incremental evaluator's Eval must equal a from-scratch Evaluate of
+// the same expression exactly, the repaired parent index must equal the
+// one a full rebuild derives, and a rejected move must leave no trace.
+// Accepted and rejected moves interleave randomly, across expression
+// sizes from the trivial to a large level.
+func TestResyncSwapDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	budget := geom.RectXYWH(0, 0, 1600, 1300)
+	p := DefaultEvalParams()
+
+	checkParents := func(inc *Evaluator, tag string) {
+		t.Helper()
+		got := append([]int32(nil), inc.parent...)
+		inc.rebuildParents()
+		for i := range got {
+			if got[i] != inc.parent[i] {
+				t.Fatalf("%s: parent[%d] = %d, want %d", tag, i, got[i], inc.parent[i])
+			}
+		}
+	}
+
+	swaps := 0
+	for _, n := range []int{2, 3, 4, 7, 13, 24, 40} {
+		blocks := randomBlocks(rng, n)
+		expr := NewBalanced(n)
+		inc := NewEvaluator(&expr, blocks, p)
+		inc.Eval(budget)
+
+		for step := 0; swaps < 10_000 && step < 6_000; step++ {
+			undo, kind := inc.Perturb(rng)
+			isSwap := kind == MoveOperandOperatorSwap && inc.move.I != inc.move.J
+			if isSwap {
+				swaps++
+				if inc.reparsed {
+					t.Fatalf("n=%d swap %d: incremental repair fell back to a re-parse", n, swaps)
+				}
+			}
+			ev := inc.Eval(budget)
+			if isSwap || swaps%37 == 0 {
+				evalsEqual(t, "after swap", ev, Evaluate(&expr, blocks, budget, p))
+				if isSwap {
+					checkParents(inc, "after swap")
+				}
+			}
+			if rng.Intn(2) == 0 {
+				undo()
+				if isSwap {
+					evalsEqual(t, "after swap undo", inc.Eval(budget), Evaluate(&expr, blocks, budget, p))
+					checkParents(inc, "after swap undo")
+				}
+			}
+		}
+	}
+	if swaps < 10_000 {
+		t.Fatalf("only %d operand–operator swaps exercised, want 10000", swaps)
+	}
+}

@@ -10,6 +10,7 @@ package slicing
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 )
 
@@ -31,13 +32,15 @@ const (
 type Expr struct {
 	elems []int32
 	n     int
-	// chains caches the number of maximal operator chains (0 = unknown,
-	// recomputed lazily). Operand swaps and chain inversions preserve it;
-	// operand–operator swaps adjust it locally.
-	chains int
-	// bal is scratch for operandOperatorSwap's balloting precomputation;
-	// never copied between expressions.
-	bal []int32
+	// Move-sampling indexes, built lazily by ensureIndex and maintained
+	// incrementally by every move, so sampling the k-th operand, the
+	// p-th operator chain or a balloting-valid swap site never rescans
+	// the expression. Never copied between expressions (CopyFrom/Clone
+	// invalidate instead).
+	opPos   []int32 // operand rank → element position, ascending
+	posRank []int32 // element position → operand rank, -1 for operators
+	starts  []int32 // positions of maximal operator-chain starts, ascending
+	idxOK   bool
 }
 
 // NewBalanced builds an initial expression shaped as a balanced tree with
@@ -54,7 +57,7 @@ func NewBalanced(n int) Expr {
 func (e *Expr) SetBalanced(n int) {
 	e.elems = e.elems[:0]
 	e.n = n
-	e.chains = 0
+	e.idxOK = false
 	if n <= 0 {
 		return
 	}
@@ -110,14 +113,14 @@ func (e *Expr) Elems() []int32 {
 
 // Clone returns an independent copy.
 func (e *Expr) Clone() Expr {
-	return Expr{elems: e.Elems(), n: e.n, chains: e.chains}
+	return Expr{elems: e.Elems(), n: e.n}
 }
 
 // CopyFrom overwrites e with the contents of src (no aliasing).
 func (e *Expr) CopyFrom(src *Expr) {
 	e.elems = append(e.elems[:0], src.elems...)
 	e.n = src.n
-	e.chains = src.chains
+	e.idxOK = false
 }
 
 func (e *Expr) String() string {
@@ -243,67 +246,43 @@ func (e *Expr) UndoMove(mv *Move) {
 	case mv.Kind == MoveChainInvert:
 		e.flipChain(mv.I, mv.J)
 	case mv.Kind == MoveOperandOperatorSwap:
-		before := e.chainStartsAround(mv.I)
-		e.elems[mv.I], e.elems[mv.J] = e.elems[mv.J], e.elems[mv.I]
-		if e.chains > 0 {
-			e.chains += e.chainStartsAround(mv.I) - before
-		}
+		e.swapAdjacent(mv.I)
 	default:
 		e.elems[mv.I], e.elems[mv.J] = e.elems[mv.J], e.elems[mv.I]
 	}
 }
 
-// operandSwap (M1): swap the k-th and (k+1)-th operands. One early-exit
-// scan locates both positions.
+// operandSwap (M1): swap the k-th and (k+1)-th operands. The operand
+// index turns the rank draw into two positions directly; swapping values
+// at fixed positions leaves every index untouched.
 func (e *Expr) operandSwap(rng *rand.Rand, mv *Move) bool {
 	k := rng.Intn(e.n - 1)
-	i, j := -1, -1
-	cnt := 0
-	for p, v := range e.elems {
-		if v < 0 {
-			continue
-		}
-		if cnt == k {
-			i = p
-		} else if cnt == k+1 {
-			j = p
-			break
-		}
-		cnt++
-	}
+	e.ensureIndex()
+	i, j := int(e.opPos[k]), int(e.opPos[k+1])
 	e.elems[i], e.elems[j] = e.elems[j], e.elems[i]
 	*mv = Move{Kind: MoveOperandSwap, I: i, J: j}
 	return true
 }
 
 // chainInvert (M2): pick one maximal operator chain and complement every
-// operator in it. Complementing preserves balloting and normalization. The
-// chain count comes from the maintained cache, so one early-exit scan
-// finds the picked chain.
+// operator in it. Complementing preserves balloting and normalization,
+// and touches no index (operator positions and chain boundaries are
+// unchanged). The chain-start index makes the pick O(1): starts are kept
+// in position order, matching the scan order this draw historically used.
 func (e *Expr) chainInvert(rng *rand.Rand, mv *Move) bool {
-	count := e.chainCount()
-	if count == 0 {
+	e.ensureIndex()
+	if len(e.starts) == 0 {
 		return false
 	}
-	pick := rng.Intn(count)
-	for i := 0; i < len(e.elems); {
-		if e.elems[i] >= 0 {
-			i++
-			continue
-		}
-		j := i
-		for j < len(e.elems) && e.elems[j] < 0 {
-			j++
-		}
-		if pick == 0 {
-			e.flipChain(i, j)
-			*mv = Move{Kind: MoveChainInvert, I: i, J: j}
-			return true
-		}
-		pick--
-		i = j
+	pick := rng.Intn(len(e.starts))
+	i := int(e.starts[pick])
+	j := i
+	for j < len(e.elems) && e.elems[j] < 0 {
+		j++
 	}
-	return false // unreachable: pick < count
+	e.flipChain(i, j)
+	*mv = Move{Kind: MoveChainInvert, I: i, J: j}
+	return true
 }
 
 // flipChain complements every operator in [lo, hi).
@@ -318,24 +297,14 @@ func (e *Expr) flipChain(lo, hi int) {
 }
 
 // operandOperatorSwap (M3): swap an adjacent operand/operator pair when the
-// result stays a normalized Polish expression. Validity per candidate is
-// O(1): a swap only changes the operand/operator balance of the single
-// prefix ending between the pair (precomputed in one balance pass), and can
-// only break normalization at the pair's outer neighbors — the rest of the
+// result stays a normalized Polish expression. Validity per candidate
+// needs only the operand/operator balance of the single prefix ending
+// between the pair — derived in O(log n) from the operand index (the
+// number of operands at positions ≤ i is a binary search over opPos) —
+// and the pair's outer neighbors for normalization; the rest of the
 // expression was valid before and is untouched.
 func (e *Expr) operandOperatorSwap(rng *rand.Rand, mv *Move) bool {
-	// bal[p] = operands − operators in elems[0..p]; balloting holds iff
-	// every bal[p] >= 1.
-	e.bal = e.bal[:0]
-	b := int32(0)
-	for _, v := range e.elems {
-		if v >= 0 {
-			b++
-		} else {
-			b--
-		}
-		e.bal = append(e.bal, b)
-	}
+	e.ensureIndex()
 	start := rng.Intn(len(e.elems) - 1)
 	for off := 0; off < len(e.elems)-1; off++ {
 		i := (start + off) % (len(e.elems) - 1)
@@ -344,54 +313,97 @@ func (e *Expr) operandOperatorSwap(rng *rand.Rand, mv *Move) bool {
 		case a >= 0 && op < 0:
 			// (operand, operator) → (operator, operand): the prefix ending
 			// at i loses an operand and gains an operator.
-			if e.bal[i]-2 < 1 {
+			if e.balAt(i)-2 < 1 {
 				continue
 			}
 			if i > 0 && e.elems[i-1] == op {
 				continue // equal adjacent operators
 			}
 		case a < 0 && op >= 0:
-			// (operator, operand) → (operand, operator): bal[i] rises; only
-			// normalization against the right neighbor can break.
+			// (operator, operand) → (operand, operator): the balance rises;
+			// only normalization against the right neighbor can break.
 			if i+2 < len(e.elems) && e.elems[i+2] == a {
 				continue
 			}
 		default:
 			continue
 		}
-		before := e.chainStartsAround(i)
-		e.elems[i], e.elems[i+1] = op, a
-		if e.chains > 0 {
-			e.chains += e.chainStartsAround(i) - before
-		}
+		e.swapAdjacent(i)
 		*mv = Move{Kind: MoveOperandOperatorSwap, I: i, J: i + 1}
 		return true
 	}
 	return false
 }
 
-// chainCount returns the cached number of maximal operator chains,
-// recomputing it lazily. A chain starts at every operator whose predecessor
-// is an operand (position 0 is always an operand in a valid expression).
-func (e *Expr) chainCount() int {
-	if e.chains == 0 {
-		for p := 1; p < len(e.elems); p++ {
-			if e.elems[p] < 0 && e.elems[p-1] >= 0 {
-				e.chains++
+// balAt returns operands − operators over elems[0..i]: with r operands
+// in the prefix, the balance is r − (i+1−r). Balloting holds iff every
+// balAt(p) >= 1.
+func (e *Expr) balAt(i int) int {
+	r := sort.Search(len(e.opPos), func(k int) bool { return e.opPos[k] > int32(i) })
+	return 2*r - (i + 1)
+}
+
+// swapAdjacent swaps elems[i] and elems[i+1] — one operand, one operator
+// (an M3 move or its undo) — and repairs the indexes incrementally: the
+// operand shifts one position, and only positions i..i+2 can gain or
+// lose a chain start.
+func (e *Expr) swapAdjacent(i int) {
+	e.elems[i], e.elems[i+1] = e.elems[i+1], e.elems[i]
+	if !e.idxOK {
+		return
+	}
+	if e.elems[i+1] >= 0 {
+		r := e.posRank[i] // operand moved right: i → i+1
+		e.opPos[r] = int32(i + 1)
+		e.posRank[i], e.posRank[i+1] = -1, r
+	} else {
+		r := e.posRank[i+1] // operand moved left: i+1 → i
+		e.opPos[r] = int32(i)
+		e.posRank[i], e.posRank[i+1] = r, -1
+	}
+	for p := i; p <= i+2 && p < len(e.elems); p++ {
+		e.setChainStart(int32(p), p >= 1 && e.elems[p] < 0 && e.elems[p-1] >= 0)
+	}
+}
+
+// setChainStart inserts or removes position p in the sorted chain-start
+// index to match want.
+func (e *Expr) setChainStart(p int32, want bool) {
+	k := sort.Search(len(e.starts), func(j int) bool { return e.starts[j] >= p })
+	have := k < len(e.starts) && e.starts[k] == p
+	switch {
+	case want && !have:
+		e.starts = append(e.starts, 0)
+		copy(e.starts[k+1:], e.starts[k:])
+		e.starts[k] = p
+	case !want && have:
+		e.starts = append(e.starts[:k], e.starts[k+1:]...)
+	}
+}
+
+// ensureIndex (re)builds the move-sampling indexes with one scan. Moves
+// keep them current from then on; whole-expression rewrites (SetBalanced,
+// CopyFrom) invalidate instead.
+func (e *Expr) ensureIndex() {
+	if e.idxOK {
+		return
+	}
+	e.opPos = e.opPos[:0]
+	e.starts = e.starts[:0]
+	if cap(e.posRank) < len(e.elems) {
+		e.posRank = make([]int32, len(e.elems))
+	}
+	e.posRank = e.posRank[:len(e.elems)]
+	for p, v := range e.elems {
+		if v >= 0 {
+			e.posRank[p] = int32(len(e.opPos))
+			e.opPos = append(e.opPos, int32(p))
+		} else {
+			e.posRank[p] = -1
+			if p >= 1 && e.elems[p-1] >= 0 {
+				e.starts = append(e.starts, int32(p))
 			}
 		}
 	}
-	return e.chains
-}
-
-// chainStartsAround counts the chain starts at positions i..i+2, the only
-// ones an adjacent swap at (i, i+1) can create or destroy.
-func (e *Expr) chainStartsAround(i int) int {
-	c := 0
-	for p := i; p <= i+2; p++ {
-		if p >= 1 && p < len(e.elems) && e.elems[p] < 0 && e.elems[p-1] >= 0 {
-			c++
-		}
-	}
-	return c
+	e.idxOK = true
 }
