@@ -1,0 +1,22 @@
+// Command hidap-vet is the multichecker for the repository's determinism and
+// concurrency invariants (see internal/lint). Run it directly over package
+// patterns:
+//
+//	go build -o hidap-vet ./cmd/hidap-vet && ./hidap-vet ./...
+//
+// or as a vet tool, which is what CI does:
+//
+//	go vet -vettool=/path/to/hidap-vet ./...
+//
+// Findings are suppressed only by the //hidapvet: directive family, each of
+// which requires a written justification; see README "Static analysis".
+package main
+
+import (
+	"repro/internal/lint"
+	"repro/internal/lint/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(lint.Analyzers()...)
+}

@@ -323,6 +323,7 @@ func newEngine(cfg *Config, opt EngineOptions, spawnWorkers bool) *Engine {
 	if spawnWorkers {
 		for i := 0; i < workers; i++ {
 			e.wg.Add(1)
+			//hidapvet:allow gocap long-lived engine worker pool, bounded by Workers and joined via wg on Close; not per-solve fan-out
 			go e.worker()
 		}
 	}
@@ -428,6 +429,7 @@ func (e *Engine) submit(ctx context.Context, job Job, bulk bool) (*Ticket, error
 	// during the queued phase dequeues the ticket immediately (freeing its
 	// MaxPending slot and unblocking Wait), exactly like Ticket.Cancel. The
 	// watcher exits as soon as the job finishes by any path.
+	//hidapvet:allow gocap per-ticket context watcher; lifetime bounded by the job, not solver fan-out
 	go func() {
 		select {
 		case <-t.ctx.Done():
@@ -637,6 +639,7 @@ func (b *Batch) Wait(ctx context.Context) (*SuiteResult, error) {
 		rows = append(rows, res.Metrics)
 		bySeed[b.seeds[i]] = append(bySeed[b.seeds[i]], res.Metrics)
 	}
+	//hidapvet:orderinvariant per-seed groups are disjoint; Normalize mutates each group in isolation, so visit order cannot matter
 	for _, group := range bySeed {
 		flows.Normalize(group)
 	}

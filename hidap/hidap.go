@@ -162,6 +162,7 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 // Deprecated: use Lookup("hidap") and Placer.Place, which add cancellation
 // and progress reporting.
 func Place(d *Design, opt Options) (*Result, error) {
+	//hidapvet:allow ctxflow deprecated pre-context compatibility wrapper; new code uses Placer.Place
 	return core.Place(context.Background(), d, opt)
 }
 
@@ -170,6 +171,7 @@ func Place(d *Design, opt Options) (*Result, error) {
 //
 // Deprecated: use Lookup("indeda") and Placer.Place.
 func PlaceIndEDA(d *Design, seed int64) (*Placement, error) {
+	//hidapvet:allow ctxflow deprecated pre-context compatibility wrapper; new code uses Placer.Place
 	return indeda.Place(context.Background(), d, indeda.Options{Seed: seed, HighEffort: true, WallWeight: 0.4})
 }
 
@@ -182,6 +184,7 @@ type Intent = handfp.Intent
 //
 // Deprecated: use Lookup("handfp") and Placer.Place with WithIntent.
 func PlaceHandFP(d *Design, intent Intent, seed int64) (*Placement, error) {
+	//hidapvet:allow ctxflow deprecated pre-context compatibility wrapper; new code uses Placer.Place
 	return handfp.Place(context.Background(), d, intent, handfp.Options{Seed: seed})
 }
 
@@ -190,6 +193,7 @@ func PlaceHandFP(d *Design, intent Intent, seed int64) (*Placement, error) {
 //
 // Deprecated: use PlaceStdCells, which honors cancellation.
 func PlaceCells(pl *Placement) error {
+	//hidapvet:allow ctxflow deprecated pre-context compatibility wrapper; new code uses PlaceStdCells
 	return place.Run(context.Background(), pl, place.DefaultOptions())
 }
 

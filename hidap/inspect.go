@@ -30,8 +30,21 @@ func DataflowEdges(d *Design, k float64) (blockFlow, macroFlow []FlowEdge) {
 	sg := seqgraph.Build(d, seqgraph.DefaultParams())
 	gdf := dataflow.Build(sg, decl)
 	conv := func(m map[dataflow.EdgeKey]*dataflow.Histogram) []FlowEdge {
-		var out []FlowEdge
-		for key, h := range m {
+		// Iterate in sorted key order, then stable-sort by display name:
+		// the name sort alone left identically-named nodes in map order.
+		keys := make([]dataflow.EdgeKey, 0, len(m))
+		for key := range m {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].From != keys[j].From {
+				return keys[i].From < keys[j].From
+			}
+			return keys[i].To < keys[j].To
+		})
+		out := make([]FlowEdge, 0, len(keys))
+		for _, key := range keys {
+			h := m[key]
 			e := FlowEdge{
 				From:  gdf.Nodes[key.From].Name,
 				To:    gdf.Nodes[key.To].Name,
@@ -43,7 +56,7 @@ func DataflowEdges(d *Design, k float64) (blockFlow, macroFlow []FlowEdge) {
 			}
 			out = append(out, e)
 		}
-		sort.Slice(out, func(i, j int) bool {
+		sort.SliceStable(out, func(i, j int) bool {
 			if out[i].From != out[j].From {
 				return out[i].From < out[j].From
 			}
@@ -69,6 +82,7 @@ func ShapeCurveFor(d *Design, path string) []ShapePoint {
 		return nil
 	}
 	tr := hier.New(d)
+	//hidapvet:allow ctxflow synchronous inspection helper with no cancellation surface; curve generation for one node is fast
 	sc := core.GenerateShapeCurves(context.Background(), tr, 1)
 	curve, ok := sc.ByNode[nh]
 	if !ok {

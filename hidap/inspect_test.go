@@ -1,6 +1,7 @@
 package hidap_test
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/circuits"
@@ -81,5 +82,20 @@ func TestTopBlocksFig1(t *testing.T) {
 	}
 	if total != 16 {
 		t.Errorf("macro total = %d, want 16", total)
+	}
+}
+
+// TestDataflowEdgesRepeatable pins full output determinism of DataflowEdges:
+// the edge lists must be deep-equal across repeated calls. Before the edges
+// were emitted in sorted-key order, ties under the display-name sort kept
+// whatever order the map iteration produced, so repeated calls could disagree.
+func TestDataflowEdgesRepeatable(t *testing.T) {
+	g := circuits.ABCDX()
+	refBlock, refMacro := hidap.DataflowEdges(g.Design, 2)
+	for i := 0; i < 20; i++ {
+		blockFlow, macroFlow := hidap.DataflowEdges(g.Design, 2)
+		if !reflect.DeepEqual(blockFlow, refBlock) || !reflect.DeepEqual(macroFlow, refMacro) {
+			t.Fatalf("iteration %d: edge lists differ from first call", i)
+		}
 	}
 }

@@ -327,9 +327,25 @@ func (g *Graph) Affinity(p Params) [][]float64 {
 	for i := range m {
 		m[i] = make([]float64, n)
 	}
+	// Accumulate in sorted key order: cells can receive several float
+	// contributions (both directed keys of a pair land in the same two
+	// cells), and float addition is not associative, so map-order
+	// accumulation would make the matrix bit-pattern differ run to run —
+	// nondeterminism that feeds straight into λ-candidate costs.
+	// Regression-pinned by TestAffinityAccumulationOrder.
 	acc := func(edges map[EdgeKey]*Histogram, weight float64) {
-		for k, h := range edges {
-			s := weight * h.Score(p.K)
+		keys := make([]EdgeKey, 0, len(edges))
+		for k := range edges {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].From != keys[j].From {
+				return keys[i].From < keys[j].From
+			}
+			return keys[i].To < keys[j].To
+		})
+		for _, k := range keys {
+			s := weight * edges[k].Score(p.K)
 			m[k.From][k.To] += s
 			m[k.To][k.From] += s
 		}

@@ -346,3 +346,30 @@ func TestMultiLatencyHistogram(t *testing.T) {
 		t.Errorf("bins = %+v, want {1,4} and {2,4}", h.Bins)
 	}
 }
+
+// TestAffinityAccumulationOrder pins the sorted-key accumulation order of
+// Affinity with rounding-sensitive values: the cell m[0][1] receives
+// 2^53 (block flow), then 1.5 and 1 (both macro-flow directions). Under
+// IEEE round-to-nearest-even, (2^53+1.5)+1 = 2^53+4 but (2^53+1)+1.5 =
+// 2^53+2, so any map-order accumulation would flip the result between
+// iterations once Go's randomized map iteration picks the other key first.
+func TestAffinityAccumulationOrder(t *testing.T) {
+	g := &Graph{
+		Nodes: make([]Node, 2),
+		BlockFlow: map[EdgeKey]*Histogram{
+			{From: 0, To: 1}: {Bins: []Bin{{Latency: 1, Bits: 1 << 54}}},
+		},
+		MacroFlow: map[EdgeKey]*Histogram{
+			{From: 0, To: 1}: {Bins: []Bin{{Latency: 1, Bits: 3}}},
+			{From: 1, To: 0}: {Bins: []Bin{{Latency: 1, Bits: 2}}},
+		},
+	}
+	want := math.Ldexp(1, 53) + 4 // (2^53 + 1.5) + 1 in sorted key order
+	for i := 0; i < 300; i++ {
+		m := g.Affinity(DefaultParams())
+		if m[0][1] != want || m[1][0] != want {
+			t.Fatalf("iteration %d: affinity = %v / %v, want %v (accumulation order drifted)",
+				i, m[0][1], m[1][0], want)
+		}
+	}
+}

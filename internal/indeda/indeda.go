@@ -18,7 +18,12 @@ import (
 	"repro/internal/mbonds"
 	"repro/internal/netlist"
 	"repro/internal/placement"
+	"repro/internal/sched"
 )
+
+// refineStream tags the seed stream of the annealing refinement under the
+// user seed (see sched.Derive).
+const refineStream int64 = 1
 
 // Options tunes the baseline.
 type Options struct {
@@ -215,12 +220,15 @@ func refine(ctx context.Context, pl *placement.Placement, macros []netlist.CellI
 	// A commercial floorplanner's "high effort" is still a quick generic
 	// pass relative to a dedicated optimizer; the schedules are sized so
 	// that runtimes stay in the paper's 10-30 minute class proportionally.
-	sched := anneal.Options{Seed: opt.Seed, MovesPerRound: 12, MaxRounds: 25, Alpha: 0.88, StallRounds: 8}
+	// The refine stage gets its own derived stream (stream 1 under the
+	// user seed) so adding another randomized stage later cannot silently
+	// correlate with — or shift — this one.
+	sa := anneal.Options{Seed: sched.Derive(opt.Seed, refineStream), MovesPerRound: 12, MaxRounds: 25, Alpha: 0.88, StallRounds: 8}
 	if opt.HighEffort {
-		sched.MovesPerRound = 24
-		sched.MaxRounds = 50
-		sched.Alpha = 0.9
-		sched.StallRounds = 12
+		sa.MovesPerRound = 24
+		sa.MaxRounds = 50
+		sa.Alpha = 0.9
+		sa.StallRounds = 12
 	}
 	bestPos := make([]geom.Point, len(macros))
 	snapshot := func() {
@@ -228,7 +236,7 @@ func refine(ctx context.Context, pl *placement.Placement, macros []netlist.CellI
 			bestPos[i] = pl.Pos[m]
 		}
 	}
-	anneal.Run(ctx, sched, cost, perturb, snapshot)
+	anneal.Run(ctx, sa, cost, perturb, snapshot)
 	for i, m := range macros {
 		pl.Place(m, bestPos[i])
 	}

@@ -1,0 +1,80 @@
+// Package analysis is a minimal, dependency-free stand-in for
+// golang.org/x/tools/go/analysis, providing just the surface the hidap-vet
+// analyzers need: an Analyzer with a Run function over a fully type-checked
+// Pass, and positional Diagnostics.
+//
+// Why a stand-in and not the real module: this repository builds offline and
+// vendors nothing, so golang.org/x/tools cannot be fetched. The API here is
+// deliberately a strict subset with identical field names and semantics, so
+// if/when the real dependency becomes available the analyzers in
+// internal/lint port by changing one import line. Facts, Requires-based
+// result passing, and SuggestedFixes are intentionally omitted — none of the
+// determinism analyzers need cross-package state.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static-analysis pass: a name, prose documentation
+// of the invariant it enforces, and a Run function applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// directives (//hidapvet:allow <name> <reason>).
+	Name string
+
+	// Doc is the help text: first line is a summary, the rest explains
+	// the invariant and the suppression convention.
+	Doc string
+
+	// Run applies the analyzer to a single type-checked package.
+	// Diagnostics are delivered through pass.Report; the result value is
+	// unused by the hidap-vet driver and may be nil.
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass presents one type-checked package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver installs it; analyzers
+	// usually call the Reportf convenience wrapper instead.
+	Report func(Diagnostic)
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos // optional: end of the offending range
+	Category string    // optional sub-category within the analyzer
+	Message  string
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers consult
+// allocated, ready to be filled by types.Config.Check.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

@@ -1,0 +1,181 @@
+// Package analysistest runs an analyzer over fixture packages under
+// testdata/src and checks its diagnostics against `// want` annotations, in
+// the style of golang.org/x/tools/go/analysis/analysistest (stdlib-only
+// re-implementation; see internal/lint/analysis for why).
+//
+// Fixture convention: testdata/src/<pkgpath>/*.go form one package whose
+// import path is <pkgpath>. A line expecting diagnostics carries a trailing
+// comment with one quoted regexp per expected diagnostic:
+//
+//	for k := range m { // want `range over map`
+//
+// Every reported diagnostic must match an annotation on its line, and every
+// annotation must be matched by a diagnostic — both directions are errors.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// wantRe matches one expectation: a Go string literal (quoted or backquoted)
+// after a `// want` marker.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each fixture package and applies the analyzer, failing the test
+// on any mismatch between diagnostics and annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	for _, pkgpath := range pkgpaths {
+		t.Run(strings.ReplaceAll(pkgpath, "/", "_"), func(t *testing.T) {
+			t.Helper()
+			runOne(t, testdata, a, pkgpath)
+		})
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		names = append(names, name)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no .go files in %s", dir)
+	}
+
+	// Type-check against GOROOT sources (fixtures import stdlib only).
+	tc := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := analysis.NewTypesInfo()
+	pkg, err := tc.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking fixture %s: %v", pkgpath, err)
+	}
+
+	wants := collectWants(t, fset, files)
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		exps := wants[key]
+		found := false
+		for _, e := range exps {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, e := range wants[k] {
+			if !e.matched {
+				t.Errorf("%s: no diagnostic matching %s", k, e.raw)
+			}
+		}
+	}
+	_ = names
+}
+
+// collectWants scans comments for `// want` markers and parses their quoted
+// regexps, keyed by file:line.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*expectation {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Both `// want` and `/* want */` markers are accepted;
+				// the block form annotates lines that already carry a
+				// line comment (e.g. a directive under test).
+				text := c.Text
+				i := strings.Index(text, "want ")
+				if i < 0 {
+					continue
+				}
+				rest := text[i+len("want "):]
+				matches := wantRe.FindAllString(rest, -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s: malformed want comment: %s", fset.Position(c.Pos()), text)
+				}
+				p := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+				for _, m := range matches {
+					var pat string
+					if m[0] == '`' {
+						pat = m[1 : len(m)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(m)
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", p, m, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %s: %v", p, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re, raw: m})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// CtxFlow enforces context propagation in library packages: a function that
+// receives a context.Context must hand it (or a context derived from it) to
+// every callee that accepts one. Minting a fresh context.Background() /
+// context.TODO() — or passing nil — severs the cancellation chain: the
+// serve layer's job cancellation and graceful drain rely on ctx reaching
+// every annealing loop (cancellation is checked every ctxCheckMoves moves).
+//
+// Concretely, in non-command, non-test packages:
+//
+//   - any call to context.Background() or context.TODO() is flagged
+//     (entry points live in cmd/ and tests; deprecated compatibility
+//     wrappers carry //hidapvet:allow ctxflow <reason>), and
+//   - any call whose callee's first parameter is a context.Context but whose
+//     argument is nil is flagged.
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "library functions must propagate their context.Context; no " +
+		"context.Background()/TODO() outside cmd/ and tests",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) (interface{}, error) {
+	idx := parseDirectives(pass)
+	idx.checkDirectiveReasons(pass)
+	if isCommand(pass) {
+		return nil, nil
+	}
+	for _, f := range nonTestFiles(pass) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if pkg, ok := importedPkgOf(pass, sel); ok && pkg == "context" {
+					if (sel.Sel.Name == "Background" || sel.Sel.Name == "TODO") &&
+						!idx.suppressed(call.Pos(), pass.Analyzer.Name) {
+						pass.Reportf(call.Pos(), "context.%s in library package %s severs the "+
+							"cancellation chain: accept and propagate a ctx parameter, or annotate "+
+							"//hidapvet:allow ctxflow <reason>", sel.Sel.Name, pass.Pkg.Path())
+					}
+					return true
+				}
+			}
+			// nil passed where the callee expects a context first.
+			if len(call.Args) > 0 && isNilExpr(call.Args[0]) && calleeWantsCtxFirst(pass, call) &&
+				!idx.suppressed(call.Pos(), pass.Analyzer.Name) {
+				pass.Reportf(call.Pos(), "nil passed as context.Context: propagate the caller's "+
+					"ctx (or annotate //hidapvet:allow ctxflow <reason>)")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isNilExpr(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// calleeWantsCtxFirst reports whether the call's static callee signature has
+// context.Context as its first parameter.
+func calleeWantsCtxFirst(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return isContextType(sig.Params().At(0).Type())
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// The //hidapvet: directive family. Directives are ordinary line comments and
+// therefore survive gofmt; each suppression must carry a human-readable
+// reason, which the analyzers enforce (a bare directive is itself a finding).
+//
+//	//hidapvet:orderinvariant <reason>  — suppress maprange on this/next line
+//	//hidapvet:allow <analyzer> <reason> — suppress the named analyzer here
+//	//hidapvet:commit <reason>          — undopair: this Propose/PerturbMove
+//	                                      deliberately commits (no Undo)
+//	//hidapvet:deterministic            — file-level: opt the whole package
+//	                                      into the determinism-critical set
+const directivePrefix = "//hidapvet:"
+
+// A directive is one parsed //hidapvet: comment.
+type directive struct {
+	kind   string // "orderinvariant", "allow", "commit", "deterministic"
+	arg    string // for "allow": the analyzer name
+	reason string
+	pos    token.Pos
+	line   int // line of the directive comment itself
+}
+
+// directiveIndex holds every hidapvet directive of one package, keyed by file
+// name and line for O(1) suppression lookups.
+type directiveIndex struct {
+	fset    *token.FileSet
+	byLine  map[string]map[int][]*directive // file → line → directives
+	all     []*directive
+	optedIn bool // any file carries //hidapvet:deterministic
+}
+
+// parseDirectives scans every comment of the pass for //hidapvet: directives.
+func parseDirectives(pass *analysis.Pass) *directiveIndex {
+	idx := &directiveIndex{fset: pass.Fset, byLine: make(map[string]map[int][]*directive)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				kind := rest
+				arg, reason := "", ""
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					kind, reason = rest[:i], strings.TrimSpace(rest[i+1:])
+				}
+				if kind == "allow" {
+					arg = reason
+					reason = ""
+					if i := strings.IndexAny(arg, " \t"); i >= 0 {
+						arg, reason = arg[:i], strings.TrimSpace(arg[i+1:])
+					}
+				}
+				p := idx.fset.Position(c.Pos())
+				d := &directive{kind: kind, arg: arg, reason: reason, pos: c.Pos(), line: p.Line}
+				if kind == "deterministic" {
+					idx.optedIn = true
+				}
+				lines := idx.byLine[p.Filename]
+				if lines == nil {
+					lines = make(map[int][]*directive)
+					idx.byLine[p.Filename] = lines
+				}
+				lines[d.line] = append(lines[d.line], d)
+				idx.all = append(idx.all, d)
+			}
+		}
+	}
+	return idx
+}
+
+// at returns the directives that govern a node reported at pos: those on the
+// same source line or on the line immediately above (the conventional
+// placement, mirroring //nolint and //lint:ignore).
+func (idx *directiveIndex) at(pos token.Pos) []*directive {
+	p := idx.fset.Position(pos)
+	lines := idx.byLine[p.Filename]
+	if lines == nil {
+		return nil
+	}
+	ds := append([]*directive(nil), lines[p.Line-1]...)
+	return append(ds, lines[p.Line]...)
+}
+
+// suppressed reports whether a diagnostic of the named analyzer at pos is
+// covered by a matching directive with a non-empty reason. kinds lists the
+// directive kinds that suppress this analyzer besides the generic "allow"
+// (e.g. maprange also accepts "orderinvariant").
+func (idx *directiveIndex) suppressed(pos token.Pos, analyzer string, kinds ...string) bool {
+	for _, d := range idx.at(pos) {
+		if d.reason == "" {
+			continue // reasonless directives never suppress; reported separately
+		}
+		if d.kind == "allow" && d.arg == analyzer {
+			return true
+		}
+		for _, k := range kinds {
+			if d.kind == k {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkDirectiveReasons reports, once per offending directive, any directive
+// belonging to this analyzer that lacks the mandatory reason string. kinds
+// lists the specific directive kinds owned by the analyzer.
+func (idx *directiveIndex) checkDirectiveReasons(pass *analysis.Pass, kinds ...string) {
+	for _, d := range idx.all {
+		owned := d.kind == "allow" && d.arg == pass.Analyzer.Name
+		for _, k := range kinds {
+			if d.kind == k {
+				owned = true
+			}
+		}
+		if owned && d.reason == "" {
+			pass.Reportf(d.pos, "//hidapvet:%s directive needs a reason (why is this safe?)", d.kind)
+		}
+	}
+}
+
+// isTestFile reports whether the file enclosing pos is a _test.go file; the
+// hidap-vet analyzers police production code only.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// nonTestFiles returns the pass's files excluding _test.go files.
+func nonTestFiles(pass *analysis.Pass) []*ast.File {
+	var out []*ast.File
+	for _, f := range pass.Files {
+		if !isTestFile(pass.Fset, f.Pos()) {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+// Package lint holds the hidap-vet analyzer suite: five static-analysis
+// passes that turn the repository's determinism and concurrency invariants —
+// byte-identical placements at any Parallelism/GOMAXPROCS, config-derived
+// seeds, strict Propose/Undo pairing, pool-governed fan-out, unbroken
+// context chains — into build-time errors instead of probabilistic test
+// failures.
+//
+// The analyzers are written against internal/lint/analysis, a stdlib-only
+// stand-in for golang.org/x/tools/go/analysis (see that package's doc for
+// why), and run under `go vet -vettool=` via cmd/hidap-vet.
+package lint
+
+import "repro/internal/lint/analysis"
+
+// Analyzers returns the full hidap-vet suite, in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		MapRange,
+		RngSeed,
+		UndoPair,
+		GoCap,
+		CtxFlow,
+	}
+}

@@ -1,0 +1,50 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestMapRange(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.MapRange, "maprange/critical", "maprange/clean")
+}
+
+func TestRngSeed(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.RngSeed, "rngseed/solver", "rngseed/nonsolver")
+}
+
+func TestUndoPair(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.UndoPair, "undopair/moves")
+}
+
+func TestGoCap(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.GoCap, "gocap/lib", "gocap/cmdmain")
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.CtxFlow, "ctxflow/lib", "ctxflow/cmdmain")
+}
+
+func TestAnalyzersRegistered(t *testing.T) {
+	as := lint.Analyzers()
+	if len(as) != 5 {
+		t.Fatalf("expected 5 analyzers, got %d", len(as))
+	}
+	seen := map[string]bool{}
+	for _, a := range as {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q incompletely defined", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, want := range []string{"maprange", "rngseed", "undopair", "gocap", "ctxflow"} {
+		if !seen[want] {
+			t.Errorf("missing analyzer %q", want)
+		}
+	}
+}

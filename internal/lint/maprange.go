@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// MapRange flags `range` over map-typed values in determinism-critical
+// packages. Go randomizes map iteration order per run, so any map range whose
+// body is order-sensitive (appends to output in iteration order, picks
+// "first" match, accumulates floats, emits events, …) is a latent
+// nondeterminism bug of exactly the class the determinism matrix exists to
+// catch — but only probabilistically and after the fact.
+//
+// Allowed forms, in decreasing order of preference:
+//
+//  1. Collect-then-sort: a range whose body only appends keys/values to a
+//     local slice that is subsequently passed to a sort.* / slices.Sort*
+//     call in the same function.
+//  2. Keyless repetition (`for range m { … }`): every iteration runs
+//     identical code, so order cannot matter.
+//  3. An explicit suppression on or above the range statement:
+//     //hidapvet:orderinvariant <reason>
+//     for provably order-insensitive loops (commutative integer sums, set
+//     membership fills, per-key writes to an index keyed by the same key).
+var MapRange = &analysis.Analyzer{
+	Name: "maprange",
+	Doc: "flag range over maps in determinism-critical packages unless keys are " +
+		"sorted first or the loop carries //hidapvet:orderinvariant <reason>",
+	Run: runMapRange,
+}
+
+func runMapRange(pass *analysis.Pass) (interface{}, error) {
+	idx := parseDirectives(pass)
+	idx.checkDirectiveReasons(pass, "orderinvariant")
+	if !isCritical(pass, idx) {
+		return nil, nil
+	}
+	for _, f := range nonTestFiles(pass) {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					checkMapRangesIn(pass, idx, d.Body)
+				}
+			case *ast.GenDecl:
+				// var initializers may contain func literals
+				ast.Inspect(d, func(n ast.Node) bool {
+					if fl, ok := n.(*ast.FuncLit); ok {
+						checkMapRangesIn(pass, idx, fl.Body)
+						return false
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkMapRangesIn walks one function body. Func literals nested inside are
+// checked against the enclosing body too (a sort after the literal's range
+// still counts), so the walk does not recurse into them separately.
+func checkMapRangesIn(pass *analysis.Pass, idx *directiveIndex, body *ast.BlockStmt) {
+	sorted := sortedVars(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if rs.Key == nil && rs.Value == nil {
+			return true // keyless repetition: iterations are indistinguishable
+		}
+		if idx.suppressed(rs.For, pass.Analyzer.Name, "orderinvariant") {
+			return true
+		}
+		if collectsIntoSorted(pass, rs, sorted) {
+			return true
+		}
+		pass.Reportf(rs.For, "range over map %s in determinism-critical package %s: "+
+			"iteration order is randomized; collect+sort the keys, or annotate "+
+			"//hidapvet:orderinvariant <reason> if provably order-insensitive",
+			types.ExprString(rs.X), pass.Pkg.Path())
+		return true
+	})
+}
+
+// sortedVars collects, per function body, the set of variables that are ever
+// passed to a sorting call (sort.Strings/Ints/Slice/Sort…, slices.Sort*),
+// with the position of each such call.
+func sortedVars(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object][]token.Pos {
+	out := make(map[types.Object][]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		if obj := rootObject(pass, call.Args[0]); obj != nil {
+			out[obj] = append(out[obj], call.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+// rootObject resolves an expression like `keys`, `s.keys[i]` or `&keys` to
+// the object of its leftmost identifier.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// collectsIntoSorted reports whether the range body consists solely of
+// append-to-local-slice statements (and trivial control like continue) whose
+// targets are all later sorted within the same function.
+func collectsIntoSorted(pass *analysis.Pass, rs *ast.RangeStmt, sorted map[types.Object][]token.Pos) bool {
+	appended := false
+	for _, stmt := range rs.Body.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			// want: X = append(X, …)
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" {
+				return false
+			}
+			obj := rootObject(pass, s.Lhs[0])
+			if obj == nil {
+				return false
+			}
+			ok = false
+			for _, p := range sorted[obj] {
+				if p > rs.End() {
+					ok = true
+				}
+			}
+			if !ok {
+				return false
+			}
+			appended = true
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				return false
+			}
+		case *ast.IfStmt:
+			// allow a guard like `if skip(k) { continue }`
+			if s.Else != nil || !onlyContinues(s.Body) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return appended
+}
+
+func onlyContinues(b *ast.BlockStmt) bool {
+	for _, stmt := range b.List {
+		bs, ok := stmt.(*ast.BranchStmt)
+		if !ok || bs.Tok != token.CONTINUE {
+			return false
+		}
+	}
+	return len(b.List) > 0
+}

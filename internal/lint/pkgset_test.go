@@ -1,0 +1,34 @@
+package lint
+
+import "testing"
+
+func TestPathInSet(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/core", true},
+		{"internal/core", true},
+		{"repro/internal/slicing", true},
+		{"repro/hidap", true},
+		{"hidap", true},
+		{"repro/internal/render", false},
+		{"repro/internal/verilog", false}, // opts in via directive, not the list
+		{"example.com/other/internal/core", true},
+		{"notinternal/core", false},
+		{"repro/internal/corelike", false},
+		{"context", false},
+		{"internal/coreutils", false},
+	}
+	for _, c := range cases {
+		if got := pathInSet(c.path, criticalPkgs); got != c.want {
+			t.Errorf("pathInSet(%q, critical) = %v, want %v", c.path, got, c.want)
+		}
+	}
+	if !pathInSet("repro/internal/indeda", solverExtraPkgs) {
+		t.Errorf("indeda should be in the solver extra set")
+	}
+	if pathInSet("repro/internal/indeda", criticalPkgs) {
+		t.Errorf("indeda is not determinism-critical for map order")
+	}
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// RngSeed forbids ambient sources of nondeterminism in solver packages
+// (non-test files):
+//
+//   - time.Now — wall-clock must never reach a solver decision; timing for
+//     reported metrics belongs in the flows/CLI layer or carries an
+//     explicit //hidapvet:allow rngseed <reason>.
+//   - global math/rand (rand.Intn, rand.Float64, rand.Shuffle, rand.Seed, …)
+//     and math/rand/v2 top-level functions — process-global RNG state is
+//     shared across goroutines and seeds itself from entropy.
+//   - raw rand.NewSource(x) where x is not visibly a configured seed: the
+//     argument must mention a seed (an identifier or field whose name
+//     contains "seed") or flow through sched.Derive. Everything else —
+//     literals smuggled into solvers, time-derived seeds — is flagged.
+//
+// The invariant: every random stream in the solve pipeline is derived from
+// hidap.Config.Seed via sched.Derive's splitmix64 path so placements are
+// reproducible bit-for-bit from the config alone.
+var RngSeed = &analysis.Analyzer{
+	Name: "rngseed",
+	Doc: "forbid time.Now, global math/rand, and unseeded rand.NewSource in " +
+		"solver packages; seeds must flow from config or sched.Derive",
+	Run: runRngSeed,
+}
+
+func runRngSeed(pass *analysis.Pass) (interface{}, error) {
+	idx := parseDirectives(pass)
+	idx.checkDirectiveReasons(pass)
+	if !isSolver(pass, idx) {
+		return nil, nil
+	}
+	for _, f := range nonTestFiles(pass) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := importedPkgOf(pass, sel)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pkgPath {
+			case "time":
+				if (name == "Now" || name == "Since") && !idx.suppressed(call.Pos(), pass.Analyzer.Name) {
+					pass.Reportf(call.Pos(), "time.%s in solver package %s: wall-clock must not "+
+						"influence the solve; thread timing through the caller or annotate "+
+						"//hidapvet:allow rngseed <reason>", name, pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				switch name {
+				case "New", "NewZipf": // constructors over an explicit source are fine
+					return true
+				case "NewSource", "NewPCG", "NewChaCha8":
+					if seedFlowsFromConfig(pass, call.Args) ||
+						idx.suppressed(call.Pos(), pass.Analyzer.Name) {
+						return true
+					}
+					pass.Reportf(call.Pos(), "rand.%s with a seed that does not visibly flow from "+
+						"config or sched.Derive in solver package %s: derive the seed via "+
+						"sched.Derive(cfg.Seed, …) or annotate //hidapvet:allow rngseed <reason>",
+						name, pass.Pkg.Path())
+				default:
+					if !idx.suppressed(call.Pos(), pass.Analyzer.Name) {
+						pass.Reportf(call.Pos(), "global %s.%s in solver package %s: process-global "+
+							"RNG state breaks reproducibility; use a *rand.Rand seeded from config "+
+							"via sched.Derive", pathBase(pkgPath), name, pass.Pkg.Path())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// importedPkgOf resolves sel's receiver to an imported package path, if the
+// selector is a package-qualified reference (handles renamed imports).
+func importedPkgOf(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path(), true
+	}
+	return "", false
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// seedFlowsFromConfig reports whether any argument expression visibly carries
+// a configured seed: it mentions an identifier or selector whose name
+// contains "seed" (case-insensitive), or calls a function named Derive
+// (sched.Derive or a wrapper).
+func seedFlowsFromConfig(pass *analysis.Pass, args []ast.Expr) bool {
+	for _, a := range args {
+		found := false
+		ast.Inspect(a, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				if strings.Contains(strings.ToLower(x.Name), "seed") {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if x.Sel.Name == "Derive" {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,9 @@
+// Entry points mint the root context: ctxflow stays silent in package main.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

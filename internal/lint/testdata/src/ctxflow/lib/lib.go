@@ -1,0 +1,37 @@
+// Package lib exercises ctxflow in a library package.
+package lib
+
+import "context"
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// OK: the caller's context is propagated.
+func good(ctx context.Context) error { return work(ctx) }
+
+// OK: a derived context still descends from the caller's.
+func derived(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return work(ctx)
+}
+
+// Flagged: a fresh root context severs the cancellation chain.
+func fresh(ctx context.Context) error {
+	return work(context.Background()) // want `context.Background in library package`
+}
+
+// Flagged: TODO is no better, with or without a ctx parameter in scope.
+func todo() error {
+	return work(context.TODO()) // want `context.TODO in library package`
+}
+
+// Flagged: nil where the callee expects a context.
+func nilCtx() error {
+	return work(nil) // want `nil passed as context.Context`
+}
+
+// OK: a documented compatibility wrapper.
+func compat() error {
+	//hidapvet:allow ctxflow deprecated pre-Placer wrapper, kept for API compatibility
+	return work(context.Background())
+}

@@ -1,0 +1,8 @@
+// Entry points own their process: gocap stays silent in package main.
+package main
+
+func main() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

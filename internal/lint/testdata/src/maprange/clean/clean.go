@@ -1,0 +1,12 @@
+// Package clean is NOT determinism-critical (no //hidapvet:deterministic,
+// not on the hard-coded list), so maprange stays silent even on an
+// order-dependent loop.
+package clean
+
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

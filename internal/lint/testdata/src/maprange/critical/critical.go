@@ -1,0 +1,77 @@
+// Package critical exercises the maprange analyzer inside a
+// determinism-critical package (opted in by the directive below).
+//
+//hidapvet:deterministic
+package critical
+
+import "sort"
+
+// Flagged: iteration order leaks into the output slice.
+func badCollect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map`
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+// Flagged: the value stream is order-dependent and never sorted.
+func badValues(m map[int]int) []int {
+	var order []int
+	for _, v := range m { // want `range over map`
+		order = append(order, v*2)
+	}
+	return order
+}
+
+// OK: collect-then-sort — the canonical deterministic form.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// OK: collect with a guard, sorted later via sort.Slice.
+func sortedFiltered(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		if len(k) == 0 {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// OK: keyless repetition — iterations are indistinguishable.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// OK: suppressed with a reason.
+func total(m map[string]int) int {
+	t := 0
+	//hidapvet:orderinvariant commutative integer sum
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// A reasonless directive is itself a finding and does not suppress.
+func reasonless(m map[string]int) int {
+	t := 0
+	/* want `needs a reason` */ //hidapvet:orderinvariant
+	for _, v := range m {       // want `range over map`
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,7 @@
+// Package nonsolver is outside the solver set: rngseed stays silent here
+// (rendering, CLIs, and metrics layers may read the clock freely).
+package nonsolver
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }

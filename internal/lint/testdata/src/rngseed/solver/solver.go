@@ -1,0 +1,52 @@
+// Package solver exercises rngseed inside a solver package (directive
+// opt-in stands in for the hard-coded internal/{core,anneal,…} list).
+//
+//hidapvet:deterministic
+package solver
+
+import (
+	mrand "math/rand"
+	"time"
+)
+
+type Options struct{ Seed int64 }
+
+type scheduler struct{}
+
+func (scheduler) Derive(seed int64, path ...int64) int64 { return seed + path[0] }
+
+// OK: the seed visibly flows from config.
+func fromConfig(opt Options) *mrand.Rand {
+	return mrand.New(mrand.NewSource(opt.Seed))
+}
+
+// OK: the seed flows through a Derive call.
+func derived(s scheduler, opt Options) *mrand.Rand {
+	return mrand.New(mrand.NewSource(s.Derive(opt.Seed, 1)))
+}
+
+// Flagged: wall-clock reaching a solver.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in solver package`
+}
+
+// Flagged: elapsed wall-clock is still wall-clock.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in solver package`
+}
+
+// Flagged: process-global RNG (via a renamed import, caught by type info).
+func globalRand() int {
+	return mrand.Intn(10) // want `global rand.Intn in solver package`
+}
+
+// Flagged: a raw source whose seed is not visibly configured.
+func opaqueSeed(n int64) *mrand.Rand {
+	return mrand.New(mrand.NewSource(n)) // want `rand.NewSource with a seed that does not visibly flow`
+}
+
+// OK: suppressed with a reason.
+func reportedRuntime() int64 {
+	//hidapvet:allow rngseed timing is only reported as a metric, never fed to the solver
+	return time.Now().UnixNano()
+}

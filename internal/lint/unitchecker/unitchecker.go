@@ -1,0 +1,254 @@
+// Package unitchecker makes a multichecker binary out of a set of analyzers,
+// speaking the `go vet -vettool=` protocol: cmd/go invokes the tool once per
+// package ("unit") with a JSON config file describing the sources, the
+// import map, and the export-data files of every dependency, and expects
+// diagnostics on stderr plus a (possibly empty) facts file at VetxOutput.
+//
+// It is a stdlib-only re-implementation of the subset of
+// golang.org/x/tools/go/analysis/unitchecker this repository needs (that
+// module cannot be fetched in the offline build); since the hidap-vet
+// analyzers use no cross-package facts, the facts file is always empty.
+//
+// As a convenience beyond the x/tools original, invoking the binary with
+// package patterns instead of a .cfg file re-executes `go vet
+// -vettool=<self> <patterns>`, so `hidap-vet ./...` just works.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Config is the JSON schema cmd/go writes to <objdir>/vet.cfg (struct
+// vetConfig in cmd/go/internal/work). Fields we do not consult are kept so
+// the decoder documents the full wire format.
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vet-tool binary. It never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	// cmd/go probes the tool's identity with -V=full and requires the
+	// line `<name> version devel ... buildID=<hex>` (work/buildid.go); the
+	// executable hash keys vet's result cache, so rebuilt tools re-vet.
+	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "-V") {
+		fmt.Printf("%s version devel buildID=%s\n", progname, selfHash())
+		os.Exit(0)
+	}
+
+	// cmd/go probes `<tool> -flags` for a JSON description of the tool's
+	// flags (cmd/go/internal/vet/vetflag.go); the suite defines none.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0], analyzers)
+		os.Exit(0)
+	}
+
+	// Never re-exec on unrecognized flags: an unknown protocol probe must
+	// fail fast, not recurse through go vet.
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") && a != "-h" && a != "--help" {
+			fmt.Fprintf(os.Stderr, "%s: unrecognized flag %s\n", progname, a)
+			os.Exit(2)
+		}
+	}
+
+	if len(args) == 0 || args[0] == "help" || args[0] == "-h" || args[0] == "--help" {
+		fmt.Fprintf(os.Stderr, "%s: static analysis of the hidap determinism & concurrency invariants\n\n", progname)
+		fmt.Fprintf(os.Stderr, "usage: %s <packages>   (e.g. %s ./...)\n", progname, progname)
+		fmt.Fprintf(os.Stderr, "   or: go vet -vettool=$(command -v %s) <packages>\n\nanalyzers:\n", progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, strings.Split(a.Doc, "\n")[0])
+		}
+		os.Exit(2)
+	}
+
+	// Package patterns: delegate to go vet with ourselves as the tool.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: cannot locate own executable: %v\n", progname, err)
+		os.Exit(1)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// selfHash returns a short content hash of the running executable.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// runUnit analyzes one package unit described by the config file.
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("reading vet config: %v", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing vet config %s: %v", cfgFile, err)
+	}
+
+	// The facts file must exist even though the suite records no facts:
+	// cmd/go caches it and feeds it to dependent units as PackageVetx.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatalf("writing vetx output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return // dependency pass: facts only, no diagnostics wanted
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return
+			}
+			fatalf("%v", err)
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typeCheck(fset, files, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatalf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	type record struct {
+		analyzer *analysis.Analyzer
+		diag     analysis.Diagnostic
+	}
+	var found []record
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			found = append(found, record{a, d})
+		}
+		if _, err := a.Run(pass); err != nil {
+			fatalf("analyzer %s: %v", a.Name, err)
+		}
+	}
+
+	if len(found) == 0 {
+		return
+	}
+	sort.SliceStable(found, func(i, j int) bool { return found[i].diag.Pos < found[j].diag.Pos })
+	for _, r := range found {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(r.diag.Pos), r.diag.Message, r.analyzer.Name)
+	}
+	os.Exit(2)
+}
+
+// typeCheck builds the types.Package for the unit, resolving imports through
+// the export data cmd/go supplies in PackageFile (keyed by canonical package
+// path; source import paths go through ImportMap first).
+func typeCheck(fset *token.FileSet, files []*ast.File, cfg *Config) (*types.Package, *types.Info, error) {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if canonical, ok := cfg.ImportMap[importPath]; ok {
+			importPath = canonical
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(importPath)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := analysis.NewTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "hidap-vet: "+format+"\n", args...)
+	os.Exit(1)
+}

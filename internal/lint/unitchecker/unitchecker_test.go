@@ -1,0 +1,127 @@
+package unitchecker_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildVet compiles cmd/hidap-vet into a temp dir and returns its path along
+// with the repo root.
+func buildVet(t *testing.T) (tool, root string) {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		t.Fatal("not in a module")
+	}
+	root = filepath.Dir(gomod)
+	tool = filepath.Join(t.TempDir(), "hidap-vet")
+	cmd := exec.Command("go", "build", "-o", tool, "./cmd/hidap-vet")
+	cmd.Dir = root
+	if b, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building hidap-vet: %v\n%s", err, b)
+	}
+	return tool, root
+}
+
+// TestVersionFlag checks the -V=full handshake cmd/go uses to identify and
+// cache-key the tool (work/buildid.go requires `name version devel …
+// buildID=<hex>`).
+func TestVersionFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	tool, _ := buildVet(t)
+	out, err := exec.Command(tool, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	f := strings.Fields(strings.TrimSpace(string(out)))
+	if len(f) < 3 || f[1] != "version" || !strings.HasPrefix(f[len(f)-1], "buildID=") {
+		t.Fatalf("-V=full output not in cmd/go's expected shape: %q", out)
+	}
+}
+
+// TestVetCleanPackage runs the full go vet -vettool protocol over packages
+// that must be finding-free.
+func TestVetCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	tool, root := buildVet(t)
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./internal/sched/...", "./internal/lint/...")
+	cmd.Dir = root
+	if b, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("expected clean vet run, got: %v\n%s", err, b)
+	}
+}
+
+// TestVetFindsViolation builds a scratch module with a seeded violation of
+// each analyzer and checks the findings come out of the real vet pipeline —
+// the fixture-level tests prove the analyzers, this proves the protocol
+// (config decoding, export-data import, diagnostics, exit status).
+func TestVetFindsViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	tool, _ := buildVet(t)
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("lib.go", `// Package lib has one violation per analyzer.
+//hidapvet:deterministic
+package lib
+
+import (
+	"context"
+	"math/rand"
+)
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func Roll(n int64) int {
+	return rand.New(rand.NewSource(n)).Intn(6)
+}
+
+func Spawn(f func()) { go f() }
+
+func Fresh(ctx context.Context, f func(context.Context) error) error {
+	return f(context.Background())
+}
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = dir
+	b, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected findings, vet exited clean:\n%s", b)
+	}
+	for _, wantFrag := range []string{
+		"range over map",
+		"rand.NewSource with a seed that does not visibly flow",
+		"bare go statement",
+		"context.Background in library package",
+		"[maprange]", "[rngseed]", "[gocap]", "[ctxflow]",
+	} {
+		if !bytes.Contains(b, []byte(wantFrag)) {
+			t.Errorf("vet output missing %q:\n%s", wantFrag, b)
+		}
+	}
+}

@@ -203,6 +203,7 @@ func (ev *Evaluator) Perturb(rng *rand.Rand) (undo func(), kind MoveKind) {
 	ev.pjIdx, ev.pjPar = ev.pjIdx[:0], ev.pjPar[:0]
 	ev.reparsed = false
 	ev.moveBudget, ev.budgetMoved = ev.lastBudget, false
+	//hidapvet:commit pairing handed to the caller through the returned ev.undoFn closure; the annealer invokes it on reject
 	ev.expr.PerturbMove(rng, &ev.move)
 	switch {
 	case ev.move.I == ev.move.J:

@@ -1,5 +1,9 @@
 package verilog
 
+// Elaboration allocates netlist IDs, so iteration order anywhere in this
+// package reaches placement results; hold it to the determinism rules.
+//hidapvet:deterministic
+
 import (
 	"fmt"
 	"sort"
@@ -17,7 +21,7 @@ func Elaborate(f *File, top string, lib *Library) (*netlist.Design, error) {
 	if topMod == nil {
 		return nil, fmt.Errorf("verilog: top module %q not found", top)
 	}
-	for _, c := range lib.Cells {
+	for _, c := range sortedCells(lib.Cells) {
 		if err := c.validate(); err != nil {
 			return nil, err
 		}
@@ -90,6 +94,7 @@ func join(prefix, name string) string {
 func (e *elaborator) instantiate(m *Module, path string, env map[string][]netlist.NetID) error {
 	// Local wires.
 	local := map[string][]netlist.NetID{}
+	//hidapvet:orderinvariant pure map copy; keys are distinct and no IDs are allocated
 	for name, nets := range env {
 		local[name] = nets
 	}
@@ -203,10 +208,12 @@ func (e *elaborator) instantiate(m *Module, path string, env map[string][]netlis
 			}
 			subEnv[port] = nets
 		}
-		// Unconnected submodule ports get fresh local nets.
-		for name, decl := range sub.Ports {
-			if _, ok := subEnv[name]; !ok {
-				subEnv[name] = e.declareNets(ipath, decl)
+		// Unconnected submodule ports get fresh local nets. Sorted order
+		// matters here: declareNets allocates net IDs, and map-order
+		// allocation would renumber the whole netlist run to run.
+		for _, decl := range sortedDecls(sub.Ports) {
+			if _, ok := subEnv[decl.Name]; !ok {
+				subEnv[decl.Name] = e.declareNets(ipath, decl)
 			}
 		}
 		if err := e.instantiate(sub, ipath, subEnv); err != nil {
@@ -259,6 +266,20 @@ func parentPath(p string) string {
 		}
 	}
 	return ""
+}
+
+// sortedCells returns library cells in name order for determinism.
+func sortedCells(m map[string]*LibCell) []*LibCell {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*LibCell, len(names))
+	for i, n := range names {
+		out[i] = m[n]
+	}
+	return out
 }
 
 // sortedDecls returns map values in name order for determinism.
