@@ -8,6 +8,17 @@
 //
 //	go vet -vettool=/path/to/hidap-vet ./...
 //
+// Both modes accept -json, which emits machine-readable diagnostics (one
+// JSON object per package unit, keyed by package path then analyzer) and
+// exits 0 so consumers gate on the parsed payload:
+//
+//	./hidap-vet -json ./...
+//	go vet -vettool=/path/to/hidap-vet -json ./...
+//
+// The suite propagates facts across package boundaries through the vet
+// .vetx protocol: seed purity (seedpure) and allocation freedom (allocfree)
+// are checked whole-program, one compilation unit at a time.
+//
 // Findings are suppressed only by the //hidapvet: directive family, each of
 // which requires a written justification; see README "Static analysis".
 package main

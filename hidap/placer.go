@@ -165,14 +165,14 @@ func init() {
 // placeHiDaP runs the paper's flow: hierarchy tree, shape curves, recursive
 // dataflow-driven block floorplanning, and macro flipping.
 func placeHiDaP(ctx context.Context, d *Design, cfg *Config) (*Placement, Stats, error) {
-	start := time.Now() //hidapvet:allow rngseed wall clock only reported as a runtime metric; never feeds the solve
+	start := time.Now()
 	res, err := core.Place(ctx, d, cfg.coreOptions())
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	return res.Placement, Stats{
 		Placer:       "hidap",
-		MacroSeconds: time.Since(start).Seconds(), //hidapvet:allow rngseed runtime metric only
+		MacroSeconds: time.Since(start).Seconds(),
 		Levels:       res.Levels,
 		Flips:        res.Flips,
 		Lambda:       cfg.Lambda,
@@ -184,7 +184,7 @@ func placeHiDaP(ctx context.Context, d *Design, cfg *Config) (*Placement, Stats,
 // placeIndEDA runs the industrial-baseline macro placer (hierarchy- and
 // dataflow-blind; wall-packing plus netlist annealing).
 func placeIndEDA(ctx context.Context, d *Design, cfg *Config) (*Placement, Stats, error) {
-	start := time.Now() //hidapvet:allow rngseed wall clock only reported as a runtime metric; never feeds the solve
+	start := time.Now()
 	pl, err := indeda.Place(ctx, d, indeda.Options{
 		Seed:       cfg.Seed,
 		HighEffort: cfg.Effort != EffortLow,
@@ -193,7 +193,7 @@ func placeIndEDA(ctx context.Context, d *Design, cfg *Config) (*Placement, Stats
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return pl, Stats{Placer: "indeda", MacroSeconds: time.Since(start).Seconds()}, nil //hidapvet:allow rngseed runtime metric only
+	return pl, Stats{Placer: "indeda", MacroSeconds: time.Since(start).Seconds()}, nil
 }
 
 // placeHandFP realizes a handcrafted floorplan from the designer intent
@@ -202,10 +202,10 @@ func placeHandFP(ctx context.Context, d *Design, cfg *Config) (*Placement, Stats
 	if cfg.Intent == nil {
 		return nil, Stats{}, fmt.Errorf("hidap: placer \"handfp\" needs a designer intent (use WithIntent)")
 	}
-	start := time.Now() //hidapvet:allow rngseed wall clock only reported as a runtime metric; never feeds the solve
+	start := time.Now()
 	pl, err := handfp.Place(ctx, d, cfg.Intent, handfp.Options{Seed: cfg.Seed})
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return pl, Stats{Placer: "handfp", MacroSeconds: time.Since(start).Seconds()}, nil //hidapvet:allow rngseed runtime metric only
+	return pl, Stats{Placer: "handfp", MacroSeconds: time.Since(start).Seconds()}, nil
 }

@@ -99,9 +99,11 @@ const ctxCheckMoves = 16
 // RunModel minimizes a Model's objective under the configured schedule.
 // Cancelling ctx stops the schedule within a few moves; the caller should
 // propagate ctx.Err() after checking Result.Canceled.
+//
+//hidapvet:hotpath
 func RunModel(ctx context.Context, opt Options, m Model) Result {
 	opt = opt.withDefaults()
-	rng := rand.New(rand.NewSource(opt.Seed))
+	rng := rand.New(rand.NewSource(opt.Seed)) //hidapvet:allow allocfree one RNG per schedule, constructed before the move loop; the loop itself is the hot path
 
 	cur := m.Cost()
 	best := cur

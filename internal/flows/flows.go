@@ -140,7 +140,7 @@ func Run(ctx context.Context, g *circuits.Generated, flow Flow, opt Options) (*M
 		opt.Lambdas = []float64{0.2, 0.5, 0.8}
 	}
 
-	start := time.Now() //hidapvet:allow rngseed wall clock only reported as a runtime metric; never feeds the solve
+	start := time.Now()
 	var pl *placement.Placement
 	var bestLambda float64
 	var err error
@@ -169,7 +169,7 @@ func Run(ctx context.Context, g *circuits.Generated, flow Flow, opt Options) (*M
 	default:
 		return nil, nil, fmt.Errorf("flows: unknown flow %q", flow)
 	}
-	elapsed := time.Since(start).Seconds() //hidapvet:allow rngseed runtime metric only
+	elapsed := time.Since(start).Seconds()
 
 	m, err := measure(ctx, g, flow, pl, opt)
 	if err != nil {

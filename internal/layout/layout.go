@@ -269,12 +269,19 @@ func (m *mover) Cost() float64 {
 	return ev.Penalty * (1 + m.cs.rebuild(ev.Rects))
 }
 
+// Propose applies one slicing-tree move and returns the tentative cost; it
+// runs once per annealing step.
+//
+//hidapvet:hotpath
 func (m *mover) Propose(rng *rand.Rand) float64 {
 	m.undoEv, _ = m.inc.Perturb(rng)
 	ev := m.inc.Eval(m.region)
 	return ev.Penalty * (1 + m.cs.update(ev.Rects, m.inc.Changed()))
 }
 
+// Undo reverts the last Propose, cost journal first, then the evaluator.
+//
+//hidapvet:hotpath
 func (m *mover) Undo() {
 	m.cs.undo()
 	m.undoEv()
@@ -445,6 +452,8 @@ func (cs *costState) rebuild(rects []geom.Rect) float64 {
 // is journaled and refreshed, then the incident pairs' contributions
 // recompute (deduplicated — a pair between two moved blocks recomputes
 // once, after both centers are current) and the array re-sums.
+//
+//hidapvet:hotpath
 func (cs *costState) update(rects []geom.Rect, changed []int32) float64 {
 	cs.jPair, cs.jContrib = cs.jPair[:0], cs.jContrib[:0]
 	cs.jBlock, cs.jCenter = cs.jBlock[:0], cs.jCenter[:0]
@@ -474,6 +483,8 @@ func (cs *costState) update(rects []geom.Rect, changed []int32) float64 {
 
 // undo reverts the last update: centers and contributions restore from the
 // journal to their exact previous bits.
+//
+//hidapvet:hotpath
 func (cs *costState) undo() {
 	for k := len(cs.jBlock) - 1; k >= 0; k-- {
 		cs.pts[cs.jBlock[k]] = cs.jCenter[k]

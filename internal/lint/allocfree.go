@@ -1,0 +1,298 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Allocates is the cross-package allocation fact: exported for every function
+// whose body contains an allocating construct (or a call to a function with
+// this fact), it lets allocfree break the build when a regression lands in a
+// hot path's callee's callee, packages away from any //hidapvet:hotpath
+// annotation. Where names the first offending construct, nesting through call
+// chains ("calls Wrap (calls Grow (make))") so diagnostics point at the root.
+type Allocates struct {
+	Where string
+}
+
+func (*Allocates) AFact() {}
+
+func (f *Allocates) String() string { return "allocates: " + f.Where }
+
+// AllocFree enforces the 0-allocs/proposal budget won by the slicing and
+// layout hot-path work: a function whose doc comment carries
+// //hidapvet:hotpath must not contain allocating constructs — map/slice
+// literals, &T{} heap literals, make/new, function literals (closures),
+// string concatenation, interface boxing at call arguments — nor call, at
+// any depth through the Allocates fact graph, a function that does.
+//
+// Deliberately NOT flagged, because the hot paths rely on them:
+//
+//   - append: the evaluators append to pre-grown journal slices; amortized
+//     growth is part of the design and pinned by AllocsPerRun tests.
+//   - interface method calls: anneal.RunModel drives its Model through an
+//     interface; dynamic dispatch does not allocate.
+//   - plain struct composite values (geom.Rect{...}): stack-allocated.
+//
+// Standard-library units are not analyzed (no facts), so a small denylist
+// covers the std functions that always allocate (fmt, errors.New, rand.New…).
+// Justified sites carry //hidapvet:allow allocfree <reason>; a suppressed
+// site is also excluded from fact derivation, so a reviewed warm-up make
+// does not taint every caller.
+var AllocFree = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc: "forbid allocating constructs in //hidapvet:hotpath functions, " +
+		"propagating an Allocates fact through the cross-package call graph",
+	Run:       runAllocFree,
+	FactTypes: []analysis.Fact{new(Allocates)},
+}
+
+// stdAllocs lists standard-library functions known to allocate, keyed by
+// package path. A nil set means every function in the package.
+var stdAllocs = map[string]map[string]bool{
+	"fmt":    nil,
+	"errors": {"New": true},
+	"strings": {
+		"Join": true, "Repeat": true, "Split": true, "Fields": true,
+		"Replace": true, "ReplaceAll": true, "ToUpper": true, "ToLower": true,
+		"Map": true, "Clone": true,
+	},
+	"strconv": {
+		"Itoa": true, "FormatInt": true, "FormatUint": true,
+		"FormatFloat": true, "Quote": true,
+	},
+	"sort": {"Slice": true, "SliceStable": true, "Sort": true, "Stable": true},
+	"math/rand": {
+		"New": true, "NewSource": true, "NewZipf": true, "Perm": true,
+	},
+	"math/rand/v2": {"New": true, "NewPCG": true, "NewChaCha8": true, "Perm": true},
+}
+
+func stdAllocReason(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	set, ok := stdAllocs[pkg.Path()]
+	if !ok {
+		return "", false
+	}
+	if set == nil || set[fn.Name()] {
+		return "std allocator", true
+	}
+	return "", false
+}
+
+func runAllocFree(pass *analysis.Pass) (interface{}, error) {
+	idx := parseDirectives(pass)
+	idx.checkDirectiveReasons(pass)
+
+	type site struct {
+		pos  token.Pos
+		what string
+	}
+	type callRec struct {
+		callee *types.Func
+		pos    token.Pos
+	}
+	type fnState struct {
+		obj   *types.Func
+		hot   bool
+		sites []site    // direct allocating constructs + known-allocating cross-package calls
+		calls []callRec // in-package call edges, resolved after the walk
+		where string    // summary: "" = alloc-free
+	}
+	var fns []*fnState
+	byObj := make(map[*types.Func]*fnState)
+
+	for _, f := range nonTestFiles(pass) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			st := &fnState{obj: obj, hot: isHotpath(fd)}
+			fns = append(fns, st)
+			byObj[obj] = st
+
+			addSite := func(pos token.Pos, what string) {
+				if !idx.suppressed(pos, pass.Analyzer.Name) {
+					st.sites = append(st.sites, site{pos, what})
+				}
+			}
+
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.UnaryExpr:
+					if x.Op == token.AND {
+						if _, ok := x.X.(*ast.CompositeLit); ok {
+							addSite(x.Pos(), "heap composite literal (&T{...})")
+							return true
+						}
+					}
+				case *ast.CompositeLit:
+					switch pass.TypesInfo.Types[x].Type.Underlying().(type) {
+					case *types.Map:
+						addSite(x.Pos(), "map literal")
+					case *types.Slice:
+						addSite(x.Pos(), "slice literal")
+					}
+				case *ast.FuncLit:
+					addSite(x.Pos(), "function literal (closure)")
+				case *ast.BinaryExpr:
+					if x.Op == token.ADD && isStringType(pass.TypesInfo.Types[x].Type) {
+						addSite(x.Pos(), "string concatenation")
+					}
+				case *ast.CallExpr:
+					if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+						if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+							switch b.Name() {
+							case "make":
+								addSite(x.Pos(), "make")
+							case "new":
+								addSite(x.Pos(), "new")
+							}
+							return true
+						}
+					}
+					if what := boxedArg(pass.TypesInfo, x); what != "" {
+						addSite(x.Pos(), what)
+					}
+					if callee := calleeFunc(pass.TypesInfo, x); callee != nil {
+						if callee.Pkg() == pass.Pkg {
+							st.calls = append(st.calls, callRec{callee, x.Pos()})
+						} else if _, std := stdAllocReason(callee); std {
+							addSite(x.Pos(), "call to "+callee.FullName()+" (std allocator)")
+						} else {
+							var fact Allocates
+							if pass.ImportObjectFact(callee, &fact) {
+								addSite(x.Pos(), "call to "+callee.FullName()+" ("+fact.Where+")")
+							}
+						}
+					}
+				}
+				return true
+			})
+
+			if len(st.sites) > 0 {
+				st.where = st.sites[0].what
+			}
+		}
+	}
+
+	// Propagate allocation through in-package call edges to a fixed point,
+	// materializing the offending call as a site so hot functions report it.
+	for changed := true; changed; {
+		changed = false
+		for _, st := range fns {
+			for _, c := range st.calls {
+				cs := byObj[c.callee]
+				if cs == nil || cs.where == "" || idx.suppressed(c.pos, pass.Analyzer.Name) {
+					continue
+				}
+				dup := false
+				for _, s := range st.sites {
+					if s.pos == c.pos {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				st.sites = append(st.sites, site{c.pos, "call to " + c.callee.Name() + " (" + cs.where + ")"})
+				if st.where == "" {
+					st.where = st.sites[len(st.sites)-1].what
+				}
+				changed = true
+			}
+		}
+	}
+
+	for _, st := range fns {
+		if st.where != "" {
+			pass.ExportObjectFact(st.obj, &Allocates{Where: st.where})
+		}
+		if !st.hot {
+			continue
+		}
+		for _, s := range st.sites {
+			pass.Reportf(s.pos, "allocation in //hidapvet:hotpath function %s: %s; hoist it out of "+
+				"the hot path or annotate //hidapvet:allow allocfree <reason>", st.obj.Name(), s.what)
+		}
+	}
+	return nil, nil
+}
+
+// isHotpath reports whether the function's doc comment carries the
+// //hidapvet:hotpath directive (no reason required: the annotation is the
+// contract, not a suppression).
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == directivePrefix+"hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// boxedArg reports the first call argument whose concrete, non-pointer-shaped
+// value is passed to an interface parameter — the boxing allocates. Pointer-
+// shaped kinds (pointers, maps, chans, funcs) box without allocating and are
+// ignored; calls through the ellipsis spread are left to the denylist.
+func boxedArg(info *types.Info, call *ast.CallExpr) string {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return "" // conversion or builtin
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, ok := pt.Underlying().(*types.Interface); !ok {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || at == types.Typ[types.UntypedNil] {
+			continue
+		}
+		switch at.Underlying().(type) {
+		case *types.Interface, *types.Pointer, *types.Map, *types.Chan, *types.Signature, *types.Basic:
+			// Interfaces re-box for free; pointer-shaped kinds don't allocate.
+			// Untyped constants and small basics are usually interned — only
+			// composite values are confidently heap boxes.
+			continue
+		}
+		return "interface boxing of argument " + types.ExprString(arg)
+	}
+	return ""
+}

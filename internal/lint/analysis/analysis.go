@@ -1,15 +1,17 @@
 // Package analysis is a minimal, dependency-free stand-in for
 // golang.org/x/tools/go/analysis, providing just the surface the hidap-vet
 // analyzers need: an Analyzer with a Run function over a fully type-checked
-// Pass, and positional Diagnostics.
+// Pass, positional Diagnostics, and cross-package Facts.
 //
 // Why a stand-in and not the real module: this repository builds offline and
 // vendors nothing, so golang.org/x/tools cannot be fetched. The API here is
 // deliberately a strict subset with identical field names and semantics, so
 // if/when the real dependency becomes available the analyzers in
-// internal/lint port by changing one import line. Facts, Requires-based
-// result passing, and SuggestedFixes are intentionally omitted — none of the
-// determinism analyzers need cross-package state.
+// internal/lint port by changing one import line. Requires-based result
+// passing and SuggestedFixes are intentionally omitted; the Fact API
+// (ExportObjectFact/ImportObjectFact and the package-level pair, backed by
+// the FactSet driver store in facts.go) is implemented because seedpure and
+// allocfree need whole-program propagation.
 package analysis
 
 import (
@@ -34,6 +36,13 @@ type Analyzer struct {
 	// Diagnostics are delivered through pass.Report; the result value is
 	// unused by the hidap-vet driver and may be nil.
 	Run func(*Pass) (interface{}, error)
+
+	// FactTypes lists the concrete types of facts this analyzer exports
+	// and imports, as exemplar pointer values (e.g. new(SeedFact)). The
+	// driver gob-registers them so facts survive the .vetx round trip
+	// between compilation units. An analyzer that declares no fact types
+	// must not call the fact hooks on its Pass.
+	FactTypes []Fact
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -50,6 +59,38 @@ type Pass struct {
 	// Report delivers one diagnostic. The driver installs it; analyzers
 	// usually call the Reportf convenience wrapper instead.
 	Report func(Diagnostic)
+
+	// The fact hooks below are installed by the driver (FactSet.Install);
+	// they are nil when the driver does not support facts. Semantics match
+	// golang.org/x/tools/go/analysis:
+	//
+	// ImportObjectFact copies into fact (which must be a pointer of one of
+	// the analyzer's FactTypes) the fact previously exported for obj —
+	// by this unit, or by the analysis of a dependency package whose
+	// .vetx file the driver decoded — and reports whether one existed.
+	ImportObjectFact func(obj types.Object, fact Fact) bool
+
+	// ExportObjectFact associates fact with obj, which must belong to the
+	// package under analysis. Facts on package-level objects (and methods
+	// of package-level named types) are serialized into the unit's .vetx
+	// output so downstream packages can import them.
+	ExportObjectFact func(obj types.Object, fact Fact)
+
+	// ImportPackageFact copies into fact the package-level fact exported
+	// for pkg, reporting whether one existed.
+	ImportPackageFact func(pkg *types.Package, fact Fact) bool
+
+	// ExportPackageFact associates fact with the package under analysis.
+	ExportPackageFact func(fact Fact)
+
+	// AllObjectFacts returns every object fact currently in the driver's
+	// store (imported and freshly exported alike), in a deterministic
+	// order: by package path, then object path, then fact type.
+	AllObjectFacts func() []ObjectFact
+
+	// AllPackageFacts returns every package fact in the store, in a
+	// deterministic order.
+	AllPackageFacts func() []PackageFact
 }
 
 // Reportf formats and reports a diagnostic at pos.

@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// A Fact is a datum produced by the analysis of one package and consumed by
+// the analysis of packages that import it — the mechanism that turns
+// whole-program invariants (seed purity, allocation freedom) into modular,
+// per-unit checks, exactly like go vet's printf fact. Concrete fact types
+// are declared by analyzers (Analyzer.FactTypes), must be pointers to
+// gob-encodable structs with exported fields, and implement the marker
+// method AFact.
+type Fact interface {
+	AFact() // dummy marker method
+}
+
+// ObjectFact is one (object, fact) association from a driver's fact store.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// PackageFact is one (package, fact) association.
+type PackageFact struct {
+	Package *types.Package
+	Fact    Fact
+}
+
+type objFactKey struct {
+	obj types.Object
+	t   reflect.Type
+}
+
+type pkgFactKey struct {
+	path string
+	t    reflect.Type
+}
+
+// FactSet is the driver-side fact store for the analysis of one compilation
+// unit: it holds the facts decoded from dependency .vetx files plus the
+// facts the unit's own analyzers export, keyed by object identity (all
+// packages of a unit share one importer, so identity is well-defined). The
+// zero value is not usable; call NewFactSet.
+type FactSet struct {
+	obj  map[objFactKey]Fact
+	pkg  map[pkgFactKey]Fact
+	pkgs map[string]*types.Package // package facts: path → package, for AllPackageFacts
+}
+
+// NewFactSet returns an empty fact store.
+func NewFactSet() *FactSet {
+	return &FactSet{
+		obj:  make(map[objFactKey]Fact),
+		pkg:  make(map[pkgFactKey]Fact),
+		pkgs: make(map[string]*types.Package),
+	}
+}
+
+// Install binds the pass's fact hooks to this store. The pass's Pkg governs
+// export validation: analyzers may only export facts about objects of the
+// package they are analyzing.
+func (s *FactSet) Install(pass *Pass) {
+	cur := pass.Pkg
+	pass.ImportObjectFact = func(obj types.Object, fact Fact) bool {
+		return s.importObjectFact(obj, fact)
+	}
+	pass.ExportObjectFact = func(obj types.Object, fact Fact) {
+		s.exportObjectFact(cur, obj, fact)
+	}
+	pass.ImportPackageFact = func(pkg *types.Package, fact Fact) bool {
+		return s.importPackageFact(pkg, fact)
+	}
+	pass.ExportPackageFact = func(fact Fact) {
+		s.exportPackageFact(cur, fact)
+	}
+	pass.AllObjectFacts = s.AllObjectFacts
+	pass.AllPackageFacts = s.AllPackageFacts
+}
+
+func factType(fact Fact) reflect.Type {
+	t := reflect.TypeOf(fact)
+	if t == nil || t.Kind() != reflect.Ptr {
+		panic(fmt.Sprintf("analysis: fact %T is not a pointer", fact))
+	}
+	return t
+}
+
+func (s *FactSet) importObjectFact(obj types.Object, fact Fact) bool {
+	if obj == nil {
+		return false
+	}
+	got, ok := s.obj[objFactKey{obj, factType(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+func (s *FactSet) exportObjectFact(cur *types.Package, obj types.Object, fact Fact) {
+	if obj == nil || obj.Pkg() != cur {
+		panic(fmt.Sprintf("analysis: cannot export fact %T about an object outside the analyzed package %v", fact, cur))
+	}
+	s.obj[objFactKey{obj, factType(fact)}] = fact
+}
+
+func (s *FactSet) importPackageFact(pkg *types.Package, fact Fact) bool {
+	if pkg == nil {
+		return false
+	}
+	got, ok := s.pkg[pkgFactKey{pkg.Path(), factType(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+func (s *FactSet) exportPackageFact(cur *types.Package, fact Fact) {
+	s.pkg[pkgFactKey{cur.Path(), factType(fact)}] = fact
+	s.pkgs[cur.Path()] = cur
+}
+
+// AllObjectFacts returns every object fact, sorted by (package path, object
+// path, fact type) so output and serialization are deterministic.
+func (s *FactSet) AllObjectFacts() []ObjectFact {
+	out := make([]ObjectFact, 0, len(s.obj))
+	for k, f := range s.obj {
+		out = append(out, ObjectFact{Object: k.obj, Fact: f})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := objPkgPath(out[i].Object), objPkgPath(out[j].Object)
+		if pi != pj {
+			return pi < pj
+		}
+		oi, _ := PathOf(out[i].Object)
+		oj, _ := PathOf(out[j].Object)
+		if oi != oj {
+			return oi < oj
+		}
+		return factName(out[i].Fact) < factName(out[j].Fact)
+	})
+	return out
+}
+
+// AllPackageFacts returns every package fact, sorted by (package path, fact
+// type).
+func (s *FactSet) AllPackageFacts() []PackageFact {
+	out := make([]PackageFact, 0, len(s.pkg))
+	for k, f := range s.pkg {
+		out = append(out, PackageFact{Package: s.pkgs[k.path], Fact: f})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Package.Path(), out[j].Package.Path()
+		if pi != pj {
+			return pi < pj
+		}
+		return factName(out[i].Fact) < factName(out[j].Fact)
+	})
+	return out
+}
+
+func objPkgPath(obj types.Object) string {
+	if p := obj.Pkg(); p != nil {
+		return p.Path()
+	}
+	return ""
+}
+
+func factName(f Fact) string { return reflect.TypeOf(f).String() }
+
+// PathOf returns the serialization path of obj within its package — a
+// one-segment path for package-level objects ("RunModel"), a two-segment
+// path for methods of package-level named types ("Evaluator.Perturb") — and
+// whether the object is addressable that way at all. It is the minimal
+// subset of golang.org/x/tools/go/types/objectpath the fact engine needs:
+// facts on local or field objects are driver-internal and never serialized.
+func PathOf(obj types.Object) (string, bool) {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	if obj.Parent() == pkg.Scope() {
+		return obj.Name(), true
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() == pkg {
+				return named.Obj().Name() + "." + fn.Name(), true
+			}
+		}
+	}
+	return "", false
+}
+
+// ObjectAt resolves a PathOf path back to an object in pkg, returning nil
+// when the path does not resolve (e.g. the object was compiled away from the
+// export data).
+func ObjectAt(pkg *types.Package, path string) types.Object {
+	if tname, mname, ok := strings.Cut(path, "."); ok {
+		tn, _ := pkg.Scope().Lookup(tname).(*types.TypeName)
+		if tn == nil {
+			return nil
+		}
+		named, _ := tn.Type().(*types.Named)
+		if named == nil {
+			return nil
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == mname {
+				return m
+			}
+		}
+		return nil
+	}
+	return pkg.Scope().Lookup(path)
+}
+
+// gobFact is the .vetx wire record. PkgPath names the package owning the
+// fact's object (or the package itself when Object is empty), so facts about
+// indirect dependencies ride along in a direct dependency's file and the
+// whole-program property stays transitive even though cmd/go hands each unit
+// only its direct dependencies' .vetx files.
+type gobFact struct {
+	PkgPath string
+	Object  string // PathOf path; "" for a package fact
+	Fact    Fact
+}
+
+// Encode serializes the full store — own and imported facts alike, see
+// gobFact — in a deterministic order. Facts on objects with no PathOf path
+// (local functions, say) are driver-internal and silently dropped.
+func (s *FactSet) Encode() ([]byte, error) {
+	var gobs []gobFact
+	for _, of := range s.AllObjectFacts() {
+		path, ok := PathOf(of.Object)
+		if !ok {
+			continue
+		}
+		gob.Register(of.Fact) // idempotent; the decoder registered via FactTypes
+		gobs = append(gobs, gobFact{PkgPath: objPkgPath(of.Object), Object: path, Fact: of.Fact})
+	}
+	for _, pf := range s.AllPackageFacts() {
+		gob.Register(pf.Fact)
+		gobs = append(gobs, gobFact{PkgPath: pf.Package.Path(), Fact: pf.Fact})
+	}
+	if len(gobs) == 0 {
+		return nil, nil // an empty facts file decodes as an empty store
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gobs); err != nil {
+		return nil, fmt.Errorf("encoding facts: %v", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode merges one dependency's serialized facts into the store. find maps
+// a package path to the corresponding imported *types.Package (typically the
+// transitive import graph of the unit under analysis); facts about packages
+// or objects that do not resolve are skipped — they concern parts of the
+// program this unit cannot see and therefore cannot act on.
+func (s *FactSet) Decode(data []byte, find func(path string) *types.Package) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var gobs []gobFact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&gobs); err != nil {
+		return fmt.Errorf("decoding facts: %v", err)
+	}
+	for _, g := range gobs {
+		pkg := find(g.PkgPath)
+		if pkg == nil || g.Fact == nil {
+			continue
+		}
+		if g.Object == "" {
+			s.pkg[pkgFactKey{pkg.Path(), factType(g.Fact)}] = g.Fact
+			s.pkgs[pkg.Path()] = pkg
+			continue
+		}
+		obj := ObjectAt(pkg, g.Object)
+		if obj == nil {
+			continue
+		}
+		s.obj[objFactKey{obj, factType(g.Fact)}] = g.Fact
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+type testFact struct {
+	Tag string
+}
+
+func (*testFact) AFact() {}
+
+// checkSrc typechecks one in-memory file as package path, resolving imports
+// through deps.
+func checkSrc(t *testing.T, fset *token.FileSet, path, src string, deps map[string]*types.Package) (*types.Package, *ast.File) {
+	t.Helper()
+	f, err := parser.ParseFile(fset, path+".go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := importerFunc(func(p string) (*types.Package, error) {
+		return deps[p], nil
+	})
+	tc := &types.Config{Importer: imp}
+	pkg, err := tc.Check(path, fset, []*ast.File{f}, analysis.NewTypesInfo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg, f
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// TestFactRoundTrip exercises the full life of a fact: exported during the
+// analysis of a dependency, serialized, decoded against a fresh typecheck of
+// a downstream unit, and imported there — on a package-level function, a
+// method, and a package fact.
+func TestFactRoundTrip(t *testing.T) {
+	fset := token.NewFileSet()
+	depSrc := `package dep
+type T struct{}
+func (T) M() {}
+func F() {}
+`
+	dep, _ := checkSrc(t, fset, "dep", depSrc, nil)
+
+	s1 := analysis.NewFactSet()
+	pass1 := &analysis.Pass{Pkg: dep}
+	s1.Install(pass1)
+
+	fObj := dep.Scope().Lookup("F")
+	mObj := analysis.ObjectAt(dep, "T.M")
+	if fObj == nil || mObj == nil {
+		t.Fatalf("lookup failed: F=%v T.M=%v", fObj, mObj)
+	}
+	pass1.ExportObjectFact(fObj, &testFact{Tag: "on-F"})
+	pass1.ExportObjectFact(mObj, &testFact{Tag: "on-T.M"})
+	pass1.ExportPackageFact(&testFact{Tag: "on-pkg"})
+
+	data, err := s1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("expected non-empty encoding")
+	}
+
+	// A downstream unit: fresh fact set, same type objects (shared importer
+	// is what a driver guarantees).
+	useSrc := `package use
+import "dep"
+var _ = dep.F
+`
+	use, _ := checkSrc(t, fset, "use", useSrc, map[string]*types.Package{"dep": dep})
+	s2 := analysis.NewFactSet()
+	if err := s2.Decode(data, func(path string) *types.Package {
+		if path == "dep" {
+			return dep
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pass2 := &analysis.Pass{Pkg: use}
+	s2.Install(pass2)
+
+	var got testFact
+	if !pass2.ImportObjectFact(fObj, &got) || got.Tag != "on-F" {
+		t.Errorf("fact on F: got %+v", got)
+	}
+	if !pass2.ImportObjectFact(mObj, &got) || got.Tag != "on-T.M" {
+		t.Errorf("fact on T.M: got %+v", got)
+	}
+	if !pass2.ImportPackageFact(dep, &got) || got.Tag != "on-pkg" {
+		t.Errorf("package fact: got %+v", got)
+	}
+	if pass2.ImportObjectFact(use.Scope().Lookup("_"), &got) {
+		t.Error("unexpected fact on unrelated object")
+	}
+
+	if n := len(pass2.AllObjectFacts()); n != 2 {
+		t.Errorf("AllObjectFacts: got %d, want 2", n)
+	}
+	if n := len(pass2.AllPackageFacts()); n != 1 {
+		t.Errorf("AllPackageFacts: got %d, want 1", n)
+	}
+}
+
+// TestEncodeDeterministic pins byte-identical encodings regardless of map
+// iteration order — the .vetx file feeds cmd/go's content-addressed cache.
+func TestEncodeDeterministic(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package dep
+func A() {}
+func B() {}
+func C() {}
+`
+	dep, _ := checkSrc(t, fset, "dep", src, nil)
+	encode := func() []byte {
+		s := analysis.NewFactSet()
+		pass := &analysis.Pass{Pkg: dep}
+		s.Install(pass)
+		for _, name := range []string{"C", "A", "B"} {
+			pass.ExportObjectFact(dep.Scope().Lookup(name), &testFact{Tag: name})
+		}
+		pass.ExportPackageFact(&testFact{Tag: "p"})
+		data, err := s.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	first := encode()
+	for i := 0; i < 8; i++ {
+		if string(encode()) != string(first) {
+			t.Fatal("encoding is not deterministic")
+		}
+	}
+}
+
+// TestExportOutsidePackagePanics pins the export validation: facts may only
+// be attached to objects of the package under analysis.
+func TestExportOutsidePackagePanics(t *testing.T) {
+	fset := token.NewFileSet()
+	dep, _ := checkSrc(t, fset, "dep", "package dep\nfunc F() {}\n", nil)
+	use, _ := checkSrc(t, fset, "use", "package use\nimport \"dep\"\nvar _ = dep.F\n",
+		map[string]*types.Package{"dep": dep})
+	s := analysis.NewFactSet()
+	pass := &analysis.Pass{Pkg: use}
+	s.Install(pass)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic exporting a fact about another package's object")
+		}
+	}()
+	pass.ExportObjectFact(dep.Scope().Lookup("F"), &testFact{})
+}

@@ -11,6 +11,21 @@
 //
 // Every reported diagnostic must match an annotation on its line, and every
 // annotation must be matched by a diagnostic — both directions are errors.
+//
+// Fixtures may import other fixture packages: an import path that resolves
+// to a directory under testdata/src is loaded from source and analyzed
+// first, dependency-first, with its diagnostics discarded but its facts kept
+// in a store shared with the package under test — the in-process equivalent
+// of the unitchecker's VetxOnly dependency passes. This is how cross-package
+// fact propagation is tested.
+//
+// Facts are asserted with `// wantfact` markers on the line defining the
+// object (or anywhere in a file for package facts): each quoted regexp must
+// match the "name: %v" rendering of some fact exported on an object defined
+// on that line. Unannotated facts are not errors — fixtures assert the facts
+// that matter, not the analyzer's full output.
+//
+//	func New() *rand.Rand { // wantfact `New: impure`
 package analysistest
 
 import (
@@ -32,7 +47,7 @@ import (
 )
 
 // wantRe matches one expectation: a Go string literal (quoted or backquoted)
-// after a `// want` marker.
+// after a `// want` or `// wantfact` marker.
 var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
 
 type expectation struct {
@@ -53,54 +68,123 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string
 	}
 }
 
-func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
-	t.Helper()
-	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgpath))
+// fixturePkg is one loaded-and-analyzed fixture package.
+type fixturePkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	diags []analysis.Diagnostic
+}
+
+// loader loads fixture packages from testdata/src, analyzing each exactly
+// once (dependency-first) against a shared fact store.
+type loader struct {
+	t        *testing.T
+	testdata string
+	a        *analysis.Analyzer
+	fset     *token.FileSet
+	facts    *analysis.FactSet
+	std      types.Importer
+	loaded   map[string]*fixturePkg
+	loading  map[string]bool
+}
+
+func newLoader(t *testing.T, testdata string, a *analysis.Analyzer) *loader {
+	return &loader{
+		t:        t,
+		testdata: testdata,
+		a:        a,
+		fset:     token.NewFileSet(),
+		facts:    analysis.NewFactSet(),
+		std:      importer.ForCompiler(token.NewFileSet(), "source", nil),
+		loaded:   make(map[string]*fixturePkg),
+		loading:  make(map[string]bool),
+	}
+}
+
+// Import resolves fixture-internal imports to fixture packages and everything
+// else to GOROOT source, making the loader usable as a types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.testdata, "src", filepath.FromSlash(path)); dirExists(dir) {
+		fp := l.load(path)
+		return fp.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+// load parses, typechecks, and analyzes one fixture package, memoized.
+// Dependency fixtures are loaded through the importer first, so by the time
+// the analyzer runs here every imported fixture's facts are in the store.
+func (l *loader) load(pkgpath string) *fixturePkg {
+	l.t.Helper()
+	if fp, ok := l.loaded[pkgpath]; ok {
+		return fp
+	}
+	if l.loading[pkgpath] {
+		l.t.Fatalf("import cycle through fixture package %s", pkgpath)
+	}
+	l.loading[pkgpath] = true
+	defer delete(l.loading, pkgpath)
+
+	dir := filepath.Join(l.testdata, "src", filepath.FromSlash(pkgpath))
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		t.Fatalf("reading fixture dir: %v", err)
+		l.t.Fatalf("reading fixture dir: %v", err)
 	}
-	fset := token.NewFileSet()
 	var files []*ast.File
-	var names []string
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
 		name := filepath.Join(dir, e.Name())
-		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			t.Fatalf("parsing fixture: %v", err)
+			l.t.Fatalf("parsing fixture: %v", err)
 		}
 		files = append(files, f)
-		names = append(names, name)
 	}
 	if len(files) == 0 {
-		t.Fatalf("no .go files in %s", dir)
+		l.t.Fatalf("no .go files in %s", dir)
 	}
 
-	// Type-check against GOROOT sources (fixtures import stdlib only).
-	tc := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tc := &types.Config{Importer: l}
 	info := analysis.NewTypesInfo()
-	pkg, err := tc.Check(pkgpath, fset, files, info)
+	pkg, err := tc.Check(pkgpath, l.fset, files, info)
 	if err != nil {
-		t.Fatalf("typechecking fixture %s: %v", pkgpath, err)
+		l.t.Fatalf("typechecking fixture %s: %v", pkgpath, err)
 	}
 
-	wants := collectWants(t, fset, files)
-
-	var diags []analysis.Diagnostic
+	fp := &fixturePkg{pkg: pkg, files: files}
 	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      fset,
+		Analyzer:  l.a,
+		Fset:      l.fset,
 		Files:     files,
 		Pkg:       pkg,
 		TypesInfo: info,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		Report:    func(d analysis.Diagnostic) { fp.diags = append(fp.diags, d) },
 	}
-	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("analyzer %s: %v", a.Name, err)
+	l.facts.Install(pass)
+	if _, err := l.a.Run(pass); err != nil {
+		l.t.Fatalf("analyzer %s on %s: %v", l.a.Name, pkgpath, err)
 	}
+	l.loaded[pkgpath] = fp
+	return fp
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	l := newLoader(t, testdata, a)
+	fp := l.load(pkgpath)
+	fset := l.fset
+
+	wants := collectWants(t, fset, fp.files, "want")
+	wantFacts := collectWants(t, fset, fp.files, "wantfact")
+
+	diags := fp.diags
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 
 	for _, d := range diags {
@@ -119,6 +203,34 @@ func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string)
 			t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
 		}
 	}
+	reportUnmatched(t, wants, "no diagnostic matching")
+
+	// Facts of the package under test, rendered "name: %v" and keyed by the
+	// line of the object's definition (package facts key to line 0 of every
+	// file, so any file's wantfact line for them would not match — package
+	// facts are asserted through ImportPackageFact in unit tests instead).
+	if len(wantFacts) > 0 {
+		for _, of := range l.facts.AllObjectFacts() {
+			if of.Object.Pkg() != fp.pkg {
+				continue
+			}
+			p := fset.Position(of.Object.Pos())
+			key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+			exps := wantFacts[key]
+			text := fmt.Sprintf("%s: %v", of.Object.Name(), of.Fact)
+			for _, e := range exps {
+				if !e.matched && e.re.MatchString(text) {
+					e.matched = true
+					break
+				}
+			}
+		}
+		reportUnmatched(t, wantFacts, "no exported fact matching")
+	}
+}
+
+func reportUnmatched(t *testing.T, wants map[string][]*expectation, what string) {
+	t.Helper()
 	var keys []string
 	for k := range wants {
 		keys = append(keys, k)
@@ -127,16 +239,17 @@ func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string)
 	for _, k := range keys {
 		for _, e := range wants[k] {
 			if !e.matched {
-				t.Errorf("%s: no diagnostic matching %s", k, e.raw)
+				t.Errorf("%s: %s %s", k, what, e.raw)
 			}
 		}
 	}
-	_ = names
 }
 
-// collectWants scans comments for `// want` markers and parses their quoted
-// regexps, keyed by file:line.
-func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*expectation {
+// collectWants scans comments for `// <marker>` annotations and parses their
+// quoted regexps, keyed by file:line. The markers "want" and "wantfact" are
+// naturally disjoint: both searches require the marker word followed by a
+// space, and "want" inside "wantfact" is followed by 'f'.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File, marker string) map[string][]*expectation {
 	t.Helper()
 	wants := make(map[string][]*expectation)
 	for _, f := range files {
@@ -146,14 +259,14 @@ func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[stri
 				// the block form annotates lines that already carry a
 				// line comment (e.g. a directive under test).
 				text := c.Text
-				i := strings.Index(text, "want ")
+				i := strings.Index(text, marker+" ")
 				if i < 0 {
 					continue
 				}
-				rest := text[i+len("want "):]
+				rest := text[i+len(marker)+1:]
 				matches := wantRe.FindAllString(rest, -1)
 				if len(matches) == 0 {
-					t.Fatalf("%s: malformed want comment: %s", fset.Position(c.Pos()), text)
+					t.Fatalf("%s: malformed %s comment: %s", fset.Position(c.Pos()), marker, text)
 				}
 				p := fset.Position(c.Pos())
 				key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
@@ -165,12 +278,12 @@ func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[stri
 						var err error
 						pat, err = strconv.Unquote(m)
 						if err != nil {
-							t.Fatalf("%s: bad want string %s: %v", p, m, err)
+							t.Fatalf("%s: bad %s string %s: %v", p, marker, m, err)
 						}
 					}
 					re, err := regexp.Compile(pat)
 					if err != nil {
-						t.Fatalf("%s: bad want regexp %s: %v", p, pat, err)
+						t.Fatalf("%s: bad %s regexp %s: %v", p, marker, pat, err)
 					}
 					wants[key] = append(wants[key], &expectation{re: re, raw: m})
 				}

@@ -1,9 +1,14 @@
-// Package lint holds the hidap-vet analyzer suite: five static-analysis
-// passes that turn the repository's determinism and concurrency invariants —
+// Package lint holds the hidap-vet analyzer suite: seven static-analysis
+// passes that turn the repository's determinism and performance invariants —
 // byte-identical placements at any Parallelism/GOMAXPROCS, config-derived
 // seeds, strict Propose/Undo pairing, pool-governed fan-out, unbroken
-// context chains — into build-time errors instead of probabilistic test
-// failures.
+// context chains, zero allocations on the proposal hot path — into
+// build-time errors instead of probabilistic test failures.
+//
+// Two of the analyzers (seedpure, allocfree) are facts-powered: they export
+// per-function facts that the unitchecker serializes into .vetx files, so
+// the properties propagate across package boundaries exactly like go vet's
+// printf fact.
 //
 // The analyzers are written against internal/lint/analysis, a stdlib-only
 // stand-in for golang.org/x/tools/go/analysis (see that package's doc for
@@ -20,5 +25,7 @@ func Analyzers() []*analysis.Analyzer {
 		UndoPair,
 		GoCap,
 		CtxFlow,
+		SeedPure,
+		AllocFree,
 	}
 }

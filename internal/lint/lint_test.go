@@ -27,10 +27,19 @@ func TestCtxFlow(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.CtxFlow, "ctxflow/lib", "ctxflow/cmdmain")
 }
 
+func TestSeedPure(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.SeedPure, "seedpure/rngfactory", "seedpure/consumer")
+}
+
+func TestAllocFree(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.AllocFree,
+		"allocfree/hot", "allocfree/leaf", "allocfree/hotcaller")
+}
+
 func TestAnalyzersRegistered(t *testing.T) {
 	as := lint.Analyzers()
-	if len(as) != 5 {
-		t.Fatalf("expected 5 analyzers, got %d", len(as))
+	if len(as) != 7 {
+		t.Fatalf("expected 7 analyzers, got %d", len(as))
 	}
 	seen := map[string]bool{}
 	for _, a := range as {
@@ -42,7 +51,7 @@ func TestAnalyzersRegistered(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, want := range []string{"maprange", "rngseed", "undopair", "gocap", "ctxflow"} {
+	for _, want := range []string{"maprange", "rngseed", "undopair", "gocap", "ctxflow", "seedpure", "allocfree"} {
 		if !seen[want] {
 			t.Errorf("missing analyzer %q", want)
 		}

@@ -11,9 +11,13 @@ import (
 // RngSeed forbids ambient sources of nondeterminism in solver packages
 // (non-test files):
 //
-//   - time.Now — wall-clock must never reach a solver decision; timing for
-//     reported metrics belongs in the flows/CLI layer or carries an
-//     explicit //hidapvet:allow rngseed <reason>.
+//   - time.Now — wall-clock must never reach a solver decision. One flow is
+//     recognized as benign without annotation: a time.Now whose value is
+//     only ever fed to time.Since, where the elapsed duration flows solely
+//     into metric sinks — fields whose name says duration (MacroSeconds,
+//     Elapsed, …) or fields of Stats/Metrics/Report structs. Reporting how
+//     long a solve took cannot influence what it decided. Anything else
+//     carries an explicit //hidapvet:allow rngseed <reason>.
 //   - global math/rand (rand.Intn, rand.Float64, rand.Shuffle, rand.Seed, …)
 //     and math/rand/v2 top-level functions — process-global RNG state is
 //     shared across goroutines and seeds itself from entropy.
@@ -39,6 +43,7 @@ func runRngSeed(pass *analysis.Pass) (interface{}, error) {
 		return nil, nil
 	}
 	for _, f := range nonTestFiles(pass) {
+		pm := buildParents(f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -55,7 +60,9 @@ func runRngSeed(pass *analysis.Pass) (interface{}, error) {
 			name := sel.Sel.Name
 			switch pkgPath {
 			case "time":
-				if (name == "Now" || name == "Since") && !idx.suppressed(call.Pos(), pass.Analyzer.Name) {
+				if (name == "Now" || name == "Since") &&
+					!timeMetricOnly(pass, f, pm, call, name) &&
+					!idx.suppressed(call.Pos(), pass.Analyzer.Name) {
 					pass.Reportf(call.Pos(), "time.%s in solver package %s: wall-clock must not "+
 						"influence the solve; thread timing through the caller or annotate "+
 						"//hidapvet:allow rngseed <reason>", name, pass.Pkg.Path())

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// SeedFact is the cross-package seed-purity fact exported for every function
+// that touches randomness. Impure means the function's random stream does not
+// derive from a caller-supplied seed/config value or sched.Derive — it
+// constructs an unseeded source, uses the process-global math/rand, or calls
+// a function already known to do so. Pure (Impure=false) is exported for
+// functions that visibly construct config-seeded sources, so downstream
+// packages can positively verify their RNG factories.
+type SeedFact struct {
+	Impure bool
+	Reason string
+}
+
+func (*SeedFact) AFact() {}
+
+func (f *SeedFact) String() string {
+	if f.Impure {
+		return "impure: " + f.Reason
+	}
+	return "seedpure"
+}
+
+// SeedPure extends rngseed across package boundaries. rngseed flags
+// nondeterministic constructs where they lexically appear, but only inside
+// solver packages — a helper package can launder an unseeded RNG behind an
+// innocent-looking constructor and hand it to a solver unseen. seedpure
+// closes that hole with facts: every package (solver or not) exports a
+// SeedFact per randomness-touching function, and solver packages report any
+// call to a function whose imported fact says Impure.
+//
+// Construction sites already justified with //hidapvet:allow rngseed <reason>
+// are honored here too (one justification covers both analyzers); call sites
+// are suppressed with //hidapvet:allow seedpure <reason>.
+var SeedPure = &analysis.Analyzer{
+	Name: "seedpure",
+	Doc: "propagate seed-purity facts across packages; solver packages must " +
+		"not call functions whose randomness is not caller-seeded",
+	Run:       runSeedPure,
+	FactTypes: []analysis.Fact{new(SeedFact)},
+}
+
+func runSeedPure(pass *analysis.Pass) (interface{}, error) {
+	idx := parseDirectives(pass)
+	idx.checkDirectiveReasons(pass)
+	solver := isSolver(pass, idx)
+
+	type fnState struct {
+		obj     *types.Func
+		impure  bool
+		reason  string
+		seeded  bool // directly constructs a config-seeded source
+		callees []*types.Func
+	}
+	var fns []*fnState
+	byObj := make(map[*types.Func]*fnState)
+
+	for _, f := range nonTestFiles(pass) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			st := &fnState{obj: obj}
+			fns = append(fns, st)
+			byObj[obj] = st
+
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if pkgPath, ok := importedPkgOf(pass, sel); ok &&
+						(pkgPath == "math/rand" || pkgPath == "math/rand/v2") {
+						name := sel.Sel.Name
+						switch name {
+						case "New", "NewZipf":
+							// Wrappers over an explicit source; purity is
+							// decided at the source construction.
+							return true
+						case "NewSource", "NewPCG", "NewChaCha8":
+							if seedFlowsFromConfig(pass, call.Args) {
+								st.seeded = true
+							} else if !constructionAllowed(idx, call.Pos()) && !st.impure {
+								st.impure = true
+								st.reason = "constructs rand." + name + " without a config-derived seed"
+							}
+						default:
+							if !constructionAllowed(idx, call.Pos()) && !st.impure {
+								st.impure = true
+								st.reason = "uses the process-global " + pathBase(pkgPath) + "." + name
+							}
+						}
+						return true
+					}
+				}
+				if callee := calleeFunc(pass.TypesInfo, call); callee != nil {
+					if callee.Pkg() == pass.Pkg {
+						st.callees = append(st.callees, callee)
+					} else {
+						var fact SeedFact
+						if pass.ImportObjectFact(callee, &fact) && fact.Impure {
+							if !st.impure {
+								st.impure = true
+								st.reason = "calls " + callee.Name() + " (" + fact.Reason + ")"
+							}
+							if solver && !idx.suppressed(call.Pos(), pass.Analyzer.Name) {
+								pass.Reportf(call.Pos(), "call to %s, which is not seed-pure (%s): "+
+									"solver randomness must derive from config via sched.Derive; "+
+									"thread a seed through or annotate //hidapvet:allow seedpure <reason>",
+									callee.FullName(), fact.Reason)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Propagate impurity through in-package call edges to a fixed point (the
+	// package call graph is small; quadratic worst case is fine here).
+	for changed := true; changed; {
+		changed = false
+		for _, st := range fns {
+			if st.impure {
+				continue
+			}
+			for _, callee := range st.callees {
+				if cs := byObj[callee]; cs != nil && cs.impure {
+					st.impure = true
+					st.reason = "calls " + callee.Name() + " (" + cs.reason + ")"
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, st := range fns {
+		switch {
+		case st.impure:
+			pass.ExportObjectFact(st.obj, &SeedFact{Impure: true, Reason: st.reason})
+		case st.seeded:
+			pass.ExportObjectFact(st.obj, &SeedFact{Impure: false})
+		}
+	}
+	return nil, nil
+}
+
+// constructionAllowed reports whether a nondeterministic RNG construct at pos
+// carries a justification — either analyzer's: a reasoned
+// //hidapvet:allow rngseed covers the same hazard seedpure would re-flag.
+func constructionAllowed(idx *directiveIndex, pos token.Pos) bool {
+	return idx.suppressed(pos, "seedpure") || idx.suppressed(pos, "rngseed")
+}
+
+// calleeFunc resolves the static callee of a call, whether spelled as a bare
+// identifier (in-package function), a package-qualified selector, or a method
+// selector. Returns nil for indirect calls, conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}

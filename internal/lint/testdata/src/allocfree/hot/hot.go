@@ -1,0 +1,70 @@
+// Package hot exercises allocfree's direct-construct detection and the
+// in-package fact fixed point.
+package hot
+
+import "strconv"
+
+type node struct{ next *node }
+
+// grow is an ordinary allocator: no diagnostic (not hot), but a fact.
+func grow() *node { // wantfact `grow: allocates: heap composite literal`
+	return &node{}
+}
+
+// mid allocates only transitively, through the in-package call.
+func mid() *node { // wantfact `mid: allocates: call to grow \(heap composite literal`
+	return grow()
+}
+
+//hidapvet:hotpath
+func Direct(xs []int, s string) int {
+	m := map[int]int{0: 1}              // want `map literal`
+	sl := []int{1, 2}                   // want `slice literal`
+	buf := make([]byte, 8)              // want `allocation in //hidapvet:hotpath function Direct: make`
+	f := func() int { return len(buf) } // want `function literal \(closure\)`
+	s2 := s + "!"                       // want `string concatenation`
+	return m[0] + sl[1] + f() + len(s2) + xs[0]
+}
+
+// HotChain is two in-package hops from the actual allocation.
+//
+//hidapvet:hotpath
+func HotChain() int {
+	n := mid() // want `call to mid \(call to grow \(heap composite literal`
+	if n.next == nil {
+		return 0
+	}
+	return 1
+}
+
+// Journal shows the deliberate append carve-out: amortized growth into a
+// pre-sized journal is the hot paths' working idiom and is never flagged.
+//
+//hidapvet:hotpath
+func Journal(j []int, v int) []int {
+	return append(j, v)
+}
+
+// Warm shows a reviewed site: the allow both silences the diagnostic and
+// keeps Warm out of the Allocates fact graph, so hot callers stay green.
+//
+//hidapvet:hotpath
+func Warm(n int) []int {
+	w := make([]int, n) //hidapvet:allow allocfree one-time warm-up before the proposal loop; amortized to zero
+	return w
+}
+
+//hidapvet:hotpath
+func CallsWarm(n int) int {
+	return len(Warm(n)) // no diagnostic: Warm's only site is justified
+}
+
+//hidapvet:hotpath
+func HotFmt(x int) int {
+	s := itoa(x) // want `call to itoa \(call to strconv\.Itoa \(std allocator`
+	return len(s)
+}
+
+func itoa(x int) string { // wantfact `itoa: allocates: call to strconv\.Itoa`
+	return strconv.Itoa(x)
+}

@@ -1,0 +1,28 @@
+// Package hotcaller is the acceptance fixture for cross-package allocation
+// tracking: the deliberate allocation (leaf.Grow's make) sits in the hot
+// function's callee's callee, across a package boundary, and is still caught
+// at the hot call site via the imported Allocates fact.
+package hotcaller
+
+import "allocfree/leaf"
+
+// local launders the allocating import behind an in-package helper.
+func local(n int) []int { // wantfact `local: allocates: call to .*leaf\.Wrap \(call to Grow \(make\)\)`
+	return leaf.Wrap(n)
+}
+
+//hidapvet:hotpath
+func Hot(n int) int {
+	xs := local(n) // want `call to local \(call to .*leaf\.Wrap \(call to Grow \(make\)\)\)`
+	return leaf.Sum(xs)
+}
+
+//hidapvet:hotpath
+func HotDirect(n int) int {
+	return leaf.Sum(leaf.Grow(n)) // want `call to .*leaf\.Grow \(make\)`
+}
+
+//hidapvet:hotpath
+func HotClean(xs []int) int {
+	return leaf.Sum(xs) // alloc-free callee: no diagnostic
+}

@@ -1,0 +1,23 @@
+// Package leaf is the innocent-looking library two hops below a hot path:
+// nothing here is hot, so allocfree emits no diagnostics — only facts.
+package leaf
+
+// Grow is the deliberate allocation of the negative fixture.
+func Grow(n int) []int { // wantfact `Grow: allocates: make`
+	return make([]int, n)
+}
+
+// Wrap hides Grow behind a call, so the fact must survive one in-package hop
+// before it even leaves the package.
+func Wrap(n int) []int { // wantfact `Wrap: allocates: call to Grow \(make\)`
+	return Grow(n)
+}
+
+// Sum is alloc-free: no fact, safe to call from hot paths.
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

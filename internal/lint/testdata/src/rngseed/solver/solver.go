@@ -50,3 +50,36 @@ func reportedRuntime() int64 {
 	//hidapvet:allow rngseed timing is only reported as a metric, never fed to the solver
 	return time.Now().UnixNano()
 }
+
+type Stats struct {
+	MacroSeconds float64
+	Steps        int
+}
+
+// OK without annotation: the reading flows only into a metric field of a
+// Stats literal — reporting, not solving.
+func timedSolve(opt Options) Stats {
+	start := time.Now()
+	_ = fromConfig(opt)
+	return Stats{MacroSeconds: time.Since(start).Seconds()}
+}
+
+// OK: same, through an intermediate local and a field assignment.
+func timedSolveVar(opt Options) Stats {
+	start := time.Now()
+	_ = fromConfig(opt)
+	var st Stats
+	elapsed := time.Since(start).Seconds()
+	st.MacroSeconds = elapsed
+	return st
+}
+
+// Flagged: the same reading also feeds a control decision, so the
+// metric-only carve-out must not apply.
+func timedDecision(opt Options) int {
+	start := time.Now()                  // want `time.Now in solver package`
+	if time.Since(start) > time.Second { // want `time.Since in solver package`
+		return 1
+	}
+	return 0
+}

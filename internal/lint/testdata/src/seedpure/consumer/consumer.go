@@ -1,0 +1,38 @@
+// Package consumer stands in for a solver: it opts into the
+// determinism-critical set, so calls to impure factories from the sibling
+// fixture package must be diagnosed — across the package boundary, where
+// rngseed alone is blind.
+//
+//hidapvet:deterministic
+package consumer
+
+import "seedpure/rngfactory"
+
+// Place consumes a laundered RNG; the fact exported by rngfactory travels
+// here and triggers the diagnostic.
+func Place() int {
+	r := rngfactory.NewEntropy() // want `call to .*rngfactory\.NewEntropy, which is not seed-pure`
+	return r.Intn(10)
+}
+
+// PlaceTransitive proves impurity survives an in-package hop on the factory
+// side: WrapEntropy never constructs a source itself.
+func PlaceTransitive() int {
+	return rngfactory.WrapEntropy().Intn(10) // want `call to .*rngfactory\.WrapEntropy, which is not seed-pure \(calls NewEntropy`
+}
+
+// PlaceMethod consumes the method-shaped factory.
+func PlaceMethod(s rngfactory.Shape) int {
+	return s.Fresh().Intn(10) // want `call to .*Shape.*Fresh, which is not seed-pure`
+}
+
+// PlaceSeeded threads its own seed through: the factory's pure fact means no
+// diagnostic.
+func PlaceSeeded(seed int64) int {
+	return rngfactory.NewSeeded(seed).Intn(10)
+}
+
+// PlaceJustified shows the escape hatch for a reviewed call site.
+func PlaceJustified(n int) int {
+	return rngfactory.Roll(n) //hidapvet:allow seedpure demo fixture: jitter outside the reproducible solve path
+}

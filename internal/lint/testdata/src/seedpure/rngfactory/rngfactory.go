@@ -1,0 +1,36 @@
+// Package rngfactory is NOT a solver package: rngseed never looks at it, so
+// nothing here is diagnosed locally. seedpure still computes and exports a
+// SeedFact per function — that is the whole point: the facts, not local
+// diagnostics, are what stop a solver from consuming these factories.
+package rngfactory
+
+import "math/rand"
+
+// NewEntropy launders a fixed-literal seed behind a constructor; callers
+// cannot reproduce runs from their config alone.
+func NewEntropy() *rand.Rand { // wantfact `NewEntropy: impure: constructs rand\.NewSource`
+	return rand.New(rand.NewSource(42))
+}
+
+// WrapEntropy is impure only transitively, via the in-package call below.
+func WrapEntropy() *rand.Rand { // wantfact `WrapEntropy: impure: calls NewEntropy`
+	return NewEntropy()
+}
+
+// Roll uses the process-global generator.
+func Roll(n int) int { // wantfact `Roll: impure: uses the process-global rand\.Intn`
+	return rand.Intn(n)
+}
+
+// NewSeeded derives everything from the caller's seed: positively pure.
+func NewSeeded(seed int64) *rand.Rand { // wantfact `NewSeeded: seedpure`
+	return rand.New(rand.NewSource(seed))
+}
+
+// Shape carries a method-shaped factory so method facts round-trip too.
+type Shape struct{}
+
+// Fresh is impure through a method, exercising the "Type.Method" fact path.
+func (Shape) Fresh() *rand.Rand { // wantfact `Fresh: impure: constructs rand\.NewSource`
+	return rand.New(rand.NewSource(7))
+}

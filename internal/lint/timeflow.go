@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"repro/internal/lint/analysis"
+)
+
+// Metric-sink recognition for rngseed's time.Now/time.Since benignity check:
+// a duration that only lands in fields like MacroSeconds, Elapsed, or any
+// field of a Stats/Metrics/Report struct is reporting, not solving.
+var (
+	metricNameRe = regexp.MustCompile(`(?i)(seconds|millis|micros|nanos|minutes|hours|duration|elapsed|latency|walltime)`)
+	metricTypeRe = regexp.MustCompile(`(Stats|Metrics|Report)$`)
+)
+
+// parentMap records the syntactic parent of every node in one file; the
+// stdlib AST carries no parent links.
+type parentMap map[ast.Node]ast.Node
+
+func buildParents(f *ast.File) parentMap {
+	pm := make(parentMap)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			pm[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return pm
+}
+
+// timeMetricOnly reports whether the time.Now or time.Since call flows only
+// into metric sinks. For Since the duration value itself is traced; for Now
+// the assigned variable must be used exclusively as the argument of benign
+// time.Since calls — then the wall-clock reading can influence nothing but
+// reported timings.
+func timeMetricOnly(pass *analysis.Pass, f *ast.File, pm parentMap, call *ast.CallExpr, name string) bool {
+	if name == "Since" {
+		return valueIsMetricOnly(pass, f, pm, call, 0)
+	}
+	asn, ok := pm[call].(*ast.AssignStmt)
+	if !ok || len(asn.Lhs) != 1 || len(asn.Rhs) != 1 || asn.Rhs[0] != call {
+		return false
+	}
+	id, ok := asn.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id] // plain `=` to a prior declaration
+	}
+	if obj == nil {
+		return false
+	}
+	uses := findUses(pass, f, obj)
+	if len(uses) == 0 {
+		return false // a dead reading is not a metric; keep it flagged
+	}
+	for _, u := range uses {
+		since, ok := pm[u].(*ast.CallExpr)
+		if !ok || len(since.Args) != 1 || since.Args[0] != u || !isTimeSince(pass, since) {
+			return false
+		}
+		if !valueIsMetricOnly(pass, f, pm, since, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// valueIsMetricOnly traces the value produced at node n — through Duration
+// method calls, conversions, and parens — to its sink and reports whether
+// every sink is a metric field. depth bounds recursion through intermediate
+// locals (elapsed := …; m.MacroSeconds = elapsed).
+func valueIsMetricOnly(pass *analysis.Pass, f *ast.File, pm parentMap, n ast.Node, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	n = climbValue(pass, pm, n)
+	switch p := pm[n].(type) {
+	case *ast.KeyValueExpr:
+		if p.Value != n {
+			return false
+		}
+		cl, _ := pm[p].(*ast.CompositeLit)
+		key, ok := p.Key.(*ast.Ident)
+		return ok && cl != nil && (metricNameRe.MatchString(key.Name) || isMetricStruct(typeOf(pass, cl)))
+	case *ast.AssignStmt:
+		for i, rhs := range p.Rhs {
+			if rhs != n || i >= len(p.Lhs) {
+				continue
+			}
+			switch lhs := p.Lhs[i].(type) {
+			case *ast.SelectorExpr:
+				return metricNameRe.MatchString(lhs.Sel.Name) || isMetricStruct(typeOf(pass, lhs.X))
+			case *ast.Ident:
+				obj := pass.TypesInfo.Defs[lhs]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[lhs]
+				}
+				if obj == nil {
+					return false
+				}
+				uses := findUses(pass, f, obj)
+				if len(uses) == 0 {
+					return false
+				}
+				for _, u := range uses {
+					if !valueIsMetricOnly(pass, f, pm, u, depth+1) {
+						return false
+					}
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// climbValue follows n upward through value-preserving syntax: parens,
+// method calls on the value (d.Seconds()), and type conversions.
+func climbValue(pass *analysis.Pass, pm parentMap, n ast.Node) ast.Node {
+	for {
+		switch p := pm[n].(type) {
+		case *ast.ParenExpr:
+			n = p
+		case *ast.SelectorExpr:
+			if c, ok := pm[p].(*ast.CallExpr); ok && c.Fun == p && p.X == n {
+				n = c
+				continue
+			}
+			return n
+		case *ast.CallExpr:
+			if tv, ok := pass.TypesInfo.Types[p.Fun]; ok && tv.IsType() {
+				n = p // conversion, e.g. float64(d)
+				continue
+			}
+			return n
+		default:
+			return n
+		}
+	}
+}
+
+// findUses returns every use-identifier of obj in the file.
+func findUses(pass *analysis.Pass, f *ast.File, obj types.Object) []*ast.Ident {
+	var uses []*ast.Ident
+	ast.Inspect(f, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			uses = append(uses, id)
+		}
+		return true
+	})
+	return uses
+}
+
+func isTimeSince(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Since" {
+		return false
+	}
+	pkgPath, ok := importedPkgOf(pass, sel)
+	return ok && pkgPath == "time"
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isMetricStruct reports whether t (possibly behind a pointer) is a named
+// type whose name marks it as a metrics carrier.
+func isMetricStruct(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && metricTypeRe.MatchString(named.Obj().Name())
+}

@@ -2,20 +2,30 @@
 // speaking the `go vet -vettool=` protocol: cmd/go invokes the tool once per
 // package ("unit") with a JSON config file describing the sources, the
 // import map, and the export-data files of every dependency, and expects
-// diagnostics on stderr plus a (possibly empty) facts file at VetxOutput.
+// diagnostics on stderr plus a facts file at VetxOutput.
 //
 // It is a stdlib-only re-implementation of the subset of
 // golang.org/x/tools/go/analysis/unitchecker this repository needs (that
-// module cannot be fetched in the offline build); since the hidap-vet
-// analyzers use no cross-package facts, the facts file is always empty.
+// module cannot be fetched in the offline build). Facts are real: the
+// checker decodes the .vetx files of the unit's dependencies (PackageVetx),
+// runs every analyzer — in dependency-only VetxOnly passes too, where
+// diagnostics are discarded but facts still accumulate — and gob-encodes the
+// resulting fact set to VetxOutput, so properties like seed purity and
+// allocation freedom propagate across package boundaries exactly like go
+// vet's printf fact. Units outside the main module (the standard library)
+// are not analyzed; they contribute an empty facts file.
 //
 // As a convenience beyond the x/tools original, invoking the binary with
 // package patterns instead of a .cfg file re-executes `go vet
-// -vettool=<self> <patterns>`, so `hidap-vet ./...` just works.
+// -vettool=<self> <patterns>`, so `hidap-vet ./...` just works. The one
+// tool flag, -json, is declared through the -flags probe, so
+// `go vet -vettool=hidap-vet -json ./...` (or `hidap-vet -json ./...`)
+// emits machine-readable diagnostics on stdout.
 package unitchecker
 
 import (
 	"crypto/sha256"
+	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -64,6 +74,14 @@ func Main(analyzers ...*analysis.Analyzer) {
 	progname := filepath.Base(os.Args[0])
 	args := os.Args[1:]
 
+	// Gob-register every declared fact type up front: decoding a
+	// dependency's .vetx happens before this unit encodes anything.
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+
 	// cmd/go probes the tool's identity with -V=full and requires the
 	// line `<name> version devel ... buildID=<hex>` (work/buildid.go); the
 	// executable hash keys vet's result cache, so rebuilt tools re-vet.
@@ -73,14 +91,31 @@ func Main(analyzers ...*analysis.Analyzer) {
 	}
 
 	// cmd/go probes `<tool> -flags` for a JSON description of the tool's
-	// flags (cmd/go/internal/vet/vetflag.go); the suite defines none.
+	// flags (cmd/go/internal/vet/vetflag.go); declared flags become valid
+	// `go vet` flags and are passed before the .cfg on every unit run.
 	if len(args) == 1 && args[0] == "-flags" {
-		fmt.Println("[]")
+		fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit diagnostics as JSON on stdout instead of text on stderr"}]`)
 		os.Exit(0)
 	}
 
+	// Accept `-json` ahead of either a unit config or package patterns.
+	asJSON := false
+	for len(args) > 0 {
+		switch args[0] {
+		case "-json", "--json", "-json=true":
+			asJSON = true
+			args = args[1:]
+			continue
+		case "-json=false":
+			asJSON = false
+			args = args[1:]
+			continue
+		}
+		break
+	}
+
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		runUnit(args[0], analyzers)
+		runUnit(args[0], analyzers, asJSON)
 		os.Exit(0)
 	}
 
@@ -95,7 +130,7 @@ func Main(analyzers ...*analysis.Analyzer) {
 
 	if len(args) == 0 || args[0] == "help" || args[0] == "-h" || args[0] == "--help" {
 		fmt.Fprintf(os.Stderr, "%s: static analysis of the hidap determinism & concurrency invariants\n\n", progname)
-		fmt.Fprintf(os.Stderr, "usage: %s <packages>   (e.g. %s ./...)\n", progname, progname)
+		fmt.Fprintf(os.Stderr, "usage: %s [-json] <packages>   (e.g. %s ./...)\n", progname, progname)
 		fmt.Fprintf(os.Stderr, "   or: go vet -vettool=$(command -v %s) <packages>\n\nanalyzers:\n", progname)
 		for _, a := range analyzers {
 			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, strings.Split(a.Doc, "\n")[0])
@@ -109,7 +144,11 @@ func Main(analyzers ...*analysis.Analyzer) {
 		fmt.Fprintf(os.Stderr, "%s: cannot locate own executable: %v\n", progname, err)
 		os.Exit(1)
 	}
-	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	vetArgs := []string{"vet", "-vettool=" + self}
+	if asJSON {
+		vetArgs = append(vetArgs, "-json")
+	}
+	cmd := exec.Command("go", append(vetArgs, args...)...)
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
 	if err := cmd.Run(); err != nil {
@@ -140,8 +179,43 @@ func selfHash() string {
 	return fmt.Sprintf("%x", h.Sum(nil)[:16])
 }
 
+// writeVetx writes the unit's facts file. cmd/go caches the file and feeds
+// it to dependent units as PackageVetx, so it must exist even when empty.
+func writeVetx(cfg *Config, data []byte) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if data == nil {
+		data = []byte{}
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+		fatalf("writing vetx output: %v", err)
+	}
+}
+
+// isStdUnit reports whether the unit belongs to the standard library (or is
+// otherwise outside any module). Those units are not analyzed: the suite's
+// invariants are about this repository, and typechecking arbitrary std
+// internals from source is pure risk for the required CI job. Their facts
+// files are empty, so std callees are treated as unknown — allocfree and
+// seedpure carry their own knowledge of the handful of std functions that
+// matter.
+func isStdUnit(cfg *Config) bool {
+	if cfg.Standard[cfg.ImportPath] {
+		return true
+	}
+	return cfg.ModulePath == "" || cfg.ModulePath == "std" || cfg.ModulePath == "cmd"
+}
+
+// jsonDiagnostic mirrors x/tools' unitchecker JSON shape: one object per
+// unit, keyed by package path then analyzer name.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
 // runUnit analyzes one package unit described by the config file.
-func runUnit(cfgFile string, analyzers []*analysis.Analyzer) {
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer, asJSON bool) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		fatalf("reading vet config: %v", err)
@@ -151,15 +225,9 @@ func runUnit(cfgFile string, analyzers []*analysis.Analyzer) {
 		fatalf("parsing vet config %s: %v", cfgFile, err)
 	}
 
-	// The facts file must exist even though the suite records no facts:
-	// cmd/go caches it and feeds it to dependent units as PackageVetx.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fatalf("writing vetx output: %v", err)
-		}
-	}
-	if cfg.VetxOnly {
-		return // dependency pass: facts only, no diagnostics wanted
+	if isStdUnit(&cfg) {
+		writeVetx(&cfg, nil)
+		return
 	}
 
 	fset := token.NewFileSet()
@@ -167,7 +235,8 @@ func runUnit(cfgFile string, analyzers []*analysis.Analyzer) {
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			if cfg.SucceedOnTypecheckFailure {
+			if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
+				writeVetx(&cfg, nil)
 				return
 			}
 			fatalf("%v", err)
@@ -177,10 +246,35 @@ func runUnit(cfgFile string, analyzers []*analysis.Analyzer) {
 
 	pkg, info, err := typeCheck(fset, files, &cfg)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
+		if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
+			// A dependency pass that cannot typecheck contributes no facts
+			// rather than failing the whole build.
+			writeVetx(&cfg, nil)
 			return
 		}
 		fatalf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	// Decode dependency facts. PackageVetx holds the .vetx of each direct
+	// dependency, whose own file already re-exports its transitive facts,
+	// so resolving against the full import graph sees everything.
+	facts := analysis.NewFactSet()
+	if len(cfg.PackageVetx) > 0 {
+		find := packageFinder(pkg)
+		deps := make([]string, 0, len(cfg.PackageVetx))
+		for path := range cfg.PackageVetx {
+			deps = append(deps, path)
+		}
+		sort.Strings(deps)
+		for _, path := range deps {
+			vdata, err := os.ReadFile(cfg.PackageVetx[path])
+			if err != nil {
+				continue // missing dependency facts degrade to "unknown", not failure
+			}
+			if err := facts.Decode(vdata, find); err != nil {
+				fatalf("decoding facts of %s: %v", path, err)
+			}
+		}
 	}
 
 	type record struct {
@@ -196,6 +290,7 @@ func runUnit(cfgFile string, analyzers []*analysis.Analyzer) {
 			Pkg:       pkg,
 			TypesInfo: info,
 		}
+		facts.Install(pass)
 		pass.Report = func(d analysis.Diagnostic) {
 			found = append(found, record{a, d})
 		}
@@ -204,14 +299,56 @@ func runUnit(cfgFile string, analyzers []*analysis.Analyzer) {
 		}
 	}
 
-	if len(found) == 0 {
-		return
+	vetx, err := facts.Encode()
+	if err != nil {
+		fatalf("encoding facts of %s: %v", cfg.ImportPath, err)
+	}
+	writeVetx(&cfg, vetx)
+
+	if cfg.VetxOnly || len(found) == 0 {
+		return // dependency pass: facts only, no diagnostics wanted
 	}
 	sort.SliceStable(found, func(i, j int) bool { return found[i].diag.Pos < found[j].diag.Pos })
+	if asJSON {
+		// x/tools-compatible: {"pkg": {"analyzer": [{posn, message}]}} on
+		// stdout, exit 0 — consumers gate on the parsed payload.
+		byAnalyzer := make(map[string][]jsonDiagnostic)
+		for _, r := range found {
+			byAnalyzer[r.analyzer.Name] = append(byAnalyzer[r.analyzer.Name], jsonDiagnostic{
+				Posn:    fset.Position(r.diag.Pos).String(),
+				Message: r.diag.Message,
+			})
+		}
+		out := map[string]map[string][]jsonDiagnostic{cfg.ImportPath: byAnalyzer}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fatalf("encoding JSON diagnostics: %v", err)
+		}
+		return
+	}
 	for _, r := range found {
 		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(r.diag.Pos), r.diag.Message, r.analyzer.Name)
 	}
 	os.Exit(2)
+}
+
+// packageFinder indexes the transitive import graph of the unit's package by
+// path, for fact resolution.
+func packageFinder(root *types.Package) func(path string) *types.Package {
+	idx := make(map[string]*types.Package)
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		if _, ok := idx[p.Path()]; ok {
+			return
+		}
+		idx[p.Path()] = p
+		for _, im := range p.Imports() {
+			walk(im)
+		}
+	}
+	walk(root)
+	return func(path string) *types.Package { return idx[path] }
 }
 
 // typeCheck builds the types.Package for the unit, resolving imports through

@@ -2,6 +2,7 @@ package unitchecker_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -123,5 +124,150 @@ func Fresh(ctx context.Context, f func(context.Context) error) error {
 		if !bytes.Contains(b, []byte(wantFrag)) {
 			t.Errorf("vet output missing %q:\n%s", wantFrag, b)
 		}
+	}
+}
+
+// scratchFactModule writes a two-package module where the dependency hides
+// nondeterminism (an unseeded source, an allocating helper) behind exported
+// functions that a determinism-critical, hot-annotated consumer calls. The
+// violations are only visible if facts computed during the dependency's
+// VetxOnly pass travel through its .vetx file into the consumer's unit.
+func scratchFactModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("dep/dep.go", `// Package dep is not determinism-critical: everything here is clean for
+// rngseed, and nothing is hot. Only the exported facts carry the hazards.
+package dep
+
+import "math/rand"
+
+func NewEntropy() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+func Grow(n int) []int {
+	return Leaf(n)
+}
+
+func Leaf(n int) []int {
+	return make([]int, n)
+}
+`)
+	write("use/use.go", `// Package use consumes dep across the unit boundary.
+//
+//hidapvet:deterministic
+package use
+
+import "scratch/dep"
+
+func Solve() int {
+	r := dep.NewEntropy()
+	return r.Intn(10)
+}
+
+//hidapvet:hotpath
+func Hot(n int) int {
+	xs := dep.Grow(n)
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+`)
+	return dir
+}
+
+// TestVetCrossPackageFacts proves the tentpole end to end through the real
+// cmd/go protocol: the dependency unit runs VetxOnly, its facts are encoded
+// to .vetx, and the consumer's unit imports them and reports the
+// cross-package seedpure and allocfree findings.
+func TestVetCrossPackageFacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	tool, _ := buildVet(t)
+	dir := scratchFactModule(t)
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = dir
+	b, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected cross-package findings, vet exited clean:\n%s", b)
+	}
+	for _, wantFrag := range []string{
+		"call to scratch/dep.NewEntropy, which is not seed-pure",
+		"constructs rand.NewSource without a config-derived seed",
+		"allocation in //hidapvet:hotpath function Hot",
+		"call to scratch/dep.Grow (call to Leaf (make))",
+		"[seedpure]", "[allocfree]",
+	} {
+		if !bytes.Contains(b, []byte(wantFrag)) {
+			t.Errorf("vet output missing %q:\n%s", wantFrag, b)
+		}
+	}
+	if bytes.Contains(b, []byte("dep.go:")) {
+		t.Errorf("dependency unit leaked diagnostics (VetxOnly must stay silent):\n%s", b)
+	}
+}
+
+// TestVetJSONOutput checks -json mode: the tool emits one JSON object per
+// unit, keyed by package path then analyzer, and exits 0 — cmd/go relays the
+// output on its own stderr under `# <pkg>` headers (the same routing the
+// x/tools unitchecker gets), so consumers strip the headers and gate on the
+// parsed payload.
+func TestVetJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	tool, _ := buildVet(t)
+	dir := scratchFactModule(t)
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "-json", "./...")
+	cmd.Dir = dir
+	b, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet -json should exit 0, got %v\n%s", err, b)
+	}
+	var payload bytes.Buffer
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			payload.WriteString(line)
+			payload.WriteByte('\n')
+		}
+	}
+	// Each unit emits one object; decode them all and merge.
+	found := make(map[string][]string) // analyzer → messages
+	dec := json.NewDecoder(&payload)
+	for dec.More() {
+		var unit map[string]map[string][]struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		if err := dec.Decode(&unit); err != nil {
+			t.Fatalf("decoding -json output: %v", err)
+		}
+		for _, byAnalyzer := range unit {
+			for analyzer, diags := range byAnalyzer {
+				for _, d := range diags {
+					if d.Posn == "" || d.Message == "" {
+						t.Errorf("diagnostic missing posn/message: %+v", d)
+					}
+					found[analyzer] = append(found[analyzer], d.Message)
+				}
+			}
+		}
+	}
+	if len(found["seedpure"]) == 0 || len(found["allocfree"]) == 0 {
+		t.Fatalf("expected seedpure and allocfree findings in JSON, got %v", found)
 	}
 }

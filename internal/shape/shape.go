@@ -399,15 +399,20 @@ type Scratch struct{}
 // when needed). The returned curve aliases the returned slice; both remain
 // valid until dst is reused in another call. Results are identical to the
 // allocating path corner for corner.
+//
+//hidapvet:hotpath
 func (s *Scratch) CombineH(dst []Point, a, b Curve, k int) (Curve, []Point) {
 	return s.combine(dst, a, b, k, true)
 }
 
 // CombineV is the CombineV(a, b).Thin(k) counterpart of Scratch.CombineH.
+//
+//hidapvet:hotpath
 func (s *Scratch) CombineV(dst []Point, a, b Curve, k int) (Curve, []Point) {
 	return s.combine(dst, a, b, k, false)
 }
 
+//hidapvet:hotpath
 func (s *Scratch) combine(dst []Point, a, b Curve, k int, beside bool) (Curve, []Point) {
 	// Empty operands mirror CombineH/CombineV: the other curve passes
 	// through untouched (then gets the caller's Thin budget), but is copied

@@ -197,6 +197,8 @@ func resizeSlice[T any](s []T, n int) []T {
 // relink exactly three nodes (resyncSwap) before the same path-local
 // recomposition. The returned undo restores expression and cache; see
 // the type comment for its validity rules.
+//
+//hidapvet:hotpath
 func (ev *Evaluator) Perturb(rng *rand.Rand) (undo func(), kind MoveKind) {
 	ev.rjBlock, ev.rjRect = ev.rjBlock[:0], ev.rjRect[:0]
 	ev.ajIdx = ev.ajIdx[:0]
@@ -438,6 +440,8 @@ func (ev *Evaluator) recompute(nd *enode) {
 // applyUndo reverts the last Perturb: the expression first, then every
 // journaled node, restoring cached sums and curve buffers without any
 // recomposition; parent-link edits replay from their own journal.
+//
+//hidapvet:hotpath
 func (ev *Evaluator) applyUndo() {
 	ev.expr.UndoMove(&ev.move)
 	// Flip every rewritten assign slot back and replay the rectangle
@@ -519,6 +523,8 @@ func (ev *Evaluator) RootCurve() shape.Curve {
 // result is bit-identical to Evaluate on the same expression and budget
 // (both sum violations over the same tree association; differentially
 // tested).
+//
+//hidapvet:hotpath
 func (ev *Evaluator) Eval(budget geom.Rect) *Eval {
 	out := &ev.ev
 	if budget != ev.moveBudget {

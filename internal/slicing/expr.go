@@ -214,6 +214,8 @@ func (e *Expr) Perturb(rng *rand.Rand) (undo func(), kind MoveKind) {
 // PerturbMove is the allocation-free form of Perturb: it applies one random
 // valid move and records it in mv for UndoMove. It draws from rng exactly
 // as Perturb does.
+//
+//hidapvet:hotpath
 func (e *Expr) PerturbMove(rng *rand.Rand, mv *Move) {
 	if e.n < 2 {
 		*mv = Move{Kind: MoveOperandSwap}
@@ -239,6 +241,8 @@ func (e *Expr) PerturbMove(rng *rand.Rand, mv *Move) {
 
 // UndoMove reverts a move applied by PerturbMove. Every move kind is an
 // involution on the positions it recorded, so undo replays it.
+//
+//hidapvet:hotpath
 func (e *Expr) UndoMove(mv *Move) {
 	switch {
 	case mv.I == mv.J:
@@ -339,7 +343,7 @@ func (e *Expr) operandOperatorSwap(rng *rand.Rand, mv *Move) bool {
 // in the prefix, the balance is r − (i+1−r). Balloting holds iff every
 // balAt(p) >= 1.
 func (e *Expr) balAt(i int) int {
-	r := sort.Search(len(e.opPos), func(k int) bool { return e.opPos[k] > int32(i) })
+	r := sort.Search(len(e.opPos), func(k int) bool { return e.opPos[k] > int32(i) }) //hidapvet:allow allocfree closure does not escape sort.Search and stays on the stack; proven by the 0-alloc benchmarks
 	return 2*r - (i + 1)
 }
 
@@ -369,7 +373,7 @@ func (e *Expr) swapAdjacent(i int) {
 // setChainStart inserts or removes position p in the sorted chain-start
 // index to match want.
 func (e *Expr) setChainStart(p int32, want bool) {
-	k := sort.Search(len(e.starts), func(j int) bool { return e.starts[j] >= p })
+	k := sort.Search(len(e.starts), func(j int) bool { return e.starts[j] >= p }) //hidapvet:allow allocfree closure does not escape sort.Search and stays on the stack; proven by the 0-alloc benchmarks
 	have := k < len(e.starts) && e.starts[k] == p
 	switch {
 	case want && !have:
@@ -391,7 +395,7 @@ func (e *Expr) ensureIndex() {
 	e.opPos = e.opPos[:0]
 	e.starts = e.starts[:0]
 	if cap(e.posRank) < len(e.elems) {
-		e.posRank = make([]int32, len(e.elems))
+		e.posRank = make([]int32, len(e.elems)) //hidapvet:allow allocfree one-time warm-up: idxOK short-circuits every later call; steady state pinned by TestPerturbCycleAllocs
 	}
 	e.posRank = e.posRank[:len(e.elems)]
 	for p, v := range e.elems {
