@@ -1,0 +1,261 @@
+package anneal
+
+import (
+	"context"
+	"math"
+	"math/rand"
+)
+
+// Speculative proposal batching. RunModel with Options.Batch > 1 and a model
+// implementing BatchModel drives the schedule through runBatched: each step
+// stages up to Batch candidate moves drawn from the deterministic rng
+// sequence, scores them all against the frozen current state (EvalBatch —
+// models may fan the scoring out over a worker pool), then replays the
+// serial Metropolis accept chain over the scores in rng order. The accepted
+// trajectory, every Snapshot, and the Accepted/Rejected/Rounds accounting
+// are byte-identical to the serial loop at any batch size: staged candidates
+// invalidated by an acceptance are discarded and re-proposed against the new
+// state, exactly as the serial engine would have drawn them.
+//
+// The rng bookkeeping is the subtle part. The serial loop consumes the
+// stream as p₁ [u₁] p₂ [u₂] …, where pₖ are the draws of the k-th proposal
+// and the Metropolis uniform uₖ is drawn only when the proposal is uphill
+// (the `delta <= 0 ||` short-circuit in the serial loop). Batching therefore
+// records the underlying stream (recSource) and reserves one uniform after
+// every staged proposal — the uphill-dense steady state of an annealer, in
+// which whole batches replay without truncation. Whenever a decision
+// consumes the stream differently than the reservation assumed (a downhill
+// accept skips its uniform; any accept changes the state later proposals
+// were drawn against), the remaining candidates are discarded and the cursor
+// seeks back so the recorded values re-serve to fresh proposals. Decisions
+// and state are never speculated on — only scoring work is.
+
+// BatchModel extends Model with speculative proposal staging. The engine
+// drives it in groups: repeated ProposeSpec calls stage candidates, one
+// EvalBatch scores them, then zero or one CommitSpec applies the accepted
+// candidate. Staged candidates are discarded by CommitSpec and by the first
+// ProposeSpec after an EvalBatch; rejected candidates need no call at all,
+// because staging leaves the model's observable state untouched.
+type BatchModel interface {
+	Model
+
+	// ProposeSpec draws one candidate move from rng — consuming exactly the
+	// values a Propose call on the current state would — and stages it for
+	// scoring, leaving the model's state unchanged. It returns false when
+	// the drawn move cannot be scored speculatively; nothing is staged, and
+	// the engine rewinds the rng and replays the move through Propose.
+	ProposeSpec(rng *rand.Rand) bool
+
+	// EvalBatch scores every staged candidate against the frozen current
+	// state and returns their costs — each bit-identical to what a Propose
+	// drawing that candidate would return. The slice is model-owned and
+	// valid until the next stage/commit call.
+	EvalBatch() []float64
+
+	// CommitSpec applies staged candidate k in full and returns its cost;
+	// state and cost are bit-identical to a Propose that drew the move. The
+	// engine commits at most one candidate per EvalBatch, in replay order.
+	CommitSpec(k int) float64
+}
+
+// recSource is a recording wrapper around a rand.Source: every Int63 output
+// is retained, and the read cursor can be marked, rewound and re-served, so
+// the batched engine can reserve draws and later replay the stream exactly
+// as the serial engine's conditional consumption would have.
+//
+// It deliberately implements only rand.Source, not Source64: rand.Rand then
+// routes every method this package uses (Intn, Int63n, Float64) through
+// Int63, which keeps the recorded stream in one-to-one correspondence with
+// rand.New(rand.NewSource(seed)) — those methods draw identically either
+// way. Uint64-consuming methods would not; none are used here or in the
+// models' move generation.
+type recSource struct {
+	src rand.Source
+	buf []int64
+	pos int
+}
+
+func (r *recSource) Int63() int64 {
+	if r.pos < len(r.buf) {
+		v := r.buf[r.pos]
+		r.pos++
+		return v
+	}
+	v := r.src.Int63()
+	r.buf = append(r.buf, v)
+	r.pos++
+	return v
+}
+
+func (r *recSource) Seed(seed int64) {
+	r.src.Seed(seed)
+	r.buf, r.pos = r.buf[:0], 0
+}
+
+// mark returns the current cursor; seek rewinds (or advances) to one.
+func (r *recSource) mark() int    { return r.pos }
+func (r *recSource) seek(pos int) { r.pos = pos }
+
+// compact drops the consumed prefix, keeping recorded-but-unserved values.
+// Called between groups so the buffer stays a few proposals long.
+func (r *recSource) compact() {
+	if r.pos == 0 {
+		return
+	}
+	n := copy(r.buf, r.buf[r.pos:])
+	r.buf = r.buf[:n]
+	r.pos = 0
+}
+
+// runBatched is the speculative-batching counterpart of RunModel's serial
+// loop; see the package comment above for the replay discipline. Dispatch
+// guarantees opt.Batch > 1 here.
+func runBatched(ctx context.Context, opt Options, m BatchModel) Result {
+	rec := &recSource{src: rand.NewSource(opt.Seed)}
+	rng := rand.New(rec) //hidapvet:allow allocfree one RNG per schedule, constructed before the move loop; the loop itself is the hot path
+
+	cur := m.Cost()
+	best := cur
+	m.Snapshot()
+
+	temp := opt.InitialTemp
+	if temp <= 0 {
+		temp = calibrate(rng, opt, m) // serial: calibration is 32 moves total
+		cur = m.Cost()
+		if cur < best {
+			best = cur
+			m.Snapshot()
+		}
+	}
+	finalTemp := opt.FinalTemp
+	if finalTemp <= 0 {
+		finalTemp = temp * 1e-4
+	}
+
+	res := Result{InitTemp: temp}
+	stall := 0
+	// streak counts consecutive rejections; it sizes the speculative groups.
+	// Speculative scoring reads the frozen state through an override layer,
+	// which taxes every scored candidate a little whether or not the score
+	// is used, so speculating in an accept-dense phase loses outright: the
+	// tax outruns the undo work it saves. The group size therefore shadows
+	// the reject streak like a branch predictor — an acceptance drops the
+	// next group to zero (a plain serial step), and each rejection grows the
+	// stake by one up to opt.Batch — confining the speculative machinery to
+	// the reject-dense phase where batches actually replay and the serial
+	// engine would be paying full evaluations to throw their results away.
+	// The walk is byte-identical at any group size (only scoring is
+	// speculated, never decisions), and the sizing is a deterministic
+	// function of the trajectory, so reproducibility survives.
+	streak := 0
+	umark := make([]int, opt.Batch)
+	for round := 0; round < opt.MaxRounds && temp > finalTemp; round++ {
+		res.Rounds++
+		improvedThisRound := false
+		mv := 0
+		for mv < opt.MovesPerRound {
+			if ctx.Err() != nil {
+				res.Canceled = true
+				res.BestCost = best
+				res.FinalTemp = temp
+				return res
+			}
+			rec.compact()
+
+			// Stage up to streak candidates (bounded by the knob and the
+			// round), reserving one Metropolis uniform after each proposal's
+			// draws.
+			b := streak
+			if b > opt.Batch {
+				b = opt.Batch
+			}
+			if left := opt.MovesPerRound - mv; b > left {
+				b = left
+			}
+			staged := 0
+			for staged < b {
+				pm := rec.mark()
+				if !m.ProposeSpec(rng) {
+					rec.seek(pm) // unscorable: re-serve its draws to Propose
+					break
+				}
+				umark[staged] = rec.mark()
+				_ = rng.Float64() // reserve uₖ
+				staged++
+			}
+
+			if staged == 0 {
+				// Nothing staged — the engine is out of a reject streak, or
+				// the group leads with an unscorable move: one serial step.
+				// Propose (re-)draws the recorded values and applies in full.
+				next := m.Propose(rng)
+				delta := next - cur
+				if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+					cur = next
+					res.Accepted++
+					streak = 0
+					if cur < best {
+						best = cur
+						improvedThisRound = true
+						m.Snapshot()
+					}
+				} else {
+					m.Undo()
+					res.Rejected++
+					streak++
+				}
+				mv++
+				continue
+			}
+
+			costs := m.EvalBatch()
+			for k := 0; k < staged; k++ {
+				next := costs[k]
+				delta := next - cur
+				if delta <= 0 {
+					// Serial would accept without drawing the uniform: give
+					// the reserved draw back before committing.
+					rec.seek(umark[k])
+					cur = m.CommitSpec(k)
+					res.Accepted++
+					streak = 0
+					mv++
+					if cur < best {
+						best = cur
+						improvedThisRound = true
+						m.Snapshot()
+					}
+					break // later candidates were drawn against a dead state
+				}
+				rec.seek(umark[k])
+				if rng.Float64() < math.Exp(-delta/temp) {
+					cur = m.CommitSpec(k)
+					res.Accepted++
+					streak = 0
+					mv++
+					if cur < best {
+						best = cur
+						improvedThisRound = true
+						m.Snapshot()
+					}
+					break
+				}
+				// Uphill reject: the uniform was consumed exactly where the
+				// reservation put it, so the next staged candidate's draws
+				// line up and the replay continues.
+				res.Rejected++
+				streak++
+				mv++
+			}
+		}
+		if improvedThisRound {
+			stall = 0
+		} else if stall++; opt.StallRounds > 0 && stall >= opt.StallRounds {
+			break
+		}
+		temp *= opt.Alpha
+	}
+	res.BestCost = best
+	res.FinalTemp = temp
+	return res
+}

@@ -1,0 +1,252 @@
+package anneal
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// btmMove is one move of the batch test model. Kinds consume different
+// numbers of rng draws, so any misalignment between the batched replay and
+// the serial stream scrambles every subsequent move.
+type btmMove struct {
+	kind int
+	i, j int
+	d    float64
+	prev float64 // value displaced by apply, restored exactly by revert
+}
+
+// batchTestModel is a deliberately awkward BatchModel: variable-length rng
+// consumption per move kind, one kind (2) that refuses speculative scoring,
+// and a cost folded in a fixed order so bit-identity is meaningful.
+type batchTestModel struct {
+	xs []float64
+
+	last btmMove
+	have bool
+
+	cands  []btmMove
+	scored bool
+	costs  []float64
+
+	snaps []float64 // cost at every Snapshot, in call order
+}
+
+func newBatchTestModel(n int, seed int64) *batchTestModel {
+	rng := rand.New(rand.NewSource(seed))
+	m := &batchTestModel{xs: make([]float64, n)}
+	for i := range m.xs {
+		m.xs[i] = rng.Float64() * 10
+	}
+	return m
+}
+
+func (m *batchTestModel) recompute() float64 {
+	var s float64
+	for i, x := range m.xs {
+		t := x - float64(i%5)
+		s += t * t
+	}
+	return s
+}
+
+func (m *batchTestModel) draw(rng *rand.Rand) btmMove {
+	mv := btmMove{kind: rng.Intn(3)}
+	n := len(m.xs)
+	switch mv.kind {
+	case 0: // nudge: two draws after the kind
+		mv.i = rng.Intn(n)
+		mv.d = rng.Float64()*2 - 1
+	case 1: // swap: two index draws
+		mv.i = rng.Intn(n)
+		mv.j = rng.Intn(n)
+	default: // unscorable: three draws
+		mv.i = rng.Intn(n)
+		mv.d = (rng.Float64() - 0.5) * (1 + rng.Float64())
+	}
+	return mv
+}
+
+// apply mutates the state; revert restores it bit for bit (the displaced
+// value is saved, not recomputed — a serial run reverts rejected moves while
+// a batched run never applies them, so the two must cancel exactly).
+func (m *batchTestModel) apply(mv *btmMove) {
+	switch mv.kind {
+	case 0:
+		mv.prev = m.xs[mv.i]
+		m.xs[mv.i] = m.xs[mv.i] + mv.d
+	case 1:
+		m.xs[mv.i], m.xs[mv.j] = m.xs[mv.j], m.xs[mv.i]
+	default:
+		mv.prev = m.xs[mv.i]
+		m.xs[mv.i] = -0.5*m.xs[mv.i] + mv.d
+	}
+}
+
+func (m *batchTestModel) revert(mv *btmMove) {
+	switch mv.kind {
+	case 1:
+		m.xs[mv.i], m.xs[mv.j] = m.xs[mv.j], m.xs[mv.i]
+	default:
+		m.xs[mv.i] = mv.prev
+	}
+}
+
+// costWith prices a staged move without touching the state: the fold visits
+// the same indexes in the same order as recompute with the moved values
+// substituted, so it bit-matches an apply + recompute.
+func (m *batchTestModel) costWith(mv btmMove) float64 {
+	var s float64
+	for i, x := range m.xs {
+		switch {
+		case mv.kind == 0 && i == mv.i:
+			x = x + mv.d
+		case mv.kind == 1 && i == mv.i:
+			x = m.xs[mv.j]
+		case mv.kind == 1 && i == mv.j:
+			x = m.xs[mv.i]
+		}
+		t := x - float64(i%5)
+		s += t * t
+	}
+	return s
+}
+
+func (m *batchTestModel) Cost() float64 { return m.recompute() }
+
+func (m *batchTestModel) Propose(rng *rand.Rand) float64 {
+	m.last = m.draw(rng)
+	m.have = true
+	m.apply(&m.last)
+	return m.recompute()
+}
+
+func (m *batchTestModel) Undo() {
+	if !m.have {
+		panic("Undo without Propose")
+	}
+	m.revert(&m.last)
+	m.have = false
+}
+
+func (m *batchTestModel) Snapshot() { m.snaps = append(m.snaps, m.recompute()) }
+
+func (m *batchTestModel) ProposeSpec(rng *rand.Rand) bool {
+	if m.scored {
+		m.cands, m.scored = m.cands[:0], false
+	}
+	mv := m.draw(rng)
+	if mv.kind == 2 {
+		return false
+	}
+	m.cands = append(m.cands, mv)
+	return true
+}
+
+func (m *batchTestModel) EvalBatch() []float64 {
+	m.scored = true
+	m.costs = m.costs[:0]
+	for _, mv := range m.cands {
+		m.costs = append(m.costs, m.costWith(mv))
+	}
+	return m.costs
+}
+
+func (m *batchTestModel) CommitSpec(k int) float64 {
+	m.last = m.cands[k]
+	m.have = true
+	m.apply(&m.last)
+	return m.recompute()
+}
+
+// TestBatchedMatchesSerial is the byte-identity contract of speculative
+// batching: for every batch size, runBatched must reproduce the serial
+// engine's walk exactly — same Result in every field, same state at the end,
+// and the same cost at every Snapshot — despite one move kind in three
+// refusing speculative scoring and the kinds consuming different numbers of
+// rng draws.
+func TestBatchedMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		opt := Options{
+			Seed:          seed,
+			MovesPerRound: 40,
+			MaxRounds:     25,
+			StallRounds:   8,
+		}
+		ref := newBatchTestModel(12, seed)
+		refRes := RunModel(context.Background(), opt, ref)
+		if refRes.Accepted == 0 || refRes.Rejected == 0 {
+			t.Fatalf("seed %d: degenerate reference walk %+v", seed, refRes)
+		}
+
+		for _, batch := range []int{2, 3, 8, 40, 64} {
+			m := newBatchTestModel(12, seed)
+			bopt := opt
+			bopt.Batch = batch
+			res := RunModel(context.Background(), bopt, m)
+			if res != refRes {
+				t.Fatalf("seed %d batch %d: result %+v != serial %+v", seed, batch, res, refRes)
+			}
+			if len(m.xs) != len(ref.xs) {
+				t.Fatal("state length diverged")
+			}
+			for i := range m.xs {
+				if math.Float64bits(m.xs[i]) != math.Float64bits(ref.xs[i]) {
+					t.Fatalf("seed %d batch %d: xs[%d] = %v, serial %v", seed, batch, i, m.xs[i], ref.xs[i])
+				}
+			}
+			if len(m.snaps) != len(ref.snaps) {
+				t.Fatalf("seed %d batch %d: %d snapshots, serial %d", seed, batch, len(m.snaps), len(ref.snaps))
+			}
+			for i := range m.snaps {
+				if math.Float64bits(m.snaps[i]) != math.Float64bits(ref.snaps[i]) {
+					t.Fatalf("seed %d batch %d: snapshot %d = %v, serial %v", seed, batch, i, m.snaps[i], ref.snaps[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedCancel checks that a cancelled context stops the batched loop
+// promptly and reports Canceled, like the serial loop.
+func TestBatchedCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := newBatchTestModel(8, 3)
+	res := RunModel(ctx, Options{Seed: 3, Batch: 4, InitialTemp: 1}, m)
+	if !res.Canceled {
+		t.Fatalf("expected Canceled, got %+v", res)
+	}
+}
+
+// TestRecSourceReplay pins the recording source: values re-served after a
+// seek equal the originals, and compact preserves the recorded tail.
+func TestRecSourceReplay(t *testing.T) {
+	rec := &recSource{src: rand.NewSource(11)}
+	a := make([]int64, 8)
+	for i := range a {
+		a[i] = rec.Int63()
+	}
+	rec.seek(3)
+	for i := 3; i < 8; i++ {
+		if v := rec.Int63(); v != a[i] {
+			t.Fatalf("replay[%d] = %d, want %d", i, v, a[i])
+		}
+	}
+	rec.seek(5)
+	rec.compact() // drops the 5 consumed values, keeps 3 recorded ones
+	for i := 5; i < 8; i++ {
+		if v := rec.Int63(); v != a[i] {
+			t.Fatalf("post-compact[%d] = %d, want %d", i, v, a[i])
+		}
+	}
+	// Fresh values after the tail drains must come from the source.
+	next := rand.NewSource(11)
+	for i := 0; i < 8; i++ {
+		next.Int63()
+	}
+	if v, w := rec.Int63(), next.Int63(); v != w {
+		t.Fatalf("fresh draw %d, want %d", v, w)
+	}
+}

@@ -14,7 +14,7 @@ import (
 // macro positions and orientations, level count, flips, the full trace,
 // and the complete progress-event stream in delivery order — so two runs
 // can be compared byte for byte.
-func fingerprint(t *testing.T, par int) string {
+func fingerprint(t *testing.T, par, batch int) string {
 	t.Helper()
 	d := miniSoC(t)
 	opt := DefaultOptions()
@@ -22,6 +22,7 @@ func fingerprint(t *testing.T, par int) string {
 	opt.Trace = true
 	opt.Restarts = 3 // chain tasks join subtree tasks in the same pool
 	opt.Parallelism = par
+	opt.Batch = batch
 	var sb strings.Builder
 	opt.Progress = func(ev Progress) { fmt.Fprintf(&sb, "ev %+v\n", ev) }
 	res, err := Place(context.Background(), d, opt)
@@ -40,22 +41,25 @@ func fingerprint(t *testing.T, par int) string {
 
 // TestPlaceDeterminismMatrix is the scheduler's central promise: the
 // placement, the trace, and the progress-event stream are byte-identical
-// at every combination of scheduler width and GOMAXPROCS. Run under -race
-// in CI, it also proves the fork-join recursion is race-free.
+// at every combination of scheduler width, GOMAXPROCS, and speculative
+// batch size. Run under -race in CI, it also proves the fork-join
+// recursion and the batched scoring fan-out are race-free.
 func TestPlaceDeterminismMatrix(t *testing.T) {
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
 	want := ""
 	for _, procs := range []int{1, 4, 16} {
 		runtime.GOMAXPROCS(procs)
 		for _, par := range []int{1, 2, 8} {
-			got := fingerprint(t, par)
-			if want == "" {
-				want = got
-				continue
-			}
-			if got != want {
-				t.Fatalf("GOMAXPROCS=%d parallelism=%d: run fingerprint differs from serial reference\n--- got ---\n%s\n--- want ---\n%s",
-					procs, par, got, want)
+			for _, batch := range []int{1, 4} {
+				got := fingerprint(t, par, batch)
+				if want == "" {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Fatalf("GOMAXPROCS=%d parallelism=%d batch=%d: run fingerprint differs from serial reference\n--- got ---\n%s\n--- want ---\n%s",
+						procs, par, batch, got, want)
+				}
 			}
 		}
 	}
@@ -65,7 +69,7 @@ func TestPlaceDeterminismMatrix(t *testing.T) {
 // shares one across candidates) must produce the same placement as the
 // pool Place builds for itself.
 func TestPlaceSchedBorrowedPool(t *testing.T) {
-	own := fingerprint(t, 4)
+	own := fingerprint(t, 4, 1)
 
 	d := miniSoC(t)
 	pool := sched.NewPool(4)

@@ -122,11 +122,16 @@ func composeParts(ctx context.Context, parts []shape.Curve, seed int64, pool *sl
 		inc = slicing.NewEvaluator(&expr, blocks, slicing.EvalParams{CompactPoints: composeCompact})
 	}
 	acc := shape.Curve{}
+	var us shape.Scratch
+	var ubuf []shape.Point
 	cost := func() float64 {
 		c := inc.RootCurve()
-		// Union copies the corners, so accumulating the evaluator-owned
-		// curve is safe across later moves.
-		acc = shape.Union(acc, c)
+		// The scratch form copies the corners into ubuf (so accumulating
+		// the evaluator-owned curve stays safe across later moves) and
+		// reuses the buffer every step instead of allocating a fresh
+		// candidate slice per move; acc aliases ubuf between calls, which
+		// Scratch.Union's in-place prune tolerates.
+		acc, ubuf = us.Union(ubuf, acc, c)
 		return float64(c.MinArea())
 	}
 	anneal.Run(ctx,

@@ -56,6 +56,12 @@ type Options struct {
 	// wirelength (default 1). A cheap robustness extension beyond the
 	// paper's best-of-three-λ policy.
 	Restarts int
+	// Batch sizes the speculative proposal groups inside every annealing
+	// chain (core.Options.Batch): <= 1 keeps the serial engine; larger
+	// values let reject streaks score up to Batch candidates against one
+	// frozen state per step, exposing intra-chain parallelism to the
+	// scheduler. Placements are byte-identical at any value.
+	Batch int
 	// LevelRestarts runs this many independent annealing chains per
 	// floorplanning level inside each HiDaP placement, keeping the best
 	// (core.Options.Restarts). Orthogonal to Restarts, which restarts whole
@@ -258,6 +264,7 @@ func runHiDaP(ctx context.Context, g *circuits.Generated, opt Options) (*placeme
 		coreOpt.Seed = opt.Seed + int64(i/len(opt.Lambdas))*1_000_003
 		coreOpt.Effort = opt.Effort
 		coreOpt.Restarts = opt.LevelRestarts
+		coreOpt.Batch = opt.Batch
 		coreOpt.Sched = pool
 		// Every candidate places the same design: reuse the circuit's cached
 		// Gseq (built under default params, matching coreOpt.Seq) and the

@@ -1,0 +1,78 @@
+package layout
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func resultsIdentical(t *testing.T, tag string, a, b *Result) {
+	t.Helper()
+	if math.Float64bits(a.Cost) != math.Float64bits(b.Cost) ||
+		math.Float64bits(a.Penalty) != math.Float64bits(b.Penalty) ||
+		a.Legal != b.Legal || a.Expr.String() != b.Expr.String() {
+		t.Fatalf("%s: result differs: cost %v/%v penalty %v/%v legal %v/%v expr %s/%s",
+			tag, a.Cost, b.Cost, a.Penalty, b.Penalty, a.Legal, b.Legal,
+			a.Expr.String(), b.Expr.String())
+	}
+	if len(a.Rects) != len(b.Rects) {
+		t.Fatalf("%s: %d rects vs %d", tag, len(a.Rects), len(b.Rects))
+	}
+	for i := range a.Rects {
+		if a.Rects[i] != b.Rects[i] {
+			t.Fatalf("%s: rect %d = %v, want %v", tag, i, b.Rects[i], a.Rects[i])
+		}
+	}
+}
+
+// TestSolveBatchMatchesSerial is the Options.Batch contract at the layout
+// level: a batched solve — any batch size, with or without a worker pool
+// fanning the speculative scores out — returns byte-identical results to the
+// serial engine with the same seed. Run it under -race to also exercise the
+// concurrent scoring path.
+func TestSolveBatchMatchesSerial(t *testing.T) {
+	for _, nb := range []int{6, 14} {
+		p := benchProblem(nb)
+		base := DefaultOptions()
+		base.Seed = 17
+		ref := Solve(context.Background(), p, base)
+
+		for _, batch := range []int{2, 4, 8, 32} {
+			opt := base
+			opt.Batch = batch
+			got := Solve(context.Background(), p, opt)
+			resultsIdentical(t, "batch", ref, got)
+		}
+		for _, w := range []int{2, 4} {
+			pool := sched.NewPool(w)
+			opt := base
+			opt.Batch = 8
+			opt.Sched = pool
+			got := Solve(context.Background(), p, opt)
+			pool.Close()
+			resultsIdentical(t, "batch+pool", ref, got)
+		}
+	}
+}
+
+// TestSolveBatchWithRestarts checks batching composes with the multi-start
+// scheduler: every chain runs batched and the selected best is still the
+// serial answer.
+func TestSolveBatchWithRestarts(t *testing.T) {
+	p := benchProblem(10)
+	base := DefaultOptions()
+	base.Seed = 21
+	base.Effort = EffortLow
+	base.Restarts = 3
+	ref := Solve(context.Background(), p, base)
+
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	opt := base
+	opt.Batch = 8
+	opt.Sched = pool
+	got := Solve(context.Background(), p, opt)
+	resultsIdentical(t, "batch+restarts", ref, got)
+}

@@ -1,0 +1,136 @@
+package shape
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randCurve builds a random canonical curve with up to maxPts corners.
+func randCurve(rng *rand.Rand, maxPts int) Curve {
+	n := 1 + rng.Intn(maxPts)
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		pts = append(pts, Point{1 + rng.Int63n(500), 1 + rng.Int63n(500)})
+	}
+	return FromPoints(pts)
+}
+
+// TestArenaCombineDifferential pins the slab kernels corner for corner
+// against the Scratch/Curve composition and query paths across randomized
+// operand pairs, including empty operands and every thin budget the
+// evaluators use.
+func TestArenaCombineDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var s Scratch
+	var dst []Point
+	var a Arena
+	a.Resize(4 * MaxPoints)
+	for iter := 0; iter < 2000; iter++ {
+		l, r := randCurve(rng, 20), randCurve(rng, 20)
+		if rng.Intn(10) == 0 {
+			l = Curve{}
+		}
+		if rng.Intn(10) == 0 {
+			r = Curve{}
+		}
+		k := []int{2, 3, 12, 16, MaxPoints}[rng.Intn(5)]
+		ls := a.SetCurve(0, l)
+		rs := a.SetCurve(MaxPoints, r)
+		for _, beside := range []bool{true, false} {
+			var want Curve
+			want, dst = s.CombineH(dst, l, r, k)
+			got := a.CombineH(2*MaxPoints, ls, rs, k)
+			if !beside {
+				want, dst = s.CombineV(dst, l, r, k)
+				got = a.CombineV(2*MaxPoints, ls, rs, k)
+			}
+			if int(got.N) != want.Len() {
+				t.Fatalf("iter %d beside=%v k=%d: span len %d, curve len %d", iter, beside, k, got.N, want.Len())
+			}
+			for i := 0; i < want.Len(); i++ {
+				if a.Corner(got, i) != want.Corner(i) {
+					t.Fatalf("iter %d beside=%v k=%d corner %d: %v != %v", iter, beside, k, i, a.Corner(got, i), want.Corner(i))
+				}
+			}
+			// Query kernels must agree on the composed result.
+			for q := 0; q < 8; q++ {
+				w := rng.Int63n(1200)
+				h := rng.Int63n(1200)
+				gh, gok := a.MinHeightForWidth(got, w)
+				wh, wok := want.MinHeightForWidth(w)
+				if gh != wh || gok != wok {
+					t.Fatalf("MinHeightForWidth(%d): (%d,%v) != (%d,%v)", w, gh, gok, wh, wok)
+				}
+				gw, gok := a.MinWidthForHeight(got, h)
+				ww, wok := want.MinWidthForHeight(h)
+				if gw != ww || gok != wok {
+					t.Fatalf("MinWidthForHeight(%d): (%d,%v) != (%d,%v)", h, gw, gok, ww, wok)
+				}
+				if a.Fits(got, w, h) != want.Fits(w, h) {
+					t.Fatalf("Fits(%d,%d) disagrees", w, h)
+				}
+			}
+			if a.MinWidth(got) != want.MinWidth() || a.MinHeight(got) != want.MinHeight() {
+				t.Fatalf("MinWidth/MinHeight disagree")
+			}
+		}
+	}
+}
+
+// TestArenaSetCurveThinned pins the slab thin against Curve.Thin.
+func TestArenaSetCurveThinned(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a Arena
+	a.Resize(MaxPoints)
+	for iter := 0; iter < 500; iter++ {
+		c := randCurve(rng, 40)
+		k := 2 + rng.Intn(20)
+		got := a.SetCurveThinned(0, c, k)
+		want := c.Thin(k)
+		if int(got.N) != want.Len() {
+			t.Fatalf("iter %d k=%d: span len %d, want %d", iter, k, got.N, want.Len())
+		}
+		for i := 0; i < want.Len(); i++ {
+			if a.Corner(got, i) != want.Corner(i) {
+				t.Fatalf("iter %d corner %d: %v != %v", iter, i, a.Corner(got, i), want.Corner(i))
+			}
+		}
+	}
+}
+
+// TestScratchThinUnionDifferential pins the new scratch variants against
+// their allocating counterparts.
+func TestScratchThinUnionDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var s Scratch
+	var dst []Point
+	for iter := 0; iter < 500; iter++ {
+		a, b := randCurve(rng, 30), randCurve(rng, 30)
+		var got Curve
+		got, dst = s.Union(dst, a, b)
+		want := Union(a, b)
+		if got.String() != want.String() {
+			t.Fatalf("iter %d: scratch union %v != %v", iter, got, want)
+		}
+		k := 2 + rng.Intn(12)
+		got, dst = s.Thin(dst, a, k)
+		if want := a.Thin(k); got.String() != want.String() {
+			t.Fatalf("iter %d: scratch thin %v != %v", iter, got, want)
+		}
+	}
+}
+
+// TestArenaCombineAllocs pins the slab combine at zero allocations.
+func TestArenaCombineAllocs(t *testing.T) {
+	var a Arena
+	a.Resize(4 * MaxPoints)
+	l := a.SetCurve(0, FromBoxRotatable(120, 80))
+	r := a.SetCurve(MaxPoints, FromBoxRotatable(95, 60))
+	avg := testing.AllocsPerRun(400, func() {
+		a.CombineH(2*MaxPoints, l, r, 8)
+		a.CombineV(3*MaxPoints, l, r, 8)
+	})
+	if avg != 0 {
+		t.Fatalf("arena combine allocates %.2f objects/run, want 0", avg)
+	}
+}

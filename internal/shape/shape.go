@@ -60,6 +60,13 @@ func FromBoxRotatable(w, h int64) Curve {
 	return FromPoints([]Point{{w, h}, {h, w}})
 }
 
+// FromCanonical wraps an already-canonical corner list — sorted by strictly
+// increasing W, strictly decreasing H, Pareto-minimal — without copying or
+// validating. The curve aliases pts; callers own both. It exists so slab
+// evaluators (Arena) can materialize a curve into a reusable buffer without
+// re-pruning what is canonical by construction.
+func FromCanonical(pts []Point) Curve { return Curve{pts: pts} }
+
 // FromPoints builds a curve from arbitrary candidate boxes, pruning
 // dominated ones. The input slice is not modified.
 func FromPoints(pts []Point) Curve {
@@ -73,9 +80,9 @@ func FromPoints(pts []Point) Curve {
 }
 
 // prune sorts candidates and removes Pareto-dominated points, returning the
-// canonical corner list.
+// canonical corner list thinned to MaxPoints. It works in place on pts.
 func prune(pts []Point) []Point {
-	return thin(pruneInPlace(pts))
+	return thinInPlace(pruneInPlace(pts), MaxPoints)
 }
 
 // pruneInPlace sorts candidates and removes Pareto-dominated points without
@@ -115,35 +122,13 @@ func pruneInPlace(pts []Point) []Point {
 	return out
 }
 
-// thin reduces the corner count to MaxPoints, always keeping both extremes
-// and preferring a uniform spread across the list. Thinning only removes
-// interior corners, which keeps the curve conservative: every kept corner is
-// still achievable; some achievable boxes may be reported as slightly larger.
-func thin(pts []Point) []Point { return thinTo(pts, MaxPoints) }
-
-func thinTo(pts []Point, limit int) []Point {
-	n := len(pts)
-	if n <= limit || limit < 2 {
-		return pts
-	}
-	out := make([]Point, 0, limit)
-	for i := 0; i < limit; i++ {
-		idx := i * (n - 1) / (limit - 1)
-		out = append(out, pts[idx])
-	}
-	// Uniform index sampling can duplicate; dedupe while preserving order.
-	ded := out[:1]
-	for _, p := range out[1:] {
-		if p != ded[len(ded)-1] {
-			ded = append(ded, p)
-		}
-	}
-	return ded
-}
-
-// thinInPlace is thinTo reusing the input's backing array. The sampling
-// index i*(n-1)/(limit-1) never falls behind the write index, so reads stay
-// ahead of writes and the result equals thinTo exactly.
+// thinInPlace reduces the corner count to at most limit in place, always
+// keeping both extremes and preferring a uniform spread across the list.
+// Thinning only removes interior corners, which keeps the curve
+// conservative: every kept corner is still achievable; some achievable
+// boxes may be reported as slightly larger. The sampling index
+// i*(n-1)/(limit-1) never falls behind the write index, so reads stay
+// ahead of writes.
 func thinInPlace(pts []Point, limit int) []Point {
 	n := len(pts)
 	if n <= limit || limit < 2 {
@@ -255,14 +240,15 @@ func (c Curve) MinAreaPoint() Point {
 func (c Curve) MinArea() int64 { return c.MinAreaPoint().Area() }
 
 // Thin returns a copy of the curve with at most k corners, always keeping
-// the two extremes. Thinned curves stay conservative (see thin).
+// the two extremes. Thinned curves stay conservative (see thinInPlace).
+// Hot paths that already own a buffer use Scratch.Thin or an Arena instead.
 func (c Curve) Thin(k int) Curve {
 	if len(c.pts) <= k {
 		return c
 	}
 	cp := make([]Point, len(c.pts))
 	copy(cp, c.pts)
-	return Curve{pts: thinTo(cp, k)}
+	return Curve{pts: thinInPlace(cp, k)}
 }
 
 // Rotate returns the curve of the same contents rotated by 90 degrees
@@ -299,7 +285,7 @@ func CombineH(a, b Curve) Curve {
 	if b.Empty() {
 		return a
 	}
-	return Curve{pts: thin(mergeH(make([]Point, 0, len(a.pts)+len(b.pts)), a.pts, b.pts))}
+	return Curve{pts: thinInPlace(mergeH(make([]Point, 0, len(a.pts)+len(b.pts)), a.pts, b.pts), MaxPoints)}
 }
 
 // CombineV stacks a on top of b (horizontal cut): heights add, widths max.
@@ -310,7 +296,7 @@ func CombineV(a, b Curve) Curve {
 	if b.Empty() {
 		return a
 	}
-	return Curve{pts: thin(mergeV(make([]Point, 0, len(a.pts)+len(b.pts)), a.pts, b.pts))}
+	return Curve{pts: thinInPlace(mergeV(make([]Point, 0, len(a.pts)+len(b.pts)), a.pts, b.pts), MaxPoints)}
 }
 
 // mergeH appends the Pareto frontier of the horizontal juxtaposition of two
@@ -436,6 +422,29 @@ func (s *Scratch) combine(dst []Point, a, b Curve, k int, beside bool) (Curve, [
 	}
 	dst = thinInPlace(dst, MaxPoints)
 	dst = thinInPlace(dst, k)
+	return Curve{pts: dst}, dst
+}
+
+// Thin is c.Thin(k) into dst without allocating in steady state: the corners
+// are copied into dst (reusing its capacity) and thinned in place. The
+// returned curve aliases the returned slice; both remain valid until dst is
+// reused in another call.
+//
+//hidapvet:hotpath
+func (s *Scratch) Thin(dst []Point, c Curve, k int) (Curve, []Point) {
+	dst = thinInPlace(append(dst[:0], c.pts...), k)
+	return Curve{pts: dst}, dst
+}
+
+// Union is Union(a, b) into dst without allocating in steady state — the
+// binary form covers the accumulation loops of shape-curve generation, which
+// previously paid a fresh candidate slice per step. Results are identical to
+// Union corner for corner.
+//
+//hidapvet:hotpath
+func (s *Scratch) Union(dst []Point, a, b Curve) (Curve, []Point) {
+	dst = append(append(dst[:0], a.pts...), b.pts...)
+	dst = prune(dst) //hidapvet:allow allocfree prune sorts with a non-capturing comparator (a static func value) and compacts in place
 	return Curve{pts: dst}, dst
 }
 

@@ -145,12 +145,35 @@ func Evaluate(e *Expr, blocks []Block, budget geom.Rect, p EvalParams) *Eval {
 // splitShare splits extent proportionally to the target areas, keeping both
 // sides non-degenerate when possible.
 func splitShare(extent, atL, atR int64) int64 {
+	return splitShareFrac(extent, atFrac(atL, atR))
+}
+
+// atFrac is the left share of a split: atL/(atL+atR), or -1 for the
+// degenerate non-positive total (split halves the extent). The division
+// happens here — once per node in the incremental evaluator, which caches
+// the fraction — so the per-visit split cost is a single multiply. Both the
+// reference and incremental assign passes must derive the cut through this
+// exact expression: extent*(atL/total) rounds differently than
+// extent*atL/total, and bit-identity across the two evaluators is pinned
+// differentially.
+func atFrac(atL, atR int64) float64 {
 	total := atL + atR
-	var s int64
 	if total <= 0 {
+		return -1
+	}
+	return float64(atL) / float64(total)
+}
+
+// splitShareFrac turns a cached left-share fraction into a cut position,
+// keeping both sides non-degenerate when possible.
+//
+//hidapvet:hotpath
+func splitShareFrac(extent int64, frac float64) int64 {
+	var s int64
+	if frac < 0 {
 		s = extent / 2
 	} else {
-		s = int64(float64(extent) * float64(atL) / float64(total))
+		s = int64(float64(extent) * frac)
 	}
 	if s < 1 {
 		s = 1
@@ -205,6 +228,47 @@ func minExtent(c *shape.Curve, cross int64, vertical bool) int64 {
 		return h
 	}
 	return c.MinHeight()
+}
+
+// repairSplitSpan is repairSplit over arena spans — the incremental
+// evaluator's slab form, float-identical to the Curve path (the min-extent
+// queries run the same comparisons over the same corners).
+//
+//hidapvet:hotpath
+func repairSplitSpan(a *shape.Arena, s, extent, cross int64, spanL, spanR shape.Span, vertical bool) (int64, float64) {
+	minL := minExtentSpan(a, spanL, cross, vertical)
+	minR := minExtentSpan(a, spanR, cross, vertical)
+	var over float64
+	switch {
+	case minL+minR > extent:
+		// Infeasible cut: macros overflow no matter where it lands.
+		over = float64(minL+minR-extent) / float64(extent)
+		s = splitShare(extent, minL, minR)
+	case s < minL:
+		s = minL
+	case extent-s < minR:
+		s = extent - minR
+	}
+	return s, over
+}
+
+// minExtentSpan is minExtent over an arena span.
+//
+//hidapvet:hotpath
+func minExtentSpan(a *shape.Arena, sp shape.Span, cross int64, vertical bool) int64 {
+	if sp.Empty() {
+		return 0
+	}
+	if vertical {
+		if w, ok := a.MinWidthForHeight(sp, cross); ok {
+			return w
+		}
+		return a.MinWidth(sp)
+	}
+	if h, ok := a.MinHeightForWidth(sp, cross); ok {
+		return h
+	}
+	return a.MinHeight(sp)
 }
 
 // leafViolations computes the graded violations of one placed leaf.

@@ -16,9 +16,12 @@ import (
 // too: every node caches the rectangle it was last assigned and its
 // subtree's violation sums, so a subtree whose inputs did not change since
 // the previous Eval is skipped wholesale instead of being re-descended.
-// All buffers (node arena, curve storage, Rects, the parse stack and the
+// All buffers (node arena, curve slabs, Rects, the parse stack and the
 // undo journal) are owned by the evaluator and reused, so the steady-state
-// Perturb/Eval cycle does not allocate.
+// Perturb/Eval cycle does not allocate. Curve corners live in one shared
+// structure-of-arrays shape.Arena — two int64 slabs holding every curve of
+// the tree — so recomposition sweeps contiguous memory instead of chasing a
+// heap slice per node.
 //
 // Results are bit-identical to Evaluate on the same expression, blocks,
 // budget and params: the evaluator reuses the same composition, split,
@@ -35,12 +38,29 @@ type Evaluator struct {
 	blocks []Block
 	p      EvalParams
 
-	leaf   []shape.Curve // per-block curves, thinned once to CompactPoints
-	nodes  []enode       // one node per expression position
-	parent []int32       // parent position per node, -1 for the root
+	// arena holds every curve corner of the tree in two shared int64 slabs:
+	// first the leaf region (per-block curves, thinned once to CompactPoints
+	// at Reset), then two fixed-capacity slots per node for the
+	// double-buffered composed curves, then (when EnsureSpecRegions reserved
+	// them) one disjoint region per in-flight speculative candidate. leafSpan
+	// indexes the leaf region by operand id; node spans live in ev.spans.
+	arena    shape.Arena
+	leafSpan []shape.Span
+	slotCap  int32
+	rootPts  []shape.Point // RootCurve materialization buffer
+	// specBase/specRegions describe the speculative slot regions appended
+	// after the node slots (see EnsureSpecRegions). Reset drops them.
+	specBase    int32
+	specRegions int
+
+	nodes []enode      // one node per expression position
+	spans []shape.Span // active composed curve per node (leaf region or buf[side]);
+	// parallel to nodes and tiny — the whole tree's spans stay cache-hot for
+	// the assign pass's split repairs, which read only children spans
+	aslots []assignSlot // two buffered assignments per node (see enode)
+	parent []int32      // parent position per node, -1 for the root
 	root   int32
 
-	scratch shape.Scratch
 	stack   []int32
 	dirty   []bool // all false between moves
 	journal []undoRecord
@@ -78,26 +98,29 @@ type Evaluator struct {
 }
 
 // enode is one cached slicing-tree node, pinned to its expression position.
-// Composed curves are double-buffered: a recompute writes the spare buffer
-// and flips side, so the journaled previous curve stays intact for undo.
-// The assign cache is double-buffered the same way: aslot[aside] holds the
-// node's current top-down assignment (the budget rectangle it received and
-// the hierarchical violation sums of its subtree), a rewrite fills the
-// spare slot and flips aside, and an undo flips back — the pre-move
-// assignment survives a rejected move without copying. sver is the node's
-// structure version, bumped by every recompute, so slots written before a
-// composition change die with it.
+// Composed curves are double-buffered across the node's two arena slots
+// (buf[0], buf[1]): a recompute writes the spare slot and flips side, so the
+// journaled previous span stays intact for undo. Leaves alias the leaf
+// region instead — their span points straight at the block's thinned curve,
+// no copy.
+// The assign cache is double-buffered the same way: the node's pair of
+// slots lives in the evaluator's aslots array (indices 2·pos and 2·pos+1,
+// off the enode so the node itself stays one cache line), aslots[2·pos +
+// aside] holds the current top-down assignment (the budget rectangle the
+// node received and the hierarchical violation sums of its subtree), a
+// rewrite fills the spare slot and flips aside, and an undo flips back —
+// the pre-move assignment survives a rejected move without copying. sver
+// is the node's structure version, bumped by every recompute, so slots
+// written before a composition change die with it.
 type enode struct {
 	val         int32 // elems value: operand id, OpV or OpH
 	left, right int32 // children positions, -1 for leaves
 	at, am      int64
-	curve       shape.Curve
-	pts         [2][]shape.Point
+	frac        float64  // cached left split share: atFrac(left.at, right.at)
+	buf         [2]int32 // the node's two slot offsets in the arena
 	side        uint8
-
-	aslot [2]assignSlot
-	aside uint8
-	sver  uint32
+	aside       uint8
+	sver        uint32
 }
 
 // assignSlot is one buffered assignment of a node: valid while its aGen
@@ -114,13 +137,14 @@ type assignSlot struct {
 
 // undoRecord captures one node's cached state before a recompute. It
 // carries the structure version too, so an undo revives the node's
-// pre-move assign slot along with its curve.
+// pre-move assign slot along with its curve span.
 type undoRecord struct {
 	idx         int32
 	val         int32
 	left, right int32
 	at, am      int64
-	curve       shape.Curve
+	frac        float64
+	span        shape.Span
 	side        uint8
 	sver        uint32
 }
@@ -146,8 +170,10 @@ func (ev *Evaluator) Reset(e *Expr, blocks []Block, p EvalParams) {
 	}
 	ev.expr, ev.blocks, ev.p = e, blocks, p
 	n := len(e.elems)
-	ev.leaf = resizeSlice(ev.leaf, len(blocks))
+	ev.leafSpan = resizeSlice(ev.leafSpan, len(blocks))
 	ev.nodes = resizeSlice(ev.nodes, n)
+	ev.spans = resizeSlice(ev.spans, n)
+	ev.aslots = resizeSlice(ev.aslots, 2*n)
 	ev.parent = resizeSlice(ev.parent, n)
 	ev.dirty = resizeSlice(ev.dirty, n)
 	ev.stack = ev.stack[:0]
@@ -165,14 +191,38 @@ func (ev *Evaluator) Reset(e *Expr, blocks []Block, p EvalParams) {
 	// aCur is monotonic across Resets, so slots surviving in a reused arena
 	// are dead on arrival.
 	ev.aCur++
+	// Slab layout: the leaf region first (each block reserves its unthinned
+	// corner count; thinning only shrinks a span), then two slots per node.
+	// Children are thinned to CompactPoints, so a slot of twice the largest
+	// child bounds every Stockmeyer merge before its thin pass.
+	leafTotal := 0
+	maxChild := int32(p.CompactPoints)
+	if p.CompactPoints < 2 {
+		maxChild = shape.MaxPoints // thin disabled: merges still cap there
+	}
 	for i := range blocks {
-		ev.leaf[i] = blocks[i].Curve.Thin(p.CompactPoints)
+		l := blocks[i].Curve.Len()
+		leafTotal += l
+		if p.CompactPoints < 2 && int32(l) > maxChild {
+			maxChild = int32(l) // oversized leaves pass through whole
+		}
+	}
+	ev.slotCap = 2 * maxChild
+	ev.specBase = int32(leafTotal + n*2*int(ev.slotCap))
+	ev.specRegions = 0 // spec regions must be re-reserved after a Reset
+	ev.arena.Resize(leafTotal + n*2*int(ev.slotCap))
+	off := int32(0)
+	for i := range blocks {
+		ev.leafSpan[i] = ev.arena.SetCurveThinned(off, blocks[i].Curve, p.CompactPoints)
+		off += int32(blocks[i].Curve.Len())
 	}
 	for i := range ev.nodes {
 		// Poison val so the first resync sees every position as changed.
-		// (Curve/point buffers inside reused nodes stay allocated and are
-		// overwritten by recompute.)
+		// (Slot offsets are re-derived: a Reset may have changed the layout.)
+		base := int32(leafTotal) + int32(i)*2*ev.slotCap
 		ev.nodes[i].val = -3
+		ev.nodes[i].buf = [2]int32{base, base + ev.slotCap}
+		ev.spans[i] = shape.Span{}
 	}
 	ev.resyncFrom(0)
 	ev.journal = ev.journal[:0] // construction needs no undo
@@ -200,13 +250,42 @@ func resizeSlice[T any](s []T, n int) []T {
 //
 //hidapvet:hotpath
 func (ev *Evaluator) Perturb(rng *rand.Rand) (undo func(), kind MoveKind) {
+	ev.movePrologue()
+	//hidapvet:commit pairing handed to the caller through the returned ev.undoFn closure; the annealer invokes it on reject
+	ev.expr.PerturbMove(rng, &ev.move)
+	ev.resyncMove()
+	return ev.undoFn, ev.move.Kind
+}
+
+// ApplyMove is Perturb with a known move instead of a random draw: the
+// caller drew mv through Expr.PerturbMove earlier, rolled it back on the
+// expression (speculative scoring), and now commits it. The expression is
+// re-perturbed and the cached tree resynchronized exactly as Perturb would
+// have; the returned undo follows the same discipline.
+//
+//hidapvet:hotpath
+func (ev *Evaluator) ApplyMove(mv *Move) (undo func()) {
+	ev.movePrologue()
+	ev.move = *mv
+	ev.expr.ApplyMove(mv)
+	ev.resyncMove()
+	return ev.undoFn
+}
+
+// movePrologue clears the per-move journals before a new move is applied.
+func (ev *Evaluator) movePrologue() {
 	ev.rjBlock, ev.rjRect = ev.rjBlock[:0], ev.rjRect[:0]
 	ev.ajIdx = ev.ajIdx[:0]
 	ev.pjIdx, ev.pjPar = ev.pjIdx[:0], ev.pjPar[:0]
 	ev.reparsed = false
 	ev.moveBudget, ev.budgetMoved = ev.lastBudget, false
-	//hidapvet:commit pairing handed to the caller through the returned ev.undoFn closure; the annealer invokes it on reject
-	ev.expr.PerturbMove(rng, &ev.move)
+}
+
+// resyncMove repairs the cached tree after ev.move was applied to the
+// expression, dispatching on the move kind.
+//
+//hidapvet:hotpath
+func (ev *Evaluator) resyncMove() {
 	switch {
 	case ev.move.I == ev.move.J:
 		ev.journal = ev.journal[:0] // no-op move on a trivial expression
@@ -220,7 +299,6 @@ func (ev *Evaluator) Perturb(rng *rand.Rand) (undo func(), kind MoveKind) {
 		ev.markPath(ev.move.J)
 		ev.sweep(ev.move.I)
 	}
-	return ev.undoFn, ev.move.Kind
 }
 
 // resyncFrom re-parses the expression, diffs every position from lo onward
@@ -259,10 +337,10 @@ func (ev *Evaluator) resyncFrom(lo int) {
 		if d {
 			ev.journal = append(ev.journal, undoRecord{
 				idx: int32(i), val: nd.val, left: nd.left, right: nd.right,
-				at: nd.at, am: nd.am, curve: nd.curve, side: nd.side, sver: nd.sver,
+				at: nd.at, am: nd.am, frac: nd.frac, span: ev.spans[i], side: nd.side, sver: nd.sver,
 			})
 			nd.val, nd.left, nd.right = v, l, r
-			ev.recompute(nd)
+			ev.recompute(int32(i), nd)
 		}
 		ev.stack = append(ev.stack, int32(i))
 	}
@@ -369,7 +447,7 @@ func (ev *Evaluator) journalNode(i int32) {
 	nd := &ev.nodes[i]
 	ev.journal = append(ev.journal, undoRecord{
 		idx: i, val: nd.val, left: nd.left, right: nd.right,
-		at: nd.at, am: nd.am, curve: nd.curve, side: nd.side, sver: nd.sver,
+		at: nd.at, am: nd.am, frac: nd.frac, span: ev.spans[i], side: nd.side, sver: nd.sver,
 	})
 }
 
@@ -402,10 +480,10 @@ func (ev *Evaluator) sweep(lo int) {
 		nd := &ev.nodes[i]
 		ev.journal = append(ev.journal, undoRecord{
 			idx: i, val: nd.val, left: nd.left, right: nd.right,
-			at: nd.at, am: nd.am, curve: nd.curve, side: nd.side, sver: nd.sver,
+			at: nd.at, am: nd.am, frac: nd.frac, span: ev.spans[i], side: nd.side, sver: nd.sver,
 		})
 		nd.val = ev.expr.elems[i]
-		ev.recompute(nd)
+		ev.recompute(i, nd)
 	}
 }
 
@@ -417,22 +495,40 @@ func (ev *Evaluator) sweep(lo int) {
 // recomputed node is itself journaled and recomputed, so invalidation here
 // covers the whole affected path). The journaled pre-move sver revives the
 // pre-move slot on undo.
-func (ev *Evaluator) recompute(nd *enode) {
+func (ev *Evaluator) recompute(i int32, nd *enode) {
 	nd.sver++
 	if nd.val >= 0 {
 		b := &ev.blocks[nd.val]
 		nd.at, nd.am = b.TargetArea, b.MinArea
-		nd.curve = ev.leaf[nd.val]
+		ev.spans[i] = ev.leafSpan[nd.val]
 		return
 	}
 	l, r := &ev.nodes[nd.left], &ev.nodes[nd.right]
+	ls, rs := ev.spans[nd.left], ev.spans[nd.right]
 	nd.at = l.at + r.at
 	nd.am = l.am + r.am
+	nd.frac = atFrac(l.at, r.at)
+	// An empty operand reduces the combine to a copy of the other span (every
+	// span in the tree is already within the thin budget, so the trailing thin
+	// is a no-op), and a copy can be an alias: a child's active span survives
+	// exactly one recompute of that child — the double buffer guarantees it —
+	// and any move that recomputes a child also recomputes every ancestor
+	// (children first), so an aliasing parent re-aliases before the borrowed
+	// corners can be overwritten. Soft blocks make empty leaves common, so
+	// this skips a third of the combines in mixed designs.
+	if ls.N == 0 {
+		ev.spans[i] = rs
+		return
+	}
+	if rs.N == 0 {
+		ev.spans[i] = ls
+		return
+	}
 	side := 1 - nd.side
 	if nd.val == OpV {
-		nd.curve, nd.pts[side] = ev.scratch.CombineH(nd.pts[side], l.curve, r.curve, ev.p.CompactPoints)
+		ev.spans[i] = ev.arena.CombineH(nd.buf[side], ls, rs, ev.p.CompactPoints)
 	} else {
-		nd.curve, nd.pts[side] = ev.scratch.CombineV(nd.pts[side], l.curve, r.curve, ev.p.CompactPoints)
+		ev.spans[i] = ev.arena.CombineV(nd.buf[side], ls, rs, ev.p.CompactPoints)
 	}
 	nd.side = side
 }
@@ -461,8 +557,8 @@ func (ev *Evaluator) applyUndo() {
 		rec := &ev.journal[k]
 		nd := &ev.nodes[rec.idx]
 		nd.val, nd.left, nd.right = rec.val, rec.left, rec.right
-		nd.at, nd.am = rec.at, rec.am
-		nd.curve, nd.side = rec.curve, rec.side
+		nd.at, nd.am, nd.frac = rec.at, rec.am, rec.frac
+		ev.spans[rec.idx], nd.side = rec.span, rec.side
 		// Restoring the pre-move structure version revives the flipped-back
 		// pre-move slot and kills any slot the rejected Evals wrote.
 		nd.sver = rec.sver
@@ -504,14 +600,16 @@ func (ev *Evaluator) rebuildParents() {
 	}
 }
 
-// RootCurve returns the cached composed shape curve of the whole expression.
-// The curve aliases evaluator-owned buffers: it is valid until the next
-// Perturb/undo and must be copied (e.g. via Points or Union) to outlive it.
+// RootCurve returns the cached composed shape curve of the whole expression,
+// materialized out of the slabs into an evaluator-owned buffer. The curve
+// aliases that buffer: it is valid until the next RootCurve call and must be
+// copied (e.g. via Points or Union) to outlive it.
 func (ev *Evaluator) RootCurve() shape.Curve {
 	if len(ev.nodes) == 0 {
 		return shape.Curve{}
 	}
-	return ev.nodes[ev.root].curve
+	ev.rootPts = ev.arena.AppendCurve(ev.rootPts[:0], ev.spans[ev.root])
+	return shape.FromCanonical(ev.rootPts)
 }
 
 // Eval runs the top-down area-budgeting pass against the cached tree and
@@ -581,34 +679,40 @@ func (ev *Evaluator) setLeafRect(b int32, r geom.Rect, out *Eval) {
 // proves the whole subtree is unchanged.
 func (ev *Evaluator) assign(ni int32, r geom.Rect, out *Eval) (vAt, vAm, vMacro float64) {
 	nd := &ev.nodes[ni]
-	cur := &nd.aslot[nd.aside]
-	if cur.aGen == ev.aCur && cur.sver == nd.sver && cur.arect == r {
-		return cur.vAt, cur.vAm, cur.vMacro
-	}
 	if nd.left < 0 {
+		// Leaves bypass the slot cache: a parent hit already covers every
+		// unchanged subtree, so a leaf is only visited when something above
+		// it changed, where a revisit with an identical rectangle is rare —
+		// and leafViolations is pure and cheap, so recomputing it beats the
+		// slot-write traffic of caching it.
 		if out.Rects[nd.val] != r {
 			ev.setLeafRect(nd.val, r, out)
 		}
-		vAt, vAm, vMacro = leafViolations(&ev.blocks[nd.val], r)
-	} else {
-		l, rr := &ev.nodes[nd.left], &ev.nodes[nd.right]
+		return leafViolations(&ev.blocks[nd.val], r)
+	}
+	cur := &ev.aslots[2*ni+int32(nd.aside)]
+	if cur.aGen == ev.aCur && cur.sver == nd.sver && cur.arect == r {
+		return cur.vAt, cur.vAm, cur.vMacro
+	}
+	{
+		ls, rs := ev.spans[nd.left], ev.spans[nd.right]
 		var own float64
 		var lAt, lAm, lMac, rAt, rAm, rMac float64
 		if nd.val == OpV {
-			wl := splitShare(r.W, l.at, rr.at)
-			wl, own = repairSplit(wl, r.W, r.H, &l.curve, &rr.curve, true)
+			wl := splitShareFrac(r.W, nd.frac)
+			wl, own = repairSplitSpan(&ev.arena, wl, r.W, r.H, ls, rs, true)
 			lAt, lAm, lMac = ev.assign(nd.left, geom.RectXYWH(r.X, r.Y, wl, r.H), out)
 			rAt, rAm, rMac = ev.assign(nd.right, geom.RectXYWH(r.X+wl, r.Y, r.W-wl, r.H), out)
 		} else {
-			hb := splitShare(r.H, l.at, rr.at)
-			hb, own = repairSplit(hb, r.H, r.W, &l.curve, &rr.curve, false)
+			hb := splitShareFrac(r.H, nd.frac)
+			hb, own = repairSplitSpan(&ev.arena, hb, r.H, r.W, ls, rs, false)
 			lAt, lAm, lMac = ev.assign(nd.left, geom.RectXYWH(r.X, r.Y, r.W, hb), out)
 			rAt, rAm, rMac = ev.assign(nd.right, geom.RectXYWH(r.X, r.Y+hb, r.W, r.H-hb), out)
 		}
 		vAt, vAm, vMacro = lAt+rAt, lAm+rAm, own+lMac+rMac
 	}
 	nd.aside ^= 1
-	nd.aslot[nd.aside] = assignSlot{arect: r, vAt: vAt, vAm: vAm, vMacro: vMacro, aGen: ev.aCur, sver: nd.sver}
+	ev.aslots[2*ni+int32(nd.aside)] = assignSlot{arect: r, vAt: vAt, vAm: vAm, vMacro: vMacro, aGen: ev.aCur, sver: nd.sver}
 	ev.ajIdx = append(ev.ajIdx, ni)
 	return vAt, vAm, vMacro
 }

@@ -1,0 +1,448 @@
+package slicing
+
+import (
+	"repro/internal/geom"
+	"repro/internal/shape"
+)
+
+// Speculative scoring: SpecScore prices a candidate move against the frozen
+// evaluator state without committing anything, so a batched annealer can
+// score several candidates per step — cheaply, and concurrently when each
+// candidate brings its own scratch and arena region — and only replay the
+// one the Metropolis chain accepts through ApplyMove.
+//
+// The score is bit-identical to what Perturb + Eval would produce for the
+// same move: the spec sweep recomputes the dirty path with the same
+// composition kernels (into the candidate's private arena region), and the
+// spec assign pass mirrors the incremental assign — including its cache-hit
+// pattern on clean subtrees and the hierarchical own+left+right violation
+// association — while writing nothing: no journals, no slot flips, no Rects.
+// Rejecting a speculatively scored candidate therefore costs zero restores.
+//
+// All three move kinds are scorable. Operand–operator swaps relink the
+// tree, so their overrides extend to the child links (the spec mirror of
+// resyncSwap's three-node relink); the rare swaps the incremental resync
+// would answer with a full reparse report ok=false and fall back to the
+// full Perturb path.
+
+// SpecScratch holds the per-candidate state of one speculative score: the
+// epoch-stamped node overrides of the candidate tree and the rectangle diff
+// its layout would cause. Each concurrently scored candidate needs its own
+// scratch (and its own arena region index); a scratch may be reused across
+// candidates and evaluators without clearing.
+type SpecScratch struct {
+	epoch uint32
+	ep    []uint32 // node position is overridden when ep[i] == epoch
+	val   []int32
+	left  []int32
+	right []int32
+	at    []int64
+	am    []int64
+	frac  []float64
+	span  []shape.Span
+
+	// ChangedB/ChangedR list the blocks whose rectangle the candidate layout
+	// would rewrite to a different value, and those rectangles — exactly the
+	// Changed diff a committed Perturb+Eval would report, in the same order.
+	// Valid until the next SpecScore with this scratch.
+	ChangedB []int32
+	ChangedR []geom.Rect
+
+	// The assign records: every internal node the speculative descent
+	// computed (did not slot-hit), with its budget rectangle and subtree
+	// violation sums — exactly the slots the committed Eval's assign would
+	// write. CommitSpec replays them instead of descending again.
+	visN                []int32
+	visR                []geom.Rect
+	visAt, visAm, visMc []float64
+
+	// The candidate's root violation sums, for CommitSpec's Eval record.
+	vAt, vAm, vMacro float64
+}
+
+// prepare sizes the scratch for n node positions. Growth allocates; the
+// steady state (same evaluator shape) does not.
+func (s *SpecScratch) prepare(n int) {
+	s.ep = resizeSlice(s.ep, n)
+	s.val = resizeSlice(s.val, n)
+	s.left = resizeSlice(s.left, n)
+	s.right = resizeSlice(s.right, n)
+	s.at = resizeSlice(s.at, n)
+	s.am = resizeSlice(s.am, n)
+	s.frac = resizeSlice(s.frac, n)
+	s.span = resizeSlice(s.span, n)
+	s.visN = resizeSlice(s.visN, n)[:0]
+	s.visR = resizeSlice(s.visR, n)[:0]
+	s.visAt = resizeSlice(s.visAt, n)[:0]
+	s.visAm = resizeSlice(s.visAm, n)[:0]
+	s.visMc = resizeSlice(s.visMc, n)[:0]
+	s.epoch++
+	if s.epoch == 0 { // uint32 wrap: stale stamps could alias the new epoch
+		for i := range s.ep {
+			s.ep[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// EnsureSpecRegions reserves k disjoint speculative slot regions in the
+// arena — one per concurrently in-flight candidate, each with one slot per
+// node — and must be called after Reset and before SpecScore (a Reset
+// re-lays the slabs and drops the regions). It must not run concurrently
+// with SpecScore calls: growing the arena reallocates the slabs.
+func (ev *Evaluator) EnsureSpecRegions(k int) {
+	if k <= ev.specRegions {
+		return
+	}
+	ev.specRegions = k
+	ev.arena.Resize(int(ev.specBase) + k*len(ev.nodes)*int(ev.slotCap))
+}
+
+// SpecScore prices move mv — drawn by Expr.PerturbMove and already rolled
+// back, so the expression and evaluator are in the frozen base state —
+// against budget, using scratch s and the given spec region (0 ≤ region <
+// EnsureSpecRegions' k; concurrent scores need distinct scratches and
+// regions). It returns the Penalty the committed move's Eval would report
+// and records the rectangle diff in s; ok is false for the rare
+// operand–operator swaps whose incremental resync would fall back to a
+// full reparse (SpecFeasible screens for them cheaply).
+//
+//hidapvet:hotpath
+func (ev *Evaluator) SpecScore(mv *Move, budget geom.Rect, s *SpecScratch, region int) (penalty float64, ok bool) {
+	n := len(ev.nodes)
+	s.prepare(n) //hidapvet:allow allocfree scratch growth is a one-time warm-up per evaluator shape; the steady state resizes within capacity
+	s.ChangedB, s.ChangedR = s.ChangedB[:0], s.ChangedR[:0]
+	if n == 0 || budget.Empty() {
+		// Mirrors Eval's empty path: no violations, every rect zeroed.
+		for i := range ev.ev.Rects {
+			if ev.ev.Rects[i] != (geom.Rect{}) {
+				s.ChangedB = append(s.ChangedB, int32(i))
+				s.ChangedR = append(s.ChangedR, geom.Rect{})
+			}
+		}
+		return 1, true
+	}
+	if mv.I != mv.J {
+		switch mv.Kind {
+		case MoveOperandSwap:
+			// The expression is at base, so the candidate's swapped values
+			// are the base values crossed over.
+			s.markSpec(ev, mv.I)
+			s.markSpec(ev, mv.J)
+			s.val[mv.I], s.val[mv.J] = ev.expr.elems[mv.J], ev.expr.elems[mv.I]
+		case MoveChainInvert:
+			for k := mv.I; k < mv.J; k++ {
+				s.markSpec(ev, k)
+				s.val[k] = -3 - ev.expr.elems[k] // OpV ↔ OpH
+			}
+		case MoveOperandOperatorSwap:
+			if !ev.specSwap(mv, s) {
+				return 0, false
+			}
+		}
+		// Recompute the overridden positions ascending — children before
+		// parents, exactly the base sweep's order — into the candidate's
+		// private arena region.
+		slot := ev.specBase + int32(region)*int32(n)*ev.slotCap
+		for i := int32(mv.I); i <= ev.root; i++ {
+			if s.ep[i] == s.epoch {
+				ev.specRecompute(i, slot+i*ev.slotCap, s)
+			}
+		}
+	}
+	s.vAt, s.vAm, s.vMacro = ev.specAssign(ev.root, budget, s)
+	return 1 + ev.p.PenaltyAt*s.vAt + ev.p.PenaltyAm*s.vAm + ev.p.PenaltyMacro*s.vMacro, true
+}
+
+// SpecFeasible reports whether SpecScore covers mv against the current
+// base state. Only the rare operand–operator swaps whose incremental
+// resync would reparse the whole expression are out: staging them would
+// waste the draw, so the batching engine screens with this before
+// committing to a speculative slot.
+//
+//hidapvet:hotpath
+func (ev *Evaluator) SpecFeasible(mv *Move) bool {
+	if mv.Kind != MoveOperandOperatorSwap || mv.I == mv.J || len(ev.nodes) == 0 {
+		return true
+	}
+	ii, jj := int32(mv.I), int32(mv.J)
+	if ev.expr.elems[jj] < 0 {
+		p := jj
+		for ev.parent[p] >= 0 && ev.nodes[ev.parent[p]].right != p {
+			p = ev.parent[p]
+		}
+		return ev.parent[p] >= 0
+	}
+	q := ev.parent[ii]
+	return q >= 0 && ev.nodes[q].left == ii
+}
+
+// CommitSpec commits a move that SpecScore already priced with scratch s,
+// reusing both halves of the speculative work instead of recomputing them.
+// The recompute sweep becomes a write-back — node sums and fracs copy out
+// of the override arrays, composed curves copy from the candidate's arena
+// region into the node's spare buffer, a memmove where the full path would
+// re-run the Stockmeyer merge — and the assignment descent becomes a replay
+// of the recorded spec descent: every internal node the spec assign
+// computed gets the slot the committed Eval's assign would have written
+// (same rectangle, same sums, post-write-back structure version, flipped
+// side), rectangles apply from the recorded diff, and the Eval record takes
+// the recorded violation sums. The resulting state — tree, rectangles,
+// changed list, and the assignment-slot cache the next move will consult —
+// is bit-identical to ApplyMove + Eval, field for field, with no descent.
+//
+// The move journals stay empty: the annealing engine commits only accepted
+// moves and never undoes an acceptance, so there is no pre-move state to
+// keep. The returned Eval record is evaluator-owned, like Eval's.
+//
+//hidapvet:hotpath
+func (ev *Evaluator) CommitSpec(mv *Move, budget geom.Rect, s *SpecScratch) *Eval {
+	ev.movePrologue()
+	ev.move = *mv
+	ev.expr.ApplyMove(mv)
+	if len(ev.nodes) == 0 || budget.Empty() || mv.TopologyChanged() {
+		// SpecScore's empty path stages no overrides to copy from, and a
+		// relinking move needs the journal-disciplined resync; both resync
+		// and evaluate in full. Acceptances are concentrated in the warm
+		// phase, where the engine speculates little, so the fallback stays
+		// off the converged hot path.
+		ev.resyncMove()
+		return ev.Eval(budget)
+	}
+	ev.journal = ev.journal[:0]
+	if mv.I != mv.J {
+		for i := int32(mv.I); i <= ev.root; i++ {
+			if s.ep[i] != s.epoch {
+				continue
+			}
+			nd := &ev.nodes[i]
+			nd.sver++
+			nd.val = s.val[i]
+			if nd.val >= 0 {
+				b := &ev.blocks[nd.val]
+				nd.at, nd.am = b.TargetArea, b.MinArea
+				ev.spans[i] = ev.leafSpan[nd.val]
+				continue
+			}
+			nd.at, nd.am, nd.frac = s.at[i], s.am[i], s.frac[i]
+			// The span aliasing below mirrors recompute: children committed
+			// first (ascending order), so their spans are already final.
+			ls, rs := ev.spans[nd.left], ev.spans[nd.right]
+			if ls.N == 0 {
+				ev.spans[i] = rs
+				continue
+			}
+			if rs.N == 0 {
+				ev.spans[i] = ls
+				continue
+			}
+			side := 1 - nd.side
+			ev.spans[i] = ev.arena.CopyAt(nd.buf[side], s.span[i])
+			nd.side = side
+		}
+	}
+	// Replay the recorded assign descent. Slot writes read each node's
+	// structure version after the write-back above bumped it, exactly as
+	// the committed assign would; unrecorded nodes slot-hit in the spec
+	// descent under the same conditions the committed descent would have,
+	// so leaving their slots untouched matches it too.
+	for k, ni := range s.visN {
+		nd := &ev.nodes[ni]
+		nd.aside ^= 1
+		ev.aslots[2*ni+int32(nd.aside)] = assignSlot{
+			arect: s.visR[k],
+			vAt:   s.visAt[k], vAm: s.visAm[k], vMacro: s.visMc[k],
+			aGen: ev.aCur, sver: nd.sver,
+		}
+	}
+	out := &ev.ev
+	ev.changed = append(ev.changed[:0], s.ChangedB...)
+	for k, b := range s.ChangedB {
+		out.Rects[b] = s.ChangedR[k]
+	}
+	out.ViolationAt, out.ViolationAm, out.ViolationMacro = s.vAt, s.vAm, s.vMacro
+	out.Penalty = 1 + ev.p.PenaltyAt*s.vAt + ev.p.PenaltyAm*s.vAm + ev.p.PenaltyMacro*s.vMacro
+	if budget != ev.moveBudget {
+		ev.budgetMoved = true
+	}
+	ev.lastBudget = budget
+	return out
+}
+
+// markSpec stamps a position and its ancestors into the candidate's dirty
+// set, seeding each override with the node's base value and links (the
+// touched positions overwrite theirs afterwards). Stops at the first
+// stamped node, whose ancestors are stamped by induction.
+func (s *SpecScratch) markSpec(ev *Evaluator, i int) {
+	for p := int32(i); p >= 0 && s.stampOne(ev, p); p = ev.parent[p] {
+	}
+}
+
+// stampOne stamps one node, seeding its overrides from the base tree, and
+// reports whether the node was newly stamped.
+func (s *SpecScratch) stampOne(ev *Evaluator, p int32) bool {
+	if s.ep[p] == s.epoch {
+		return false
+	}
+	nd := &ev.nodes[p]
+	s.ep[p] = s.epoch
+	s.val[p] = nd.val
+	s.left[p], s.right[p] = nd.left, nd.right
+	return true
+}
+
+// specSwap stages the overrides of an operand–operator swap: the spec
+// mirror of resyncSwap. The candidate tree differs from the base by a
+// three-node relink (the swapped pair and the operator q that loses or
+// gains a child) plus a value re-sweep of both touched positions'
+// root paths — which, for an adjacent pair, collapse to the one chain
+// above position J. The rare configurations resyncSwap answers with a
+// full reparse report false; the engine falls back to the serial path.
+//
+//hidapvet:hotpath
+func (ev *Evaluator) specSwap(mv *Move, s *SpecScratch) bool {
+	ii, jj := int32(mv.I), int32(mv.J)
+	// The expression is at base, so the swapped pair's candidate values are
+	// the base values crossed over.
+	ei, ej := ev.expr.elems[jj], ev.expr.elems[ii]
+	if ei < 0 {
+		// Case A: the operator moves left. Find q by climbing the left
+		// spine above the old operator node, as resyncSwap does.
+		p := jj
+		for ev.parent[p] >= 0 && ev.nodes[ev.parent[p]].right != p {
+			p = ev.parent[p]
+		}
+		q := ev.parent[p]
+		if q < 0 {
+			return false // the full path would reparse
+		}
+		x, y := ev.nodes[q].left, ev.nodes[jj].left
+		s.stampOne(ev, ii)
+		s.stampOne(ev, jj)
+		s.markSpec(ev, int(ev.parent[jj]))
+		s.val[ii], s.val[jj] = ei, ej
+		s.left[ii], s.right[ii] = x, y
+		s.left[jj], s.right[jj] = -1, -1
+		s.left[q] = ii
+		return true
+	}
+	// Case B: the operator moves right; q popped the old operator node as
+	// its left child.
+	q := ev.parent[ii]
+	if q < 0 || ev.nodes[q].left != ii {
+		return false // the full path would reparse
+	}
+	x, y := ev.nodes[ii].left, ev.nodes[ii].right
+	s.stampOne(ev, ii)
+	s.stampOne(ev, jj)
+	s.markSpec(ev, int(ev.parent[jj]))
+	s.val[ii], s.val[jj] = ei, ej
+	s.left[ii], s.right[ii] = -1, -1
+	s.left[jj], s.right[jj] = y, ii
+	s.left[q] = x
+	return true
+}
+
+// specRecompute is recompute over the override arrays: the candidate value
+// of a dirty node composed from override-aware children, written to the
+// scratch instead of the tree. dst is the node's slot in the candidate's
+// arena region; concurrent candidates write disjoint regions, which the
+// arena permits.
+//
+//hidapvet:hotpath
+func (ev *Evaluator) specRecompute(i, dst int32, s *SpecScratch) {
+	v := s.val[i]
+	if v >= 0 {
+		b := &ev.blocks[v]
+		s.at[i], s.am[i] = b.TargetArea, b.MinArea
+		s.span[i] = ev.leafSpan[v]
+		return
+	}
+	l, r := s.left[i], s.right[i] // the candidate's links: i is stamped
+	lat, lam, ls := ev.specNode(l, s)
+	rat, ram, rs := ev.specNode(r, s)
+	s.at[i] = lat + rat
+	s.am[i] = lam + ram
+	s.frac[i] = atFrac(lat, rat)
+	// Empty operands alias exactly as recompute does; all reads here, so
+	// lifetime is trivially safe.
+	if ls.N == 0 {
+		s.span[i] = rs
+		return
+	}
+	if rs.N == 0 {
+		s.span[i] = ls
+		return
+	}
+	if v == OpV {
+		s.span[i] = ev.arena.CombineH(dst, ls, rs, ev.p.CompactPoints)
+	} else {
+		s.span[i] = ev.arena.CombineV(dst, ls, rs, ev.p.CompactPoints)
+	}
+}
+
+// specNode reads one node's ⟨at, am, span⟩ through the override layer.
+//
+//hidapvet:hotpath
+func (ev *Evaluator) specNode(i int32, s *SpecScratch) (at, am int64, sp shape.Span) {
+	if s.ep[i] == s.epoch {
+		return s.at[i], s.am[i], s.span[i]
+	}
+	nd := &ev.nodes[i]
+	return nd.at, nd.am, ev.spans[i]
+}
+
+// specAssign mirrors assign over the candidate tree, reading base state
+// through the override layer and writing nothing. Clean subtrees hit the
+// base assign cache under exactly the conditions the committed Eval would
+// (an override stamp plays the role of the recompute's sver bump), so the
+// descent — and with it the changed-rect diff and the floating-point
+// summation tree — matches the committed pass node for node.
+//
+//hidapvet:hotpath
+func (ev *Evaluator) specAssign(ni int32, r geom.Rect, s *SpecScratch) (vAt, vAm, vMacro float64) {
+	nd := &ev.nodes[ni]
+	sp := s.ep[ni] == s.epoch
+	cl, cr := nd.left, nd.right
+	v, frac := nd.val, nd.frac
+	if sp {
+		cl, cr = s.left[ni], s.right[ni]
+		v, frac = s.val[ni], s.frac[ni]
+	}
+	if cl < 0 {
+		if ev.ev.Rects[v] != r {
+			s.ChangedB = append(s.ChangedB, v)
+			s.ChangedR = append(s.ChangedR, r)
+		}
+		return leafViolations(&ev.blocks[v], r)
+	}
+	if !sp {
+		cur := &ev.aslots[2*ni+int32(nd.aside)]
+		if cur.aGen == ev.aCur && cur.sver == nd.sver && cur.arect == r {
+			return cur.vAt, cur.vAm, cur.vMacro
+		}
+	}
+	_, _, ls := ev.specNode(cl, s)
+	_, _, rs := ev.specNode(cr, s)
+	var own float64
+	var lAt, lAm, lMac, rAt, rAm, rMac float64
+	if v == OpV {
+		wl := splitShareFrac(r.W, frac)
+		wl, own = repairSplitSpan(&ev.arena, wl, r.W, r.H, ls, rs, true)
+		lAt, lAm, lMac = ev.specAssign(cl, geom.RectXYWH(r.X, r.Y, wl, r.H), s)
+		rAt, rAm, rMac = ev.specAssign(cr, geom.RectXYWH(r.X+wl, r.Y, r.W-wl, r.H), s)
+	} else {
+		hb := splitShareFrac(r.H, frac)
+		hb, own = repairSplitSpan(&ev.arena, hb, r.H, r.W, ls, rs, false)
+		lAt, lAm, lMac = ev.specAssign(cl, geom.RectXYWH(r.X, r.Y, r.W, hb), s)
+		rAt, rAm, rMac = ev.specAssign(cr, geom.RectXYWH(r.X, r.Y+hb, r.W, r.H-hb), s)
+	}
+	vAt, vAm, vMacro = lAt+rAt, lAm+rAm, own+lMac+rMac
+	// Record the node: the committed assign would write exactly this slot.
+	s.visN = append(s.visN, ni)
+	s.visR = append(s.visR, r)
+	s.visAt = append(s.visAt, vAt)
+	s.visAm = append(s.visAm, vAm)
+	s.visMc = append(s.visMc, vMacro)
+	return vAt, vAm, vMacro
+}

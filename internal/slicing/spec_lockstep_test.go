@@ -1,0 +1,118 @@
+package slicing
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestCommitSpecLockstep drives two evaluators through the same 4k-move
+// accept/reject walk: A commits every accepted move through the full
+// ApplyMove+Eval path, B through SpecScore+CommitSpec (and touches nothing
+// on rejections, as the batched annealer does). After every acceptance the
+// two must agree bit for bit — penalty, changed list, every rectangle, and
+// the entire cached tree including composed curve corners. This pins the
+// subtle half of the commit-from-spec contract: the assignment-slot cache
+// left behind by a speculative commit may be staler than the full path's,
+// but must never vouch for rectangles the commit rewrote (the retired-slot
+// discipline in CommitSpec).
+func TestCommitSpecLockstep(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 10
+	blocks := randomBlocks(rng, n)
+	exprA := NewBalanced(n)
+	exprB := NewBalanced(n)
+	p := DefaultEvalParams()
+	A := NewEvaluator(&exprA, blocks, p)
+	B := NewEvaluator(&exprB, blocks, p)
+	B.EnsureSpecRegions(1)
+	budget := geom.RectXYWH(0, 0, 1500, 1200)
+	A.Eval(budget)
+	B.Eval(budget)
+
+	var ss SpecScratch
+	var mvA, mvB Move
+	rngA := rand.New(rand.NewSource(5))
+	rngB := rand.New(rand.NewSource(5))
+	coin := rand.New(rand.NewSource(6))
+	for step := 0; step < 4000; step++ {
+		exprA.PerturbMove(rngA, &mvA)
+		exprA.UndoMove(&mvA)
+		exprB.PerturbMove(rngB, &mvB)
+		exprB.UndoMove(&mvB)
+		if mvA != mvB {
+			t.Fatalf("step %d: move divergence %+v vs %+v", step, mvA, mvB)
+		}
+		accept := coin.Intn(2) == 0
+		if !B.SpecFeasible(&mvB) {
+			// The rare reparse-fallback swaps: serial path on both sides.
+			uA := A.ApplyMove(&mvA)
+			uB := B.ApplyMove(&mvB)
+			evA := A.Eval(budget)
+			evB := B.Eval(budget)
+			if evA.Penalty != evB.Penalty {
+				t.Fatalf("step %d (M3): penalty %v vs %v", step, evA.Penalty, evB.Penalty)
+			}
+			if !accept {
+				uA()
+				uB()
+			}
+			continue
+		}
+		pen, ok := B.SpecScore(&mvB, budget, &ss, 0)
+		if !ok {
+			t.Fatalf("step %d: unexpectedly unscorable kind %v", step, mvB.Kind)
+		}
+		uA := A.ApplyMove(&mvA)
+		evA := A.Eval(budget)
+		if pen != evA.Penalty {
+			t.Fatalf("step %d kind %v: spec penalty %v != full %v", step, mvA.Kind, pen, evA.Penalty)
+		}
+		if !accept {
+			uA()
+			continue
+		}
+		evB := B.CommitSpec(&mvB, budget, &ss)
+		if evB.Penalty != evA.Penalty {
+			t.Fatalf("step %d: commit penalty %v != full %v", step, evB.Penalty, evA.Penalty)
+		}
+		chA, chB := A.Changed(), B.Changed()
+		if len(chA) != len(chB) {
+			t.Fatalf("step %d: changed %v vs %v", step, chB, chA)
+		}
+		for k := range chA {
+			if chA[k] != chB[k] {
+				t.Fatalf("step %d: changed[%d] %d vs %d", step, k, chB[k], chA[k])
+			}
+		}
+		for i := range evA.Rects {
+			if evA.Rects[i] != evB.Rects[i] {
+				t.Fatalf("step %d: rect %d %v vs %v", step, i, evB.Rects[i], evA.Rects[i])
+			}
+		}
+		if exprA.String() != exprB.String() {
+			t.Fatalf("step %d: expr %s vs %s", step, exprB.String(), exprA.String())
+		}
+		for i := range A.nodes {
+			na, nb := &A.nodes[i], &B.nodes[i]
+			if na.val != nb.val || na.at != nb.at || na.am != nb.am || na.frac != nb.frac ||
+				na.left != nb.left || na.right != nb.right {
+				t.Fatalf("step %d node %d: A{v%d at%d am%d f%v l%d r%d} B{v%d at%d am%d f%v l%d r%d}",
+					step, i, na.val, na.at, na.am, na.frac, na.left, na.right,
+					nb.val, nb.at, nb.am, nb.frac, nb.left, nb.right)
+			}
+			sa, sb := A.spans[i], B.spans[i]
+			if sa.N != sb.N {
+				t.Fatalf("step %d node %d: span N %d vs %d", step, i, sa.N, sb.N)
+			}
+			pa := A.arena.AppendCurve(nil, sa)
+			pb := B.arena.AppendCurve(nil, sb)
+			for k := range pa {
+				if pa[k] != pb[k] {
+					t.Fatalf("step %d node %d corner %d: %v vs %v", step, i, k, pa[k], pb[k])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package slicing
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestSpecScoreMatchesApply is the differential contract of speculative
+// scoring: across 10k random moves — drawn exactly as the annealer draws
+// them, against an evaluator state that advances through accepted moves and
+// undone rejections — SpecScore must return bit for bit the Penalty that
+// committing the same move through ApplyMove + Eval reports, and its
+// ChangedB/ChangedR diff must equal the committed Changed() list in content
+// and order. Budgets cycle (including the empty budget) and candidates
+// alternate between two spec regions to exercise the region offset math.
+func TestSpecScoreMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	for _, n := range []int{1, 2, 3, 5, 9, 24} {
+		blocks := randomBlocks(rng, n)
+		expr := NewBalanced(n)
+		p := DefaultEvalParams()
+		inc := NewEvaluator(&expr, blocks, p)
+		inc.EnsureSpecRegions(2)
+
+		budgets := []geom.Rect{
+			geom.RectXYWH(0, 0, 1500, 1200),
+			geom.RectXYWH(10, 20, 700, 900),
+			geom.RectXYWH(0, 0, 350, 300), // tight: violations accrue
+			{},                            // empty: zero-rect diff path
+		}
+		var preRects []geom.Rect
+		var ss SpecScratch
+		var mv Move
+		steps := 10_000 / len(budgets)
+		if n == 1 {
+			steps = 20
+		}
+		specScored := 0
+		for step := 0; step < steps; step++ {
+			budget := budgets[step%len(budgets)]
+			// Re-evaluate the base at this budget, as the annealer's frozen
+			// state always is at scoring time.
+			preRects = append(preRects[:0], inc.Eval(budget).Rects...)
+			// Draw the candidate exactly as a batching annealer does: perturb
+			// the expression, record the move, roll the expression back.
+			expr.PerturbMove(rng, &mv)
+			expr.UndoMove(&mv)
+
+			pen, ok := inc.SpecScore(&mv, budget, &ss, step%2)
+			if ok != inc.SpecFeasible(&mv) {
+				t.Fatalf("n=%d step %d: ok=%v but SpecFeasible=%v for kind %v",
+					n, step, ok, !ok, mv.Kind)
+			}
+
+			undo := inc.ApplyMove(&mv)
+			ev := inc.Eval(budget)
+			if ok {
+				specScored++
+				if pen != ev.Penalty {
+					t.Fatalf("n=%d step %d (kind %v, %d/%d): spec penalty %v != committed %v",
+						n, step, mv.Kind, mv.I, mv.J, pen, ev.Penalty)
+				}
+				ch := inc.Changed()
+				if len(ss.ChangedB) != len(ch) {
+					t.Fatalf("n=%d step %d: spec changed %v != committed %v", n, step, ss.ChangedB, ch)
+				}
+				for k := range ch {
+					if ss.ChangedB[k] != ch[k] {
+						t.Fatalf("n=%d step %d: spec changed[%d]=%d, committed %d",
+							n, step, k, ss.ChangedB[k], ch[k])
+					}
+					if ss.ChangedR[k] != ev.Rects[ch[k]] {
+						t.Fatalf("n=%d step %d: spec rect for block %d = %v, committed %v",
+							n, step, ch[k], ss.ChangedR[k], ev.Rects[ch[k]])
+					}
+				}
+			}
+
+			if rng.Intn(2) == 0 {
+				undo()
+				// A rejected move must leave the frozen state untouched.
+				ev2 := inc.Eval(budget)
+				for i := range preRects {
+					if ev2.Rects[i] != preRects[i] {
+						t.Fatalf("n=%d step %d: undo left rect %d = %v, want %v",
+							n, step, i, ev2.Rects[i], preRects[i])
+					}
+				}
+			}
+		}
+		if n > 1 && specScored == 0 {
+			t.Fatalf("n=%d: no speculative scores exercised", n)
+		}
+	}
+}
+
+// TestSpecScoreAfterEmptyBudget pins the empty-budget diff: spec scoring
+// against a base whose rects were zeroed by an empty Eval must report the
+// same re-inflation diff a committed move would.
+func TestSpecScoreAfterEmptyBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 8
+	blocks := randomBlocks(rng, n)
+	expr := NewBalanced(n)
+	inc := NewEvaluator(&expr, blocks, DefaultEvalParams())
+	inc.EnsureSpecRegions(1)
+	inc.Eval(geom.Rect{}) // zero every rect
+
+	var ss SpecScratch
+	var mv Move
+	budget := geom.RectXYWH(0, 0, 900, 700)
+	for {
+		expr.PerturbMove(rng, &mv)
+		expr.UndoMove(&mv)
+		if inc.SpecFeasible(&mv) {
+			break
+		}
+	}
+	pen, ok := inc.SpecScore(&mv, budget, &ss, 0)
+	if !ok {
+		t.Fatal("scorable move reported unscorable")
+	}
+	inc.ApplyMove(&mv)
+	ev := inc.Eval(budget)
+	if pen != ev.Penalty || len(ss.ChangedB) != len(inc.Changed()) {
+		t.Fatalf("spec (%v, %d changed) vs committed (%v, %d changed)",
+			pen, len(ss.ChangedB), ev.Penalty, len(inc.Changed()))
+	}
+}
+
+// TestSpecScoreAllocs pins the steady-state allocation count of speculative
+// scoring at zero: after one warm-up score, repeated SpecScore calls on the
+// same evaluator shape must not allocate.
+func TestSpecScoreAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n := 24
+	blocks := randomBlocks(rng, n)
+	expr := NewBalanced(n)
+	inc := NewEvaluator(&expr, blocks, DefaultEvalParams())
+	inc.EnsureSpecRegions(1)
+	budget := geom.RectXYWH(0, 0, 1500, 1200)
+	inc.Eval(budget)
+
+	var ss SpecScratch
+	moves := make([]Move, 64)
+	for i := range moves {
+		for {
+			expr.PerturbMove(rng, &moves[i])
+			expr.UndoMove(&moves[i])
+			if inc.SpecFeasible(&moves[i]) {
+				break
+			}
+		}
+	}
+	// Warm up the scratch (first prepare sizes the override arrays).
+	inc.SpecScore(&moves[0], budget, &ss, 0)
+
+	k := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		inc.SpecScore(&moves[k%len(moves)], budget, &ss, 0)
+		k++
+	})
+	if allocs != 0 {
+		t.Fatalf("SpecScore allocates %v per call in steady state, want 0", allocs)
+	}
+}
